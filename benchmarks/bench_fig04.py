@@ -1,0 +1,52 @@
+"""Figure 4: N(T) for 2,000 TPC/A users.
+
+Regenerates the paper's plot of the expected number of other users
+entering transactions within T seconds (Eq. 3) and checks its shape:
+zero at T=0, ~1,264 at one mean think time, saturating toward 1,999.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure4
+
+from conftest import emit
+
+
+def test_figure4_regeneration(benchmark):
+    figure = benchmark(figure4, points=51)
+    emit("Figure 4 (paper: N(T) rising 0 -> ~2000 over 50 s)", figure.render())
+
+    values = figure.series["N(T)"]
+    times = figure.x_values
+
+    # Starts at zero, strictly increasing, concave (exponential saturation).
+    assert values[0] == 0.0
+    assert all(a < b for a, b in zip(values, values[1:]))
+    increments = [b - a for a, b in zip(values, values[1:])]
+    assert all(x >= y - 1e-9 for x, y in zip(increments, increments[1:]))
+
+    # Calibration points from the closed form the paper plots.
+    at_10 = values[times.index(10.0)]
+    assert at_10 == pytest.approx(1999 * (1 - 2.718281828 ** -1), rel=0.001)
+    assert values[-1] > 1980
+
+
+def test_figure4_sum_vs_closed_form(benchmark):
+    """The O(N) log-space evaluation of the paper's literal sum agrees
+    with the closed form at every plotted point (benchmarked because
+    the direct sum is the expensive path)."""
+    from repro.analytic import crowcroft
+
+    def direct_sum_curve():
+        return [
+            crowcroft.expected_preceding_users(2000, 0.1, t, method="sum")
+            for t in (0.5, 5.0, 10.0, 25.0, 50.0)
+        ]
+
+    direct = benchmark(direct_sum_curve)
+    closed = [
+        crowcroft.expected_preceding_users(2000, 0.1, t, method="closed")
+        for t in (0.5, 5.0, 10.0, 25.0, 50.0)
+    ]
+    for d, c in zip(direct, closed):
+        assert d == pytest.approx(c, rel=1e-9)

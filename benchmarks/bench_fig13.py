@@ -1,0 +1,62 @@
+"""Figure 13: algorithm comparison over 0-10,000 TPC/A connections.
+
+Regenerates every curve and asserts the paper's qualitative picture:
+BSD ~N/2 and worst at scale, SR converging up to BSD, the three MTF
+curves ordered by response time in the middle band, and Sequent an
+order of magnitude below everything else across the whole range.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure13
+
+from conftest import emit
+
+
+def test_figure13_regeneration(benchmark):
+    figure = benchmark(figure13, points=41)
+    emit(
+        "Figure 13 (paper: BSD/SR on top, MTF band middle, SEQUENT flat "
+        "along the bottom)",
+        figure.render(),
+    )
+
+    xs = figure.x_values
+    series = figure.series
+
+    for i, n in enumerate(xs):
+        if n < 500:
+            continue  # below ~500 users the curves interleave (Fig. 14's job)
+        bsd = series["BSD"][i]
+        # BSD is ~N/2 everywhere.
+        assert bsd == pytest.approx(n / 2, rel=0.01)
+        # MTF band ordered by response time, all below BSD.
+        assert (
+            series["MTF 0.2"][i]
+            < series["MTF 0.5"][i]
+            < series["MTF 1.0"][i]
+            < bsd
+        )
+        # Sequent at least 9x below every other curve (paper: "roughly
+        # an order of magnitude better").
+        others = [
+            series[label][i]
+            for label in ("BSD", "MTF 1.0", "MTF 0.5", "MTF 0.2", "SR 1")
+        ]
+        assert series["SEQUENT"][i] * 9 < min(others)
+
+    # SR approaches BSD from below as N grows (its defining asymptote).
+    gap_small = series["BSD"][2] - series["SR 1"][2]
+    i_large = len(xs) - 1
+    rel_gap_large = (
+        series["BSD"][i_large] - series["SR 1"][i_large]
+    ) / series["BSD"][i_large]
+    assert gap_small > 0
+    assert rel_gap_large < 0.35  # mostly converged by N=10,000
+
+
+def test_figure13_csv_emission(benchmark):
+    csv = benchmark(lambda: figure13(points=41).csv())
+    lines = csv.strip().splitlines()
+    assert len(lines) == 42
+    assert lines[0].count(",") == 6

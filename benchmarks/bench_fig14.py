@@ -1,0 +1,57 @@
+"""Figure 14: the 0-1,000-connection detail view.
+
+The detail view exists to show two things Figure 13's scale hides:
+the send/receive cache's genuine advantage at small populations, and
+the crossover where the MTF curves pass it.  Both are asserted here.
+"""
+
+from repro.experiments.figures import figure14
+
+from conftest import emit
+
+
+def test_figure14_regeneration(benchmark):
+    figure = benchmark(figure14, points=41)
+    emit(
+        "Figure 14 (paper: SR curves beat BSD at small N; SEQUENT lowest)",
+        figure.render(),
+    )
+
+    xs = figure.x_values
+    series = figure.series
+
+    i_end = len(xs) - 1  # N = 1000
+    # SR 1 < SR 10 < BSD at the right edge: the cache still pays at
+    # this scale, more so with the shorter round trip.
+    assert (
+        series["SR 1"][i_end]
+        < series["SR 10"][i_end]
+        < series["BSD"][i_end]
+    )
+
+    # Sequent is the bottom curve everywhere.
+    for i in range(1, len(xs)):
+        others = [ys[i] for label, ys in series.items() if label != "SEQUENT"]
+        assert series["SEQUENT"][i] <= min(others)
+
+    # Crossover: at very small N, SR 1 beats MTF 1.0 (two cache probes
+    # vs. a large moved list); by N=1000 MTF 0.2 has passed SR 10.
+    i_small = next(i for i, n in enumerate(xs) if n >= 100)
+    assert series["SR 1"][i_small] < series["MTF 1.0"][i_small]
+    assert series["MTF 0.2"][i_end] < series["SR 10"][i_end]
+
+
+def test_figure14_matches_figure13_at_overlap(benchmark):
+    """The detail view is the same model: identical values where the
+    two figures' N grids coincide."""
+    from repro.experiments.figures import figure13
+
+    def both():
+        return figure13(points=11), figure14(points=11)
+
+    fig13, fig14 = benchmark(both)
+    assert 1000.0 in fig13.x_values and 1000.0 in fig14.x_values
+    i13 = fig13.x_values.index(1000.0)
+    i14 = fig14.x_values.index(1000.0)
+    for label in ("BSD", "MTF 0.2", "SR 1", "SEQUENT"):
+        assert fig13.series[label][i13] == fig14.series[label][i14]

@@ -1,0 +1,61 @@
+"""Figure 14, confirmed by simulation.
+
+"These approximations have been qualitatively confirmed by
+benchmarks" -- here the Figure 14 grid is re-measured by discrete-event
+simulation at four population sizes and overlaid on the analytic
+curves.  Every measured point must sit on its curve (within sampling
+noise plus, for Sequent, the hash-balance penalty), and the measured
+points must reproduce the figure's orderings and crossovers.
+"""
+
+from repro.experiments.sim_figures import simulate_figure14_overlay
+
+from conftest import emit
+
+
+def test_simulated_overlay_matches_curves(once):
+    overlay = once(
+        simulate_figure14_overlay,
+        (100, 250, 500, 1000),
+        duration=90.0,
+        seed=101,
+    )
+    emit(
+        "Figure 14 overlay: simulated points on analytic curves",
+        overlay.render(),
+    )
+
+    # Every point on its curve.  Sequent gets a wider band: its model
+    # assumes a uniform hash and its absolute values are small.
+    for point in overlay.points:
+        band = 0.12 if point.algorithm == "SEQUENT" else 0.06
+        assert point.relative_error < band, point
+
+    grouped = overlay.by_algorithm()
+
+    # The figure's orderings hold in the *measured* data at N=1000.
+    at_1000 = {
+        label: pts[-1].simulated for label, pts in grouped.items()
+    }
+    assert at_1000["SEQUENT"] * 9 < at_1000["MTF 0.2"]
+    assert at_1000["MTF 0.2"] < at_1000["SR 1"] < at_1000["BSD"]
+
+    # And SR's small-N advantage is visible in measurement too.
+    at_100 = {label: pts[0].simulated for label, pts in grouped.items()}
+    assert at_100["SR 1"] < at_100["BSD"]
+
+    # Curves grow with N for every algorithm.
+    for label, pts in grouped.items():
+        values = [p.simulated for p in pts]
+        assert values == sorted(values), label
+
+
+def test_overlay_csv(once):
+    overlay = once(
+        simulate_figure14_overlay, (100, 250), duration=30.0, seed=103
+    )
+    csv = overlay.csv()
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("n_users,")
+    assert "BSD_simulated" in lines[0]
+    assert len(lines) == 3

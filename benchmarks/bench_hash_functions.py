@@ -1,0 +1,92 @@
+"""Hash-function ablation (the paper's [Jai89] citation, quantified).
+
+Section 3.5 asserts "efficient hash functions for protocol addresses
+are well known".  This bench measures, for each candidate over the
+TPC/A tuple population: (a) Python throughput, (b) chain balance, and
+(c) what the balance does to the Sequent algorithm's expected scan --
+the penalty the Eq. 18 uniform-hash assumption hides.
+"""
+
+import itertools
+
+import pytest
+
+from repro.hashing.analysis import compare_functions, measure_balance
+from repro.hashing.functions import HASH_FUNCTIONS, get_hash_function
+from repro.workload.tpca import TPCAConfig
+
+from conftest import emit
+
+N = 2000
+H = 19
+
+
+def tpca_keys():
+    config = TPCAConfig(n_users=N)
+    return [config.user_tuple(i) for i in range(N)]
+
+
+@pytest.mark.parametrize("name", sorted(HASH_FUNCTIONS))
+def test_hash_throughput(benchmark, name):
+    fn = get_hash_function(name)
+    keys = tpca_keys()
+    cycle = itertools.cycle(keys)
+
+    def one_hash():
+        fn(next(cycle), H)
+
+    benchmark(one_hash)
+
+
+def test_balance_comparison(benchmark):
+    keys = tpca_keys()
+    results = benchmark(compare_functions, HASH_FUNCTIONS, keys, H)
+    emit(
+        f"Chain balance over {N} TPC/A connections, H={H}"
+        f" (ideal scan {(N / H + 1) / 2:.2f})",
+        "\n".join(
+            f"  {name:<18} {balance.summary()}" for name, balance in results
+        ),
+    )
+    by_name = {name: balance for name, balance in results}
+    # Every serious candidate stays within a few percent of ideal.
+    for name in ("crc32", "crc16", "multiplicative", "add_fold"):
+        assert by_name[name].scan_penalty < 1.05, name
+    # And none of them leaves a chain more than ~2x the mean load.
+    for name in ("crc32", "multiplicative"):
+        assert by_name[name].max_chain < 2 * (N / H), name
+
+
+def test_bad_hash_on_shared_port_population(benchmark):
+    """remote_port_only is uniform on the default TPC/A population only
+    because every user happens to get a distinct port.  Real client
+    fleets cluster: each OS starts its ephemeral allocator at the same
+    base, so many hosts present the *same* port.  On that population a
+    port-only hash collapses while a real hash stays balanced."""
+    from repro.packet.addresses import FourTuple, IPv4Address
+
+    server = IPv4Address("10.0.0.1")
+    # 2,000 hosts, every one using source port 49152 (first ephemeral).
+    keys = [
+        FourTuple(server, 1521, IPv4Address("10.9.0.0") + i, 49152)
+        for i in range(N)
+    ]
+
+    def measure():
+        return (
+            measure_balance(get_hash_function("remote_port_only"), keys, H),
+            measure_balance(get_hash_function("crc32"), keys, H),
+        )
+
+    port_only, crc = benchmark(measure)
+    emit(
+        "Shared-ephemeral-port population (H=19)",
+        f"  remote_port_only: max chain {port_only.max_chain},"
+        f" penalty {port_only.scan_penalty:.2f}x\n"
+        f"  crc32:            max chain {crc.max_chain},"
+        f" penalty {crc.scan_penalty:.2f}x",
+    )
+    # Everything lands on one chain: the structure degrades to BSD.
+    assert port_only.max_chain == N
+    assert port_only.scan_penalty > 10 * crc.scan_penalty
+    assert crc.scan_penalty < 1.05

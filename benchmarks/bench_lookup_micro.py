@@ -1,0 +1,95 @@
+"""Per-lookup micro-benchmarks of each demultiplexing structure.
+
+Not a paper table -- the paper's figure of merit is PCBs examined, not
+Python nanoseconds -- but a library user choosing a structure wants
+the constant factors too.  Measures the steady-state TPC/A-shaped
+lookup (uniform over N=512 connections) per structure, plus the two
+locality extremes (train hit, polling scan).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.registry import make_algorithm
+from repro.core.pcb import PCB
+from repro.core.stats import PacketKind
+from repro.packet.addresses import FourTuple, IPv4Address
+
+N = 512
+
+
+def populated(spec: str):
+    algorithm = make_algorithm(spec)
+    tuples = [
+        FourTuple(
+            IPv4Address("10.0.0.1"), 1521,
+            IPv4Address("10.6.0.0") + i, 40000 + i,
+        )
+        for i in range(N)
+    ]
+    for tup in tuples:
+        algorithm.insert(PCB(tup))
+    return algorithm, tuples
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["linear", "bsd", "mtf", "sendrecv", "sequent:h=19", "sequent:h=100",
+     "hashed_mtf:h=19", "connection_id"],
+)
+def test_uniform_lookup(benchmark, spec):
+    """Uniform random target: the OLTP (no-locality) regime."""
+    algorithm, tuples = populated(spec)
+    # A fixed pseudo-random visiting order, long enough not to repeat
+    # in cache-friendly ways.
+    order = [(i * 197) % N for i in range(1024)]
+    cycle = itertools.cycle(order)
+
+    def one_lookup():
+        algorithm.lookup(tuples[next(cycle)], PacketKind.DATA)
+
+    benchmark(one_lookup)
+    assert algorithm.stats.lookups > 0
+
+
+@pytest.mark.parametrize("spec", ["bsd", "sequent:h=19"])
+def test_train_hit_lookup(benchmark, spec):
+    """Same connection repeatedly: the packet-train (cache-hit) regime."""
+    algorithm, tuples = populated(spec)
+    target = tuples[N // 2]
+    algorithm.lookup(target)  # prime
+
+    def one_lookup():
+        algorithm.lookup(target, PacketKind.DATA)
+
+    benchmark(one_lookup)
+    stats = algorithm.stats.kind(PacketKind.DATA)
+    assert stats.hit_rate > 0.99
+
+
+@pytest.mark.parametrize("spec", ["mtf", "sequent:h=19"])
+def test_polling_scan_lookup(benchmark, spec):
+    """Round-robin over all N: move-to-front's worst case."""
+    algorithm, tuples = populated(spec)
+    cycle = itertools.cycle(tuples)
+
+    def one_lookup():
+        algorithm.lookup(next(cycle), PacketKind.DATA)
+
+    benchmark(one_lookup)
+
+
+def test_insert_remove_cycle(benchmark):
+    """Connection churn: open + close through the hashed structure."""
+    algorithm, tuples = populated("sequent:h=19")
+    churn = FourTuple(
+        IPv4Address("10.0.0.1"), 1521, IPv4Address("10.8.0.1"), 55555
+    )
+
+    def cycle():
+        algorithm.insert(PCB(churn))
+        algorithm.remove(churn)
+
+    benchmark(cycle)
+    assert len(algorithm) == N

@@ -1,0 +1,83 @@
+"""Ablation: where move-to-front's win actually comes from.
+
+Three regimes for the same structure, each against its own theory:
+
+1. uniform independent references -- MTF is provably (N+1)/2, i.e. no
+   better than an unordered list (McCabe/Rivest IRM result);
+2. Zipf-skewed references -- MTF tracks the IRM closed form
+   ``1 + 2 sum p_i p_j/(p_i+p_j)`` and beats the random order;
+3. TPC/A -- far below (N+1)/2 despite *uniform users*, because each
+   transaction's ack is paired with its query (Eqs. 5-6).
+
+Together these isolate Crowcroft's mechanism: it is the pairing, not
+per-packet popularity, that his heuristic exploits under OLTP.
+"""
+
+import random
+
+import pytest
+
+from repro.analytic import crowcroft
+from repro.analytic.mtf_irm import mtf_cost, zipf_weights
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.pcb import PCB
+from repro.workload.tpca import TPCAConfig, TPCADemuxSimulation
+
+from conftest import emit
+
+N = 200
+
+
+def _measure_irm(weights, trials=20000, seed=107):
+    rng = random.Random(seed)
+    demux = MoveToFrontDemux()
+    tuples = []
+    config = TPCAConfig(n_users=N)
+    for i in range(N):
+        tup = config.user_tuple(i)
+        demux.insert(PCB(tup))
+        tuples.append(tup)
+    indices = list(range(N))
+    for _ in range(trials // 4):  # warm to stationarity
+        demux.lookup(tuples[rng.choices(indices, weights)[0]])
+    demux.stats.reset()
+    for _ in range(trials):
+        demux.lookup(tuples[rng.choices(indices, weights)[0]])
+    return demux.stats.mean_examined
+
+
+def test_three_regimes(once):
+    results = {}
+
+    def run():
+        results["uniform"] = _measure_irm([1.0] * N)
+        results["zipf"] = _measure_irm(zipf_weights(N, 1.0))
+        config = TPCAConfig(
+            n_users=N, response_time=0.2, duration=200.0, warmup=20.0,
+            seed=109,
+        )
+        results["tpca"] = TPCADemuxSimulation(
+            config, MoveToFrontDemux()
+        ).run().mean_examined
+        return results
+
+    once(run)
+    uniform_theory = (N + 1) / 2
+    zipf_theory = mtf_cost(zipf_weights(N, 1.0))
+    tpca_theory = crowcroft.overall_cost(N, 0.1, 0.2, examined=True)
+    emit(
+        f"MTF's three regimes, N={N}",
+        f"  uniform IRM : measured {results['uniform']:7.1f},"
+        f" theory {uniform_theory:7.1f}  (no win: recency carries no signal)\n"
+        f"  Zipf IRM    : measured {results['zipf']:7.1f},"
+        f" theory {zipf_theory:7.1f}  (popularity win)\n"
+        f"  TPC/A       : measured {results['tpca']:7.1f},"
+        f" theory {tpca_theory:7.1f}  (pairing win, Eqs. 5-6)",
+    )
+
+    assert results["uniform"] == pytest.approx(uniform_theory, rel=0.05)
+    assert results["zipf"] == pytest.approx(zipf_theory, rel=0.05)
+    assert results["tpca"] == pytest.approx(tpca_theory, rel=0.06)
+    # The separations that tell the story.
+    assert results["zipf"] < results["uniform"]
+    assert results["tpca"] < results["uniform"]

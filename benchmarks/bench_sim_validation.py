@@ -1,0 +1,59 @@
+"""The paper's closing claim: "These approximations have been
+qualitatively confirmed by benchmarks."
+
+This bench *is* that confirmation for the reproduction: every
+algorithm's discrete-event TPC/A measurement against its Section 3
+prediction, at N=1000 (a compromise between the paper's 2,000-user
+scale and a bench that completes in seconds; bench_text_*.py cover the
+full scale per algorithm).
+"""
+
+from repro.experiments.simulate import validate_against_analytic
+
+from conftest import emit
+
+
+def test_simulation_confirms_analysis(once):
+    result = once(
+        validate_against_analytic,
+        n_users=1000,
+        duration=90.0,
+        warmup=15.0,
+        seed=59,
+    )
+    emit(
+        "Simulation vs Section 3 analysis, N=1000",
+        result.render(),
+    )
+    assert result.all_ok, result.render()
+
+    by_name = {row.algorithm: row for row in result.rows}
+    # The paper's Figure 13 ordering at this scale.
+    assert (
+        by_name["sequent"].simulated
+        < by_name["mtf"].simulated
+        < by_name["bsd"].simulated
+    )
+    assert by_name["sendrecv"].simulated < by_name["linear"].simulated
+    # Order of magnitude, on measured data.
+    assert by_name["bsd"].simulated / by_name["sequent"].simulated > 10
+
+
+def test_common_random_numbers_reproducibility(once):
+    """The same seed must reproduce the identical measurement -- the
+    property the experiment design leans on."""
+
+    def run_twice():
+        a = validate_against_analytic(
+            n_users=200, duration=40.0, warmup=10.0, seed=61,
+            algorithms=["bsd"],
+        )
+        b = validate_against_analytic(
+            n_users=200, duration=40.0, warmup=10.0, seed=61,
+            algorithms=["bsd"],
+        )
+        return a, b
+
+    a, b = once(run_twice)
+    assert a.rows[0].simulated == b.rows[0].simulated
+    assert a.rows[0].lookups == b.rows[0].lookups

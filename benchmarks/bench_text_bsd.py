@@ -1,0 +1,49 @@
+"""Section 3.1 in-text results: the BSD algorithm under TPC/A.
+
+Paper claims regenerated: 1,001 PCBs per packet at N=2000 (Eq. 1),
+the 1/N = 0.05% hit rate, footnote 4's 96% per-user quiet probability,
+and the ~1.9e-35 packet-train probability.  Also translates the PCB
+counts through the memory model into the era-appropriate time estimate
+(the Section 3 'surrogate for time' argument).
+"""
+
+from repro.core.costmodel import CIRCA_1992
+from repro.experiments.text_results import bsd_results
+
+from conftest import emit
+
+
+def test_section31_claims(benchmark):
+    table = benchmark(bsd_results)
+    emit("Section 3.1 (BSD)", table.render())
+    assert table.all_ok, table.render()
+
+
+def test_bsd_cost_is_a_miss_to_three_places(benchmark):
+    """'Since this is exactly the cost of a miss to three places, the
+    cache is clearly providing little help.'"""
+    from repro.analytic import bsd
+
+    cost = benchmark(bsd.cost, 2000)
+    miss = 1 + bsd.miss_cost(2000)  # cache probe + average scan
+    # "to three places": identical to within one part in a thousand.
+    assert abs(cost - miss) / miss < 1e-3
+    assert f"{cost:.3g}" == f"{miss:.3g}"
+
+
+def test_memory_model_translation(benchmark):
+    """2,000 PCBs cannot sit on-chip in 1992, so 1,001 examined PCBs
+    is ~hundreds of microseconds of memory traffic per packet."""
+    from repro.analytic import bsd
+
+    cost_ns = benchmark(
+        CIRCA_1992.lookup_cost_ns, bsd.cost(2000), 2000
+    )
+    emit(
+        "Eq. 1 through the 1992 memory model",
+        f"1001 PCBs x off-chip access = {cost_ns / 1000:.1f} us per packet\n"
+        f"model: {CIRCA_1992.describe()}",
+    )
+    # Order of magnitude: 100 us - 1 ms per packet. At 400 inbound
+    # packets/s this is 4-40% of a CPU doing nothing but PCB lookup.
+    assert 50_000 < cost_ns < 1_000_000

@@ -1,0 +1,66 @@
+"""Section 3.3 in-text results: the Partridge/Pink send/receive cache.
+
+Regenerates the 667/993/1002 costs at D = 1/10/100 ms and validates the
+D = 1 ms point by simulation at the paper's N=2000 scale.  Also checks
+the analysis' two structural claims: insensitivity to R, and
+convergence to (N+5)/2 under stress.
+"""
+
+import pytest
+
+from repro.analytic import sendrecv
+from repro.core.sendrecv import SendRecvDemux
+from repro.experiments.text_results import sendrecv_results
+from repro.workload.tpca import TPCAConfig, TPCADemuxSimulation
+
+from conftest import emit
+
+
+def test_section33_claims(benchmark):
+    table = benchmark(sendrecv_results)
+    emit("Section 3.3 (send/receive cache)", table.render())
+    assert table.all_ok, table.render()
+
+
+def test_sendrecv_simulation_at_paper_scale(once):
+    """N=2000, D=1 ms: the paper's 667-PCB prediction, simulated."""
+    config = TPCAConfig(
+        n_users=2000, response_time=0.2, round_trip=0.001,
+        duration=60.0, warmup=15.0, seed=29,
+    )
+
+    def run():
+        return TPCADemuxSimulation(config, SendRecvDemux()).run()
+
+    result = once(run)
+    predicted = sendrecv.overall_cost(2000, 0.1, 0.2, 0.001)
+    emit(
+        "SR at N=2000, D=1ms (paper: 667)",
+        f"simulated mean examined: {result.mean_examined:.1f}\n"
+        f"analytic prediction:     {predicted:.1f}\n"
+        f"ack hit rate: {result.ack_cache_hit_rate:.1%}"
+        f" (the send-side cache at work)",
+    )
+    assert result.mean_examined == pytest.approx(predicted, rel=0.05)
+    # The mechanism: acks hit the send cache often, data almost never.
+    assert result.ack_cache_hit_rate > 0.5
+    assert result.ack_mean_examined < result.data_mean_examined / 2
+
+
+def test_rtt_sensitivity_curve(benchmark):
+    """Cost vs. D: ~667 at 1 ms rising to the (N+5)/2 plateau."""
+    rtts = [0.0005, 0.001, 0.002, 0.005, 0.010, 0.030, 0.100]
+
+    def curve():
+        return [sendrecv.overall_cost(2000, 0.1, 0.2, d) for d in rtts]
+
+    costs = benchmark(curve)
+    emit(
+        "SR cost vs round-trip delay (N=2000)",
+        "\n".join(
+            f"  D={d * 1000:6.1f} ms  ->  {c:7.1f} PCBs"
+            for d, c in zip(rtts, costs)
+        ),
+    )
+    assert all(a <= b for a, b in zip(costs, costs[1:]))
+    assert costs[-1] == pytest.approx((2000 + 5) / 2, rel=0.01)

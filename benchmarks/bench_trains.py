@@ -1,0 +1,84 @@
+"""The packet-train regime: the paper's compatibility requirement.
+
+Abstract: the hashed scheme must win OLTP "while still maintaining
+good performance for packet-train traffic" -- the bulk-transfer
+pattern BSD's one-entry cache was designed for (Jacobson, [JR86]).
+This bench runs the train workload through every structure and checks
+that Sequent gives up essentially nothing to BSD there, completing the
+two-sided argument the abstract makes.
+"""
+
+from repro.core.registry import make_algorithm
+from repro.workload.trains import PacketTrainWorkload, TrainConfig
+
+from conftest import emit
+
+SPECS = ["linear", "bsd", "mtf", "sendrecv", "sequent:h=19"]
+
+
+def test_train_regime_all_algorithms(once):
+    results = {}
+
+    def run():
+        for spec in SPECS:
+            config = TrainConfig(
+                n_connections=32, mean_train_length=64, n_trains=2000, seed=67
+            )
+            workload = PacketTrainWorkload(config, make_algorithm(spec))
+            results[spec] = workload.run()
+        return results
+
+    once(run)
+    emit(
+        "Packet trains, 32 connections, mean length 64"
+        " (paper: caches shine here)",
+        "\n".join(
+            f"  {spec:<14} mean {r.mean_examined:6.2f}"
+            f"  hit {r.cache_hit_rate:7.2%}"
+            for spec, r in results.items()
+        ),
+    )
+
+    bsd = results["bsd"]
+    sequent = results["sequent:h=19"]
+    linear = results["linear"]
+
+    # BSD's cache gives ~(L-1)/L hits: the premise of the one-PCB cache.
+    assert bsd.cache_hit_rate > 0.9
+    # Sequent keeps the property (per-chain caches hit the same train).
+    assert sequent.cache_hit_rate > 0.9
+    assert sequent.mean_examined <= bsd.mean_examined * 1.1
+    # The cache-less baseline shows what the trains would otherwise cost.
+    assert linear.mean_examined > 5 * bsd.mean_examined
+
+
+def test_train_length_sensitivity(once):
+    """Cost vs mean train length for BSD: the (L-1)/L hit-rate curve."""
+    lengths = (2, 8, 32, 128)
+    results = {}
+
+    def run():
+        for length in lengths:
+            config = TrainConfig(
+                n_connections=32, mean_train_length=length,
+                n_trains=1000, seed=71,
+            )
+            workload = PacketTrainWorkload(config, make_algorithm("bsd"))
+            results[length] = workload.run()
+        return results
+
+    once(run)
+    emit(
+        "BSD vs train length",
+        "\n".join(
+            f"  L={length:4d}: hit {results[length].cache_hit_rate:6.2%},"
+            f" mean {results[length].mean_examined:6.2f}"
+            for length in lengths
+        ),
+    )
+    hit_rates = [results[length].cache_hit_rate for length in lengths]
+    assert hit_rates == sorted(hit_rates)
+    for length in lengths:
+        # Hit rate must be at least the pure-train floor (L-1)/L minus
+        # the ack interleaving and train-boundary noise.
+        assert results[length].cache_hit_rate > (length - 1) / length - 0.15

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or in-text
+result sets, prints it (run pytest with ``-s`` to see the output), and
+asserts the qualitative shape the paper reports.  Heavy simulations use
+``benchmark.pedantic(..., rounds=1)`` so the expensive run executes
+once; micro-benchmarks let pytest-benchmark calibrate normally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block (visible with pytest -s, captured otherwise)."""
+    print(f"\n===== {title} =====")
+    print(body)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

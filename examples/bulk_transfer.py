@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Bulk transfers: the packet-train regime the BSD cache was built for.
+
+The paper's abstract makes a two-sided claim: hashing wins the OLTP
+workload by an order of magnitude *while still maintaining good
+performance for packet-train traffic*.  This example measures the
+second half: long back-to-back segment trains (a Jacobson-era FTP-like
+pattern) through every structure, then a mixed OLTP+bulk workload to
+show the blend.
+
+Run:  python examples/bulk_transfer.py
+"""
+
+from repro.core import make_algorithm
+from repro.workload import (
+    MixedConfig,
+    MixedWorkload,
+    PacketTrainWorkload,
+    TrainConfig,
+)
+
+SPECS = ["linear", "bsd", "mtf", "sendrecv", "sequent:h=19"]
+
+
+def train_section() -> None:
+    print("pure packet trains (32 connections, mean train 64 segments)")
+    print(f"  {'algorithm':<14} {'PCBs/pkt':>9} {'hit rate':>9}")
+    config = TrainConfig(
+        n_connections=32, mean_train_length=64, n_trains=1500, seed=3
+    )
+    for spec in SPECS:
+        result = PacketTrainWorkload(config, make_algorithm(spec)).run()
+        print(
+            f"  {spec:<14} {result.mean_examined:>9.2f}"
+            f" {result.cache_hit_rate:>9.2%}"
+        )
+    print()
+    print("  -> every cached structure rides the train; the uncached")
+    print("     linear list pays the full scan on every segment.")
+    print()
+
+
+def mixed_section() -> None:
+    print("mixed workload (300 OLTP users + 3 bulk streams)")
+    print(f"  {'algorithm':<14} {'PCBs/pkt':>9} {'hit rate':>9}")
+    for spec in SPECS:
+        config = MixedConfig(
+            n_oltp_users=300,
+            n_bulk_connections=3,
+            bulk_rate=60.0,
+            duration=60.0,
+            warmup=10.0,
+            seed=3,
+        )
+        result = MixedWorkload(config, make_algorithm(spec)).run()
+        print(
+            f"  {spec:<14} {result.mean_examined:>9.2f}"
+            f" {result.cache_hit_rate:>9.2%}"
+        )
+    print()
+    print("  -> BSD's hit rate looks healthy (the trains), but its mean")
+    print("     cost is dominated by the OLTP misses.  Sequent keeps the")
+    print("     train hits AND caps the OLTP scans: the two-sided win.")
+
+
+def main() -> None:
+    train_section()
+    mixed_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline result in thirty lines.
+
+Builds the four PCB-lookup structures the paper analyzes, replays the
+same TPC/A arrival process through each (2,000 users, 200 ms response
+time -- the paper's running example), and prints measured vs. predicted
+PCBs examined per inbound packet.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analytic
+from repro.core import (
+    BSDDemux,
+    MoveToFrontDemux,
+    SendRecvDemux,
+    SequentDemux,
+)
+from repro.workload import TPCAConfig, TPCADemuxSimulation
+
+N_USERS = 2000
+RESPONSE_TIME = 0.2  # seconds
+RATE = 0.1  # transactions per user-second (10 s mean think time)
+
+
+def main() -> None:
+    config = TPCAConfig(
+        n_users=N_USERS,
+        response_time=RESPONSE_TIME,
+        duration=60.0,
+        warmup=15.0,
+        seed=1,
+    )
+
+    candidates = [
+        (BSDDemux(), analytic.bsd.cost(N_USERS)),
+        (
+            MoveToFrontDemux(),
+            analytic.crowcroft.overall_cost(
+                N_USERS, RATE, RESPONSE_TIME, examined=True
+            ),
+        ),
+        (
+            SendRecvDemux(),
+            analytic.sendrecv.overall_cost(
+                N_USERS, RATE, RESPONSE_TIME, config.round_trip
+            ),
+        ),
+        (
+            SequentDemux(19),
+            analytic.sequent.overall_cost(
+                N_USERS, 19, RATE, RESPONSE_TIME, consistent=True
+            ),
+        ),
+    ]
+
+    print(f"TPC/A, {N_USERS} users, R={RESPONSE_TIME}s  (paper Section 3)")
+    print(f"{'algorithm':<12} {'measured':>9} {'predicted':>10}")
+    for algorithm, predicted in candidates:
+        result = TPCADemuxSimulation(config, algorithm).run()
+        print(
+            f"{algorithm.name:<12} {result.mean_examined:>9.1f}"
+            f" {predicted:>10.1f}"
+        )
+    print()
+    print("Paper: BSD 1001, MTF ~549, SR ~667, Sequent ~53 -- the")
+    print("hashed scheme is an order of magnitude below the rest.")
+
+
+if __name__ == "__main__":
+    main()

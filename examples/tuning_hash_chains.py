@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Tuning H: how many hash chains does your server need?
+
+Section 3.4 closes with "the system administrator may increase the
+value of H in order to get even better performance, at the expense of
+a small increase in the memory used for the hash chain headers."  This
+example is that administrator's worksheet: for a given connection
+count it sweeps H, showing Eq. 22's predicted cost, the simulated
+cost, the header memory spent, and the estimated per-packet lookup
+time under a period-appropriate memory model.
+
+Run:  python examples/tuning_hash_chains.py [n_users]
+"""
+
+import sys
+
+from repro.analytic import sequent
+from repro.core import CIRCA_1992, SequentDemux
+from repro.workload import TPCAConfig, TPCADemuxSimulation
+
+CHAIN_HEADER_BYTES = 16  # list head + cache pointer, 1992-sized
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    rate, response_time = 0.1, 0.2
+
+    print(f"Sequent chain tuning for {n_users} TPC/A connections")
+    print(f"  memory model: {CIRCA_1992.describe()}")
+    print()
+    header = (
+        f"  {'H':>5} {'Eq.22':>8} {'simulated':>10} {'us/pkt':>8}"
+        f" {'hdr bytes':>10}"
+    )
+    print(header)
+
+    for nchains in (1, 19, 51, 100, 257, 1021):
+        predicted = sequent.overall_cost(n_users, nchains, rate, response_time)
+        config = TPCAConfig(
+            n_users=n_users,
+            response_time=response_time,
+            duration=30.0,
+            warmup=10.0,
+            seed=11,
+        )
+        result = TPCADemuxSimulation(config, SequentDemux(nchains)).run()
+        est_ns = CIRCA_1992.lookup_cost_ns(result.mean_examined, n_users)
+        print(
+            f"  {nchains:>5} {predicted:>8.2f} {result.mean_examined:>10.2f}"
+            f" {est_ns / 1000:>8.1f} {nchains * CHAIN_HEADER_BYTES:>10}"
+        )
+
+    print()
+    print("  Diminishing returns: each doubling of H halves the scan,")
+    print("  but once the scan is a handful of PCBs the fixed costs")
+    print("  (cache probe, hash) dominate -- the paper's argument that")
+    print("  a *small* H already makes PCB lookup insignificant.")
+
+
+if __name__ == "__main__":
+    main()

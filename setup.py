@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network and no `wheel` package, so PEP 517
+editable installs (which need bdist_wheel) fail; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro: reproduction of McKenney & Dove, "Efficient Demultiplexing of
+Incoming TCP Packets" (SIGCOMM 1992).
+
+Layers, bottom to top:
+
+* :mod:`repro.packet` -- TCP/IP packet substrate (headers, checksums,
+  the 96-bit demux key).
+* :mod:`repro.hashing` -- hash functions over protocol addresses.
+* :mod:`repro.core` -- the paper's contribution: BSD, move-to-front,
+  send/receive-cache, and Sequent hashed PCB lookup, with per-lookup
+  cost accounting.
+* :mod:`repro.analytic` -- the paper's closed-form cost model
+  (Eqs. 1-22).
+* :mod:`repro.sim` / :mod:`repro.tcpstack` / :mod:`repro.workload` --
+  discrete-event simulation of a TPC/A server that validates the
+  analytic model end to end.
+* :mod:`repro.experiments` -- regenerates every figure and in-text
+  result table of the paper.
+
+Quick start::
+
+    from repro import analytic, make_algorithm
+    analytic.bsd.cost(2000)            # -> 1000.99975  (paper: 1,001)
+    demux = make_algorithm("sequent:h=19")
+"""
+
+from ._version import __version__
+from .core import (
+    BSDDemux,
+    ConnectionIdDemux,
+    DemuxAlgorithm,
+    DemuxStats,
+    HashedMTFDemux,
+    LinearDemux,
+    LookupResult,
+    MoveToFrontDemux,
+    PCB,
+    PacketKind,
+    SendRecvDemux,
+    SequentDemux,
+    available_algorithms,
+    make_algorithm,
+)
+from .packet import FourTuple, IPv4Address
+
+__all__ = [
+    "BSDDemux",
+    "ConnectionIdDemux",
+    "DemuxAlgorithm",
+    "DemuxStats",
+    "FourTuple",
+    "HashedMTFDemux",
+    "IPv4Address",
+    "LinearDemux",
+    "LookupResult",
+    "MoveToFrontDemux",
+    "PCB",
+    "PacketKind",
+    "SendRecvDemux",
+    "SequentDemux",
+    "__version__",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,53 @@
+"""The paper's analytic model: every equation in Section 3.
+
+Submodules mirror the paper's structure -- :mod:`~repro.analytic.bsd`
+(Section 3.1, Eq. 1), :mod:`~repro.analytic.crowcroft` (Section 3.2,
+Eqs. 2-6), :mod:`~repro.analytic.sendrecv` (Section 3.3, Eqs. 7-17),
+:mod:`~repro.analytic.sequent` (Section 3.4, Eqs. 18-22) -- plus the
+numerically stable binomial machinery, the TPC/A think-time
+distributions, and the Figure 13/14 sweep helpers.
+"""
+
+from . import bsd, combined, crowcroft, mtf_irm, multicache, sendrecv, sequent
+from .binomial import (
+    binomial_expectation,
+    binomial_mean_direct,
+    binomial_pmf,
+    log_binomial_coefficient,
+)
+from .distributions import (
+    TPCA_MIN_MEAN_THINK,
+    Exponential,
+    TruncatedExponential,
+)
+from .series import (
+    TPCA_RATE,
+    Series,
+    figure13_series,
+    figure14_series,
+    standard_series,
+    sweep,
+)
+
+__all__ = [
+    "Exponential",
+    "Series",
+    "TPCA_MIN_MEAN_THINK",
+    "TPCA_RATE",
+    "TruncatedExponential",
+    "binomial_expectation",
+    "binomial_mean_direct",
+    "binomial_pmf",
+    "bsd",
+    "combined",
+    "crowcroft",
+    "figure13_series",
+    "mtf_irm",
+    "multicache",
+    "figure14_series",
+    "log_binomial_coefficient",
+    "sendrecv",
+    "sequent",
+    "standard_series",
+    "sweep",
+]

@@ -1,0 +1,81 @@
+"""Analytic cost of the BSD algorithm under TPC/A (paper Section 3.1).
+
+The single-entry cache hits with probability 1/N (any of the N
+memoryless users is equally likely to be next), so
+
+    C_BSD(N) = 1 + (N^2 - 1) / 2N            (Eq. 1)
+
+approaching N/2 for large N.  For the 200-TPS / 2,000-user benchmark
+this is 1,001 PCBs per packet -- "exactly the cost of a miss to three
+places, [so] the cache is clearly providing little help".
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "cost",
+    "hit_rate",
+    "miss_cost",
+    "ack_train_probability",
+    "per_user_quiet_probability",
+]
+
+
+def _check_n(n_users: int) -> None:
+    if n_users < 1:
+        raise ValueError(f"need at least one user, got {n_users}")
+
+
+def hit_rate(n_users: int) -> float:
+    """Cache hit probability 1/N."""
+    _check_n(n_users)
+    return 1.0 / n_users
+
+
+def miss_cost(n_users: int) -> float:
+    """Expected list scan on a miss: (N+1)/2 (uniform target position)."""
+    _check_n(n_users)
+    return (n_users + 1) / 2.0
+
+
+def cost(n_users: int) -> float:
+    """Eq. 1: expected PCBs examined per inbound packet.
+
+    One for the cache probe, plus the scan weighted by the miss
+    probability (N-1)/N:
+
+        1 + ((N-1)/N) * (N+1)/2 = 1 + (N^2 - 1) / 2N
+    """
+    _check_n(n_users)
+    return 1.0 + (n_users**2 - 1) / (2.0 * n_users)
+
+
+def per_user_quiet_probability(rate: float, response_time: float) -> float:
+    """P[one user sends nothing during the response-time interval].
+
+    Each user contributes two inbound packets per transaction (the
+    query and the response's ack), so its inbound arrivals form a rate
+    ``2a`` process and the no-arrival probability over R seconds is
+    ``e^{-2aR}`` -- the "96%" of the paper's footnote 4 (a = 0.1/s,
+    R = 0.2 s).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if response_time < 0:
+        raise ValueError(f"response time must be non-negative: {response_time}")
+    return math.exp(-2.0 * rate * response_time)
+
+
+def ack_train_probability(n_users: int, rate: float, response_time: float) -> float:
+    """P[the BSD cache still holds a user's PCB when his response-ack arrives].
+
+    Requires *no* other user's packet during the response interval:
+    ``e^{-2aR(N-1)}``.  For N = 2000, a = 0.1/s, R = 0.2 s this is
+    1.87e-35 -- the paper's footnote-4 "indeed remote" probability
+    (printed in the body as "about 1.9 x 10^-3[5]"; EXPERIMENTS.md
+    discusses the OCR-dropped exponent).
+    """
+    _check_n(n_users)
+    return per_user_quiet_probability(rate, response_time) ** (n_users - 1)

@@ -1,0 +1,119 @@
+"""Parameter sweeps producing the curves of Figures 13 and 14.
+
+Figure 13 plots expected PCB search cost against the number of TPC/A
+users (0-10,000) for BSD, Crowcroft move-to-front at response times
+1.0/0.5/0.2 s, the Partridge/Pink send/receive cache at a 1 ms round
+trip, and the Sequent algorithm; Figure 14 is the 0-1,000-user detail
+(where the send/receive cache's small-N advantage and its asymptotic
+approach to BSD are both visible) and adds the 10 ms send/receive
+curve.
+
+Each series is a named callable of N so the figure code, the
+simulation-validation harness, and the plot emitters all share one
+definition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from . import bsd, crowcroft, sendrecv, sequent
+
+__all__ = [
+    "TPCA_RATE",
+    "Series",
+    "standard_series",
+    "sweep",
+    "figure13_series",
+    "figure14_series",
+]
+
+#: TPC/A's per-user transaction rate: one per >= 10 s think time.
+TPCA_RATE = 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class Series:
+    """One labelled curve: cost as a function of the user count."""
+
+    label: str
+    cost: Callable[[int], float]
+
+    def evaluate(self, n_values: Sequence[int]) -> List[float]:
+        return [self.cost(n) for n in n_values]
+
+
+def standard_series(
+    *,
+    rate: float = TPCA_RATE,
+    mtf_response_times: Sequence[float] = (1.0, 0.5, 0.2),
+    sr_rtts: Sequence[float] = (0.001,),
+    sr_response_time: float = 0.2,
+    sequent_chains: int = 19,
+    sequent_response_time: float = 0.2,
+) -> List[Series]:
+    """The family of curves the comparison figures draw.
+
+    Labels follow the paper's legends: "BSD", "MTF 1.0", "SR 1" (the
+    number is the round trip in milliseconds), "SEQUENT".
+    """
+    series: List[Series] = [Series("BSD", lambda n: bsd.cost(n))]
+    for r in mtf_response_times:
+        series.append(
+            Series(
+                f"MTF {r:.1f}",
+                lambda n, r=r: crowcroft.overall_cost(n, rate, r),
+            )
+        )
+    for d in sr_rtts:
+        series.append(
+            Series(
+                f"SR {d * 1000:g}",
+                lambda n, d=d: sendrecv.overall_cost(n, rate, sr_response_time, d),
+            )
+        )
+    series.append(
+        Series(
+            "SEQUENT",
+            lambda n: sequent.overall_cost(
+                n, sequent_chains, rate, sequent_response_time
+            ),
+        )
+    )
+    return series
+
+
+def sweep(
+    series: Sequence[Series], n_values: Sequence[int]
+) -> Dict[str, List[float]]:
+    """Evaluate every series at every N; returns label -> cost list."""
+    for n in n_values:
+        if n < 1:
+            raise ValueError(f"user counts must be >= 1, got {n}")
+    return {s.label: s.evaluate(n_values) for s in series}
+
+
+def _n_range(stop: int, points: int) -> List[int]:
+    """``points`` roughly even integer N values in [1, stop]."""
+    if stop < 1 or points < 2:
+        raise ValueError("need stop >= 1 and points >= 2")
+    step = stop / (points - 1)
+    values = sorted({max(1, round(i * step)) for i in range(points)})
+    return values
+
+
+def figure13_series(
+    points: int = 51,
+) -> Tuple[List[int], Dict[str, List[float]]]:
+    """Figure 13: all curves over 0-10,000 TPC/A connections."""
+    n_values = _n_range(10_000, points)
+    return n_values, sweep(standard_series(), n_values)
+
+
+def figure14_series(
+    points: int = 51,
+) -> Tuple[List[int], Dict[str, List[float]]]:
+    """Figure 14: the 0-1,000-connection detail, adding SR at 10 ms."""
+    n_values = _n_range(1_000, points)
+    return n_values, sweep(standard_series(sr_rtts=(0.001, 0.010)), n_values)

@@ -1,0 +1,329 @@
+"""Command-line interface: ``repro-demux``.
+
+Subcommands::
+
+    tables                regenerate the in-text result sets
+    figures               render Figures 4 / 13 / 14 as ASCII
+    validate              run the simulation-vs-analytic check
+    simulate              one workload run against one algorithm
+    compare               algorithm matrix over one workload
+    hash-balance          chain-balance comparison of the hash functions
+    pcap                  summarize a capture written by the simulator
+    run-all               write every artifact into an output directory
+    report                print the combined markdown report
+
+All output goes to stdout unless ``--out`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.registry import available_algorithms, make_algorithm
+from .experiments.figures import figure4, figure13, figure14
+from .experiments.report import build_report
+from .experiments.runner import run_all
+from .experiments.simulate import validate_against_analytic
+from .experiments.text_results import all_text_results
+from .hashing.analysis import compare_functions
+from .hashing.functions import HASH_FUNCTIONS
+from .workload.thinktime import make_think_model
+from .workload.tpca import TPCAConfig, TPCADemuxSimulation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-demux",
+        description=(
+            "Reproduction of McKenney & Dove, 'Efficient Demultiplexing of"
+            " Incoming TCP Packets' (SIGCOMM 1992)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate the paper's in-text results")
+
+    figures = sub.add_parser("figures", help="render Figures 4, 13, 14")
+    figures.add_argument("--points", type=int, default=41)
+    figures.add_argument(
+        "--figure", choices=("4", "13", "14"), help="just one figure"
+    )
+
+    validate = sub.add_parser(
+        "validate", help="simulation vs. analytic model"
+    )
+    validate.add_argument("--users", type=int, default=500)
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument("--duration", type=float, default=120.0)
+    validate.add_argument(
+        "--algorithms",
+        nargs="+",
+        help="subset to run (default: all)",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="one TPC/A run against one algorithm"
+    )
+    simulate.add_argument(
+        "--algorithm",
+        default="sequent:h=19",
+        help=f"spec, e.g. {', '.join(available_algorithms())}",
+    )
+    simulate.add_argument("--users", type=int, default=500)
+    simulate.add_argument("--response-time", type=float, default=0.2)
+    simulate.add_argument("--rtt", type=float, default=0.001)
+    simulate.add_argument("--duration", type=float, default=120.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--think-model",
+        choices=("exponential", "truncated", "deterministic"),
+        default="exponential",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="algorithm matrix over one workload"
+    )
+    compare.add_argument(
+        "--workload",
+        choices=("tpca", "trains", "polling", "mixed", "churn"),
+        default="tpca",
+    )
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["bsd", "mtf", "sendrecv", "sequent:h=19"],
+        help="algorithm specs (e.g. sequent:h=51 multicache:k=16)",
+    )
+    compare.add_argument("--users", type=int, default=300)
+    compare.add_argument("--seed", type=int, default=1)
+
+    balance = sub.add_parser(
+        "hash-balance", help="hash function balance comparison"
+    )
+    balance.add_argument("--users", type=int, default=2000)
+    balance.add_argument("--chains", type=int, default=19)
+
+    pcap = sub.add_parser(
+        "pcap", help="summarize a capture written by the simulator"
+    )
+    pcap.add_argument("file", help="path to a .pcap file")
+    pcap.add_argument(
+        "--flows", action="store_true", help="per-flow breakdown"
+    )
+
+    runall = sub.add_parser("run-all", help="write all artifacts to a directory")
+    runall.add_argument("--out", default="results")
+    runall.add_argument("--users", type=int, default=500)
+    runall.add_argument("--seed", type=int, default=7)
+    runall.add_argument(
+        "--no-simulation", action="store_true", help="analytic artifacts only"
+    )
+
+    report = sub.add_parser("report", help="print the combined report")
+    report.add_argument("--users", type=int, default=500)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument(
+        "--no-simulation", action="store_true", help="analytic results only"
+    )
+
+    return parser
+
+
+def _cmd_tables() -> int:
+    ok = True
+    for table in all_text_results():
+        print(table.render())
+        print()
+        ok = ok and table.all_ok
+    return 0 if ok else 1
+
+
+def _cmd_figures(args) -> int:
+    wanted = {
+        "4": figure4,
+        "13": figure13,
+        "14": figure14,
+    }
+    keys = [args.figure] if args.figure else ["4", "13", "14"]
+    for key in keys:
+        print(wanted[key](points=args.points).render())
+        print()
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    result = validate_against_analytic(
+        n_users=args.users,
+        seed=args.seed,
+        duration=args.duration,
+        algorithms=args.algorithms,
+        progress=lambda msg: print(f"  ... {msg}", file=sys.stderr),
+    )
+    print(result.render())
+    return 0 if result.all_ok else 1
+
+
+def _cmd_simulate(args) -> int:
+    algorithm = make_algorithm(args.algorithm)
+    config = TPCAConfig(
+        n_users=args.users,
+        response_time=args.response_time,
+        round_trip=args.rtt,
+        duration=args.duration,
+        seed=args.seed,
+        think_model=make_think_model(args.think_model),
+    )
+    result = TPCADemuxSimulation(config, algorithm).run()
+    print(result.summary())
+    print(f"  max examined: {result.max_examined}")
+    print(f"  structure: {algorithm.describe()}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .workload.churn import ChurnConfig, ChurnWorkload
+    from .workload.mixed import MixedConfig, MixedWorkload
+    from .workload.polling import PollingConfig, PollingWorkload
+    from .workload.tpca import TPCADemuxSimulation
+    from .workload.trains import PacketTrainWorkload, TrainConfig
+
+    def run(spec: str):
+        algorithm = make_algorithm(spec)
+        if args.workload == "tpca":
+            return TPCADemuxSimulation(
+                TPCAConfig(n_users=args.users, seed=args.seed), algorithm
+            ).run()
+        if args.workload == "trains":
+            config = TrainConfig(
+                n_connections=max(2, args.users // 10),
+                n_trains=1000,
+                seed=args.seed,
+            )
+            return PacketTrainWorkload(config, algorithm).run()
+        if args.workload == "polling":
+            config = PollingConfig(n_terminals=args.users, n_cycles=30)
+            return PollingWorkload(config, algorithm).run()
+        if args.workload == "mixed":
+            config = MixedConfig(
+                n_oltp_users=args.users, bulk_rate=50.0, seed=args.seed
+            )
+            return MixedWorkload(config, algorithm).run()
+        config = ChurnConfig(n_users=args.users, seed=args.seed)
+        return ChurnWorkload(config, algorithm).run()
+
+    print(
+        f"workload={args.workload} users={args.users} seed={args.seed}"
+    )
+    print(
+        f"  {'algorithm':<18} {'PCBs/pkt':>9} {'data':>9} {'ack':>9}"
+        f" {'hit rate':>9}"
+    )
+    for spec in args.algorithms:
+        result = run(spec)
+        print(
+            f"  {spec:<18} {result.mean_examined:>9.2f}"
+            f" {result.data_mean_examined:>9.2f}"
+            f" {result.ack_mean_examined:>9.2f}"
+            f" {result.cache_hit_rate:>9.2%}"
+        )
+    return 0
+
+
+def _cmd_hash_balance(args) -> int:
+    config = TPCAConfig(n_users=args.users)
+    keys = [config.user_tuple(i) for i in range(args.users)]
+    print(
+        f"{args.users} TPC/A connections over {args.chains} chains"
+        f" (ideal scan {(args.users / args.chains + 1) / 2:.2f}):"
+    )
+    for name, balance in compare_functions(HASH_FUNCTIONS, keys, args.chains):
+        print(f"  {name:<18} {balance.summary()}")
+    return 0
+
+
+def _cmd_pcap(args) -> int:
+    from .sim.pcap import PcapReader
+
+    records = PcapReader(args.file).read_all()
+    if not records:
+        print(f"{args.file}: empty capture")
+        return 0
+    first, last = records[0][0], records[-1][0]
+    total_bytes = sum(packet.wire_length for _, packet in records)
+    pure_acks = sum(1 for _, packet in records if packet.is_pure_ack)
+    print(f"{args.file}: {len(records)} packets,"
+          f" {total_bytes} IP bytes,"
+          f" {last - first:.6f}s span")
+    print(f"  pure acks: {pure_acks},"
+          f" data/control: {len(records) - pure_acks}")
+    if args.flows:
+        flows = {}
+        for _, packet in records:
+            # Normalize both directions onto one flow key.
+            tup = packet.four_tuple
+            key = min(
+                (str(tup.local_addr), tup.local_port,
+                 str(tup.remote_addr), tup.remote_port),
+                (str(tup.remote_addr), tup.remote_port,
+                 str(tup.local_addr), tup.local_port),
+            )
+            entry = flows.setdefault(key, {"packets": 0, "bytes": 0})
+            entry["packets"] += 1
+            entry["bytes"] += len(packet.tcp.payload)
+        print(f"  {len(flows)} flows:")
+        for key, entry in sorted(flows.items()):
+            a_addr, a_port, b_addr, b_port = key
+            print(
+                f"    {a_addr}:{a_port} <-> {b_addr}:{b_port}:"
+                f" {entry['packets']} pkts,"
+                f" {entry['bytes']} payload bytes"
+            )
+    return 0
+
+
+def _cmd_run_all(args) -> int:
+    outdir = run_all(
+        args.out,
+        include_simulation=not args.no_simulation,
+        sim_users=args.users,
+        seed=args.seed,
+        progress=lambda msg: print(f"  ... {msg}", file=sys.stderr),
+    )
+    print(f"artifacts written to {outdir}/")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    print(
+        build_report(
+            include_simulation=not args.no_simulation,
+            sim_users=args.users,
+            seed=args.seed,
+            progress=lambda msg: print(f"  ... {msg}", file=sys.stderr),
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": lambda: _cmd_tables(),
+        "figures": lambda: _cmd_figures(args),
+        "validate": lambda: _cmd_validate(args),
+        "simulate": lambda: _cmd_simulate(args),
+        "compare": lambda: _cmd_compare(args),
+        "hash-balance": lambda: _cmd_hash_balance(args),
+        "pcap": lambda: _cmd_pcap(args),
+        "run-all": lambda: _cmd_run_all(args),
+        "report": lambda: _cmd_report(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""The demultiplexing-algorithm interface.
+
+Each algorithm from the paper (and each extension) is a mutable
+container of PCBs with one hot operation:
+
+    ``lookup(four_tuple, kind)`` -> :class:`LookupResult`
+
+The result carries the number of PCBs the structure *examined* -- the
+paper's figure of merit -- which the base class feeds into a
+:class:`~repro.core.stats.DemuxStats` automatically.
+
+Counting convention (pinned so simulations match the paper's formulas):
+
+* comparing a four-tuple against one PCB costs one "examined", whether
+  that PCB sits in a cache slot or in a list;
+* an *empty* cache slot costs nothing (nothing was fetched);
+* computing a hash costs nothing (Section 3.5 treats the hash
+  computation as negligible next to PCB memory traffic).
+
+Under this convention BSD's expected miss cost is the paper's
+``1 + (N+1)/2``, Partridge/Pink's is ``(N+5)/2``, and Sequent's is
+``1 + (N/H+1)/2``, exactly as in Sections 3.1-3.4.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Iterator, Optional
+
+from ..packet.addresses import FourTuple
+from .pcb import PCB
+from .stats import DemuxStats, LookupRecord, PacketKind
+
+__all__ = ["DemuxError", "DuplicateConnectionError", "LookupResult", "DemuxAlgorithm"]
+
+
+class DemuxError(Exception):
+    """Base error for demultiplexing structures."""
+
+
+class DuplicateConnectionError(DemuxError):
+    """Raised when inserting a PCB whose four-tuple is already present."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one PCB lookup."""
+
+    #: The PCB found, or ``None`` (no such connection -- e.g. a stray
+    #: segment after close, or a SYN that belongs to a listener).
+    pcb: Optional[PCB]
+    #: PCBs examined, per the module-level counting convention.
+    examined: int
+    #: Whether a cache slot satisfied the lookup.
+    cache_hit: bool
+    #: Packet class this lookup served.
+    kind: PacketKind
+
+    @property
+    def found(self) -> bool:
+        return self.pcb is not None
+
+
+class DemuxAlgorithm(abc.ABC):
+    """Abstract PCB container with cost-accounted lookup.
+
+    Subclasses implement ``_lookup``, ``insert``, ``remove``, iteration,
+    and ``__len__``; the public :meth:`lookup` wraps ``_lookup`` with
+    statistics recording.
+    """
+
+    #: Short machine-readable name (registry key, figure legend).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = DemuxStats()
+
+    # -- public API ------------------------------------------------------
+
+    def lookup(
+        self, tup: FourTuple, kind: PacketKind = PacketKind.DATA
+    ) -> LookupResult:
+        """Find the PCB for an inbound packet's four-tuple.
+
+        ``kind`` distinguishes data packets from pure transport-level
+        acknowledgements; the Partridge/Pink structure probes its two
+        cache slots in kind-dependent order (paper Section 3.3.3) and
+        all algorithms keep kind-separated statistics.
+        """
+        result = self._lookup(tup, kind)
+        self.stats.record(
+            LookupRecord(
+                examined=result.examined,
+                cache_hit=result.cache_hit,
+                found=result.found,
+                kind=kind,
+            )
+        )
+        return result
+
+    def note_send(self, pcb: PCB) -> None:
+        """Tell the structure a packet was *sent* on ``pcb``.
+
+        Only the Partridge/Pink last-sent/last-received cache reacts;
+        the default is a no-op.  Costs nothing: the sender already
+        holds the PCB.
+        """
+
+    @abc.abstractmethod
+    def insert(self, pcb: PCB) -> None:
+        """Add a PCB (connection establishment).
+
+        Raises :class:`DuplicateConnectionError` if the four-tuple is
+        already present.
+        """
+
+    @abc.abstractmethod
+    def remove(self, tup: FourTuple) -> PCB:
+        """Remove and return the PCB for ``tup`` (connection teardown).
+
+        Raises ``KeyError`` if absent.  Any cache slot referencing the
+        removed PCB must be invalidated -- a dangling cache entry would
+        resurrect closed connections.
+        """
+
+    @abc.abstractmethod
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        """Subclass lookup; must fill ``examined`` per the convention."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of PCBs currently installed."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[PCB]:
+        """Iterate over installed PCBs in structure order."""
+
+    # -- conveniences ------------------------------------------------------
+
+    def __contains__(self, tup: FourTuple) -> bool:
+        """Membership test that does *not* perturb caches or stats."""
+        return any(pcb.four_tuple == tup for pcb in self)
+
+    def __bool__(self) -> bool:
+        """Always truthy.
+
+        Without this, ``__len__`` would make an *empty* structure falsy
+        and ``algorithm or default()`` would silently replace it -- an
+        algorithm object is not a container in the caller's mental
+        model, even though it holds PCBs.
+        """
+        return True
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return f"{self.name} ({len(self)} PCBs)"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -1,0 +1,80 @@
+"""The BSD algorithm: linear list plus a one-PCB "last found" cache.
+
+Paper Section 3.1.  "BSD searches a simple linear list of PCBs, with a
+single-entry cache containing the PCB last found" -- the 4.3-Reno
+optimization Van Jacobson added for bulk transfers, where packet trains
+make consecutive packets hit the same PCB.
+
+Cost model (Eq. 1):  hit = 1 examined;  miss = 1 (the stale cache
+entry) + the list scan, expected ``(N+1)/2``, hence
+
+    C_BSD(N) = 1 + (N^2 - 1) / 2N       ->  ~N/2 for large N.
+
+Under TPC/A with N=2000 this is 1,001 PCBs per packet: the cache hit
+rate is 1/N and "the cache is clearly providing little help".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..packet.addresses import FourTuple
+from .base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
+from .pcb import PCB
+from .stats import PacketKind
+
+__all__ = ["BSDDemux"]
+
+
+class BSDDemux(DemuxAlgorithm):
+    """Linear PCB list fronted by a single-entry last-found cache."""
+
+    name = "bsd"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pcbs: List[PCB] = []
+        self._tuples = set()
+        self._cache: Optional[PCB] = None
+
+    @property
+    def cached_pcb(self) -> Optional[PCB]:
+        """The PCB currently in the one-entry cache (for inspection)."""
+        return self._cache
+
+    def insert(self, pcb: PCB) -> None:
+        if pcb.four_tuple in self._tuples:
+            raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
+        self._pcbs.insert(0, pcb)
+        self._tuples.add(pcb.four_tuple)
+
+    def remove(self, tup: FourTuple) -> PCB:
+        if tup not in self._tuples:
+            raise KeyError(tup)
+        for i, pcb in enumerate(self._pcbs):
+            if pcb.four_tuple == tup:
+                del self._pcbs[i]
+                self._tuples.discard(tup)
+                if self._cache is pcb:
+                    self._cache = None
+                return pcb
+        raise KeyError(tup)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        examined = 0
+        if self._cache is not None:
+            examined += 1
+            if self._cache.four_tuple == tup:
+                return LookupResult(self._cache, examined, cache_hit=True, kind=kind)
+        for pcb in self._pcbs:
+            examined += 1
+            if pcb.four_tuple == tup:
+                self._cache = pcb
+                return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def __len__(self) -> int:
+        return len(self._pcbs)
+
+    def __iter__(self) -> Iterator[PCB]:
+        return iter(self._pcbs)

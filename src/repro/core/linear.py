@@ -1,0 +1,65 @@
+"""Plain linear-list PCB lookup (the pre-cache baseline).
+
+"A simple PCB management approach uses a simple, linear linked list of
+PCBs.  This approach was used in the initial BSD system" (paper,
+Section 1).  No cache at all: every lookup scans from the head.  This
+is the baseline the 4.3-Reno single-entry cache was added to, and it is
+useful experimentally because its cost is exactly the scan length with
+no cache noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..packet.addresses import FourTuple
+from .base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
+from .pcb import PCB
+from .stats import PacketKind
+
+__all__ = ["LinearDemux"]
+
+
+class LinearDemux(DemuxAlgorithm):
+    """Uncached linear scan over one list of PCBs.
+
+    Expected cost for a uniformly chosen target: ``(N+1)/2``.
+    """
+
+    name = "linear"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pcbs: List[PCB] = []
+        self._tuples = set()
+
+    def insert(self, pcb: PCB) -> None:
+        if pcb.four_tuple in self._tuples:
+            raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
+        # Historical BSD behaviour: new PCBs go at the head.
+        self._pcbs.insert(0, pcb)
+        self._tuples.add(pcb.four_tuple)
+
+    def remove(self, tup: FourTuple) -> PCB:
+        if tup not in self._tuples:
+            raise KeyError(tup)
+        for i, pcb in enumerate(self._pcbs):
+            if pcb.four_tuple == tup:
+                del self._pcbs[i]
+                self._tuples.discard(tup)
+                return pcb
+        raise KeyError(tup)  # unreachable if _tuples is consistent
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        examined = 0
+        for pcb in self._pcbs:
+            examined += 1
+            if pcb.four_tuple == tup:
+                return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def __len__(self) -> int:
+        return len(self._pcbs)
+
+    def __iter__(self) -> Iterator[PCB]:
+        return iter(self._pcbs)

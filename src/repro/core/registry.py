@@ -1,0 +1,115 @@
+"""Factory registry for demultiplexing algorithms.
+
+Experiments, the CLI, and the simulation harness construct algorithms
+by name so that a sweep over {bsd, mtf, sendrecv, sequent, ...} is a
+loop over strings.  Parameterized variants encode their parameters in
+the spec string: ``"sequent:h=51,hash=crc16"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from ..hashing.functions import get_hash_function
+from .base import DemuxAlgorithm
+from .bsd import BSDDemux
+from .connection_id import ConnectionIdDemux
+from .hashed_mtf import HashedMTFDemux
+from .linear import LinearDemux
+from .mtf import MoveToFrontDemux
+from .multicache import MultiCacheDemux
+from .sendrecv import SendRecvDemux
+from .sequent import DEFAULT_HASH_CHAINS, SequentDemux
+
+__all__ = ["ALGORITHMS", "available_algorithms", "make_algorithm"]
+
+AlgorithmFactory = Callable[..., DemuxAlgorithm]
+
+ALGORITHMS: Dict[str, AlgorithmFactory] = {
+    "linear": LinearDemux,
+    "bsd": BSDDemux,
+    "mtf": MoveToFrontDemux,
+    "multicache": MultiCacheDemux,
+    "sendrecv": SendRecvDemux,
+    "sequent": SequentDemux,
+    "hashed_mtf": HashedMTFDemux,
+    "connection_id": ConnectionIdDemux,
+}
+
+
+def available_algorithms() -> Iterable[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(ALGORITHMS)
+
+
+def _parse_params(text: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"malformed parameter {part!r} (expected key=value)")
+        key, _, value = part.partition("=")
+        params[key.strip()] = value.strip()
+    return params
+
+
+def make_algorithm(spec: str) -> DemuxAlgorithm:
+    """Build an algorithm from a spec string.
+
+    Examples::
+
+        make_algorithm("bsd")
+        make_algorithm("sequent:h=51")
+        make_algorithm("sequent:h=19,hash=xor_fold")
+        make_algorithm("hashed_mtf:h=19,cache=no")
+        make_algorithm("multicache:k=16")
+
+    Raises ``ValueError`` for unknown names or parameters.
+    """
+    name, _, param_text = spec.partition(":")
+    name = name.strip().lower()
+    if name not in ALGORITHMS:
+        known = ", ".join(available_algorithms())
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}")
+    params = _parse_params(param_text)
+
+    if name in ("sequent", "hashed_mtf"):
+        kwargs = {}
+        nchains = DEFAULT_HASH_CHAINS
+        if "h" in params:
+            nchains = int(params.pop("h"))
+        if "hash" in params:
+            kwargs["hash_function"] = get_hash_function(params.pop("hash"))
+        if name == "hashed_mtf" and "cache" in params:
+            kwargs["per_chain_cache"] = params.pop("cache").lower() in (
+                "1",
+                "yes",
+                "true",
+            )
+        _reject_leftovers(name, params)
+        return ALGORITHMS[name](nchains, **kwargs)
+
+    if name == "connection_id":
+        kwargs = {}
+        if "max" in params:
+            kwargs["max_connections"] = int(params.pop("max"))
+        _reject_leftovers(name, params)
+        return ConnectionIdDemux(**kwargs)
+
+    if name == "multicache":
+        kwargs = {}
+        if "k" in params:
+            kwargs["cache_size"] = int(params.pop("k"))
+        _reject_leftovers(name, params)
+        return MultiCacheDemux(**kwargs)
+
+    _reject_leftovers(name, params)
+    return ALGORITHMS[name]()
+
+
+def _reject_leftovers(name: str, params: Dict[str, str]) -> None:
+    if params:
+        unknown = ", ".join(sorted(params))
+        raise ValueError(f"unknown parameter(s) for {name!r}: {unknown}")

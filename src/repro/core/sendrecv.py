@@ -1,0 +1,106 @@
+"""Partridge and Pink's last-sent/last-received cache (Section 3.3).
+
+"Craig Partridge and Stephen Pink proposed modifying the BSD algorithm
+so that it caches the PCB corresponding to the last packet sent as well
+as the last packet received", motivated by Mogul's locality
+measurements.
+
+Probe order is kind-dependent (footnote 5 of the paper): data packets
+examine the *receive* cache first, pure acknowledgements the *send*
+cache first, because the response the host just sent is the segment an
+inbound ack acknowledges.  The miss cost is therefore
+``2 + (N+1)/2 = (N+5)/2`` -- both cache slots plus the average scan --
+matching Eqs. 9-16.
+
+The paper finds the scheme helps for small user populations but decays
+to BSD-plus-overhead as N grows (Figures 13/14): it still relies on
+back-to-back locality, which large TPC/A populations destroy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..packet.addresses import FourTuple
+from .base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
+from .pcb import PCB
+from .stats import PacketKind
+
+__all__ = ["SendRecvDemux"]
+
+
+class SendRecvDemux(DemuxAlgorithm):
+    """BSD list with separate last-sent and last-received cache slots."""
+
+    name = "sendrecv"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pcbs: List[PCB] = []
+        self._tuples = set()
+        self._recv_cache: Optional[PCB] = None
+        self._send_cache: Optional[PCB] = None
+
+    @property
+    def recv_cached_pcb(self) -> Optional[PCB]:
+        return self._recv_cache
+
+    @property
+    def send_cached_pcb(self) -> Optional[PCB]:
+        return self._send_cache
+
+    def insert(self, pcb: PCB) -> None:
+        if pcb.four_tuple in self._tuples:
+            raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
+        self._pcbs.insert(0, pcb)
+        self._tuples.add(pcb.four_tuple)
+
+    def remove(self, tup: FourTuple) -> PCB:
+        if tup not in self._tuples:
+            raise KeyError(tup)
+        for i, pcb in enumerate(self._pcbs):
+            if pcb.four_tuple == tup:
+                del self._pcbs[i]
+                self._tuples.discard(tup)
+                if self._recv_cache is pcb:
+                    self._recv_cache = None
+                if self._send_cache is pcb:
+                    self._send_cache = None
+                return pcb
+        raise KeyError(tup)
+
+    def note_send(self, pcb: PCB) -> None:
+        """Update the send-side cache slot; free, per the paper's model."""
+        self._send_cache = pcb
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        if kind is PacketKind.ACK:
+            probes = (self._send_cache, self._recv_cache)
+        else:
+            probes = (self._recv_cache, self._send_cache)
+        examined = 0
+        seen_first: Optional[PCB] = None
+        for slot in probes:
+            # Probing the same PCB twice costs one fetch, not two: the
+            # second slot holding an identical pointer is a register
+            # compare.  (The paper's "both sides of the cache will hold
+            # Stephen's PCB" hit costs 1, per Section 3.3.1.)
+            if slot is None or slot is seen_first:
+                continue
+            examined += 1
+            seen_first = seen_first or slot
+            if slot.four_tuple == tup:
+                self._recv_cache = slot
+                return LookupResult(slot, examined, cache_hit=True, kind=kind)
+        for pcb in self._pcbs:
+            examined += 1
+            if pcb.four_tuple == tup:
+                self._recv_cache = pcb
+                return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def __len__(self) -> int:
+        return len(self._pcbs)
+
+    def __iter__(self) -> Iterator[PCB]:
+        return iter(self._pcbs)

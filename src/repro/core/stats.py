@@ -1,0 +1,159 @@
+"""Per-lookup accounting for demultiplexing algorithms.
+
+The paper's figure of merit is "the expected number of PCBs searched"
+(Section 3) -- a surrogate for memory traffic.  Every lookup any
+algorithm performs is recorded here, broken down by packet kind (data
+vs. transport-level acknowledgement, the split Sections 3.3-3.4 analyze
+separately), with a histogram of search lengths so experiments can
+report distributions as well as means.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+__all__ = ["PacketKind", "LookupRecord", "KindStats", "DemuxStats"]
+
+
+class PacketKind(enum.Enum):
+    """The two inbound packet classes the paper's analysis distinguishes.
+
+    DATA covers transaction queries (and any segment carrying payload or
+    SYN/FIN); ACK is a pure transport-level acknowledgement.
+    """
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclasses.dataclass(frozen=True)
+class LookupRecord:
+    """What one lookup cost: filled in by the algorithm, fed to stats."""
+
+    examined: int
+    cache_hit: bool
+    found: bool
+    kind: PacketKind
+
+
+@dataclasses.dataclass
+class KindStats:
+    """Aggregate counters for one packet kind."""
+
+    lookups: int = 0
+    examined_total: int = 0
+    cache_hits: int = 0
+    not_found: int = 0
+    max_examined: int = 0
+    histogram: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    def record(self, rec: LookupRecord) -> None:
+        self.lookups += 1
+        self.examined_total += rec.examined
+        if rec.cache_hit:
+            self.cache_hits += 1
+        if not rec.found:
+            self.not_found += 1
+        if rec.examined > self.max_examined:
+            self.max_examined = rec.examined
+        self.histogram[rec.examined] = self.histogram.get(rec.examined, 0) + 1
+
+    @property
+    def mean_examined(self) -> float:
+        """Mean PCBs examined per lookup (the paper's figure of merit)."""
+        return self.examined_total / self.lookups if self.lookups else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction.  Section 3.4 warns this is only part of
+        the story -- report it next to :attr:`mean_examined`, never
+        instead of it."""
+        return self.cache_hits / self.lookups if self.lookups else 0.0
+
+    def percentile(self, q: float) -> int:
+        """The ``q``-quantile (0..1) of the search-length distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.lookups:
+            return 0
+        target = q * self.lookups
+        running = 0
+        for examined in sorted(self.histogram):
+            running += self.histogram[examined]
+            if running >= target:
+                return examined
+        return self.max_examined
+
+    def merge(self, other: "KindStats") -> None:
+        """Fold ``other``'s counters into this one."""
+        self.lookups += other.lookups
+        self.examined_total += other.examined_total
+        self.cache_hits += other.cache_hits
+        self.not_found += other.not_found
+        self.max_examined = max(self.max_examined, other.max_examined)
+        for examined, count in other.histogram.items():
+            self.histogram[examined] = self.histogram.get(examined, 0) + count
+
+
+class DemuxStats:
+    """Statistics for one demux algorithm instance, split by packet kind."""
+
+    def __init__(self) -> None:
+        self.by_kind: Dict[PacketKind, KindStats] = {
+            kind: KindStats() for kind in PacketKind
+        }
+
+    def record(self, rec: LookupRecord) -> None:
+        self.by_kind[rec.kind].record(rec)
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. after a warm-up phase)."""
+        for stats in self.by_kind.values():
+            stats.__init__()
+
+    # -- aggregate views -----------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return sum(s.lookups for s in self.by_kind.values())
+
+    @property
+    def examined_total(self) -> int:
+        return sum(s.examined_total for s in self.by_kind.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.by_kind.values())
+
+    @property
+    def mean_examined(self) -> float:
+        return self.examined_total / self.lookups if self.lookups else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.lookups if self.lookups else 0.0
+
+    def kind(self, kind: PacketKind) -> KindStats:
+        return self.by_kind[kind]
+
+    def combined(self) -> KindStats:
+        """All kinds merged into one :class:`KindStats`."""
+        merged = KindStats()
+        for stats in self.by_kind.values():
+            merged.merge(stats)
+        return merged
+
+    def summary(self, label: Optional[str] = None) -> str:
+        """One-line human-readable summary."""
+        prefix = f"{label}: " if label else ""
+        data = self.by_kind[PacketKind.DATA]
+        ack = self.by_kind[PacketKind.ACK]
+        return (
+            f"{prefix}{self.lookups} lookups,"
+            f" mean examined {self.mean_examined:.2f}"
+            f" (data {data.mean_examined:.2f} over {data.lookups},"
+            f" ack {ack.mean_examined:.2f} over {ack.lookups}),"
+            f" hit rate {self.hit_rate:.2%}"
+        )

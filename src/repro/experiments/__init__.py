@@ -1,0 +1,63 @@
+"""Experiment harness: regenerates every figure and in-text result.
+
+* :mod:`~repro.experiments.figures` -- Figures 4, 13, 14.
+* :mod:`~repro.experiments.text_results` -- Section 3's numeric claims.
+* :mod:`~repro.experiments.simulate` -- simulation-vs-analytic checks.
+* :mod:`~repro.experiments.runner` / :mod:`~repro.experiments.report`
+  -- batch regeneration into files / one markdown report.
+"""
+
+from .ascii_plot import ascii_plot, to_csv
+from .config import PAPER, PaperConfig
+from .figures import FigureResult, figure4, figure13, figure14
+from .report import build_report
+from .runner import run_all
+from .sim_figures import (
+    FigureOverlay,
+    OverlayPoint,
+    simulate_figure14_overlay,
+)
+from .simulate import (
+    ValidationResult,
+    ValidationRow,
+    sequent_prediction,
+    validate_against_analytic,
+)
+from .text_results import (
+    Row,
+    TableResult,
+    all_text_results,
+    bsd_results,
+    combination_results,
+    crowcroft_results,
+    sendrecv_results,
+    sequent_results,
+)
+
+__all__ = [
+    "FigureOverlay",
+    "FigureResult",
+    "OverlayPoint",
+    "PAPER",
+    "PaperConfig",
+    "Row",
+    "TableResult",
+    "ValidationResult",
+    "ValidationRow",
+    "all_text_results",
+    "ascii_plot",
+    "bsd_results",
+    "build_report",
+    "combination_results",
+    "crowcroft_results",
+    "figure13",
+    "figure14",
+    "figure4",
+    "run_all",
+    "sendrecv_results",
+    "sequent_prediction",
+    "sequent_results",
+    "simulate_figure14_overlay",
+    "to_csv",
+    "validate_against_analytic",
+]

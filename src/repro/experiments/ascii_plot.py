@@ -1,0 +1,110 @@
+"""Terminal-friendly plotting and CSV emission.
+
+The benchmark harness regenerates the paper's figures as (a) ASCII line
+plots that print inside pytest output and (b) CSV files a downstream
+user can feed to any real plotting tool.  No plotting dependency is
+available offline, and the figures' information content -- who is above
+whom, by what factor, where lines cross -- survives ASCII fine.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_plot", "to_csv"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 22,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+    y_max: Optional[float] = None,
+) -> str:
+    """Render labelled line series as an ASCII chart.
+
+    Each series gets a marker character; later series overwrite earlier
+    ones where they collide (legend order = draw order).  ``y_max``
+    clips tall series (Figure 13 clips BSD the same way).
+    """
+    if not x_values:
+        raise ValueError("need at least one x value")
+    for label, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo = min(all_y + [0.0])
+    y_hi = y_max if y_max is not None else max(all_y)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    y_span = y_hi - y_lo
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_min) / x_span * (width - 1))
+            clipped = min(max(y, y_lo), y_hi)
+            row = height - 1 - round((clipped - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    out.write(f"  [{legend}]\n")
+    axis_width = max(len(f"{y_hi:.0f}"), len(f"{y_lo:.0f}")) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = f"{y_hi:.0f}"
+        elif row_index == height - 1:
+            tick = f"{y_lo:.0f}"
+        elif row_index == height // 2:
+            tick = f"{(y_lo + y_hi) / 2:.0f}"
+        else:
+            tick = ""
+        out.write(f"{tick:>{axis_width}} |{''.join(row)}\n")
+    out.write(f"{'':>{axis_width}} +{'-' * width}\n")
+    left = f"{x_min:.0f}"
+    right = f"{x_max:.0f}"
+    mid = f"{(x_min + x_max) / 2:.0f}"
+    pad = width - len(left) - len(right) - len(mid)
+    half = max(pad // 2, 1)
+    out.write(
+        f"{'':>{axis_width}}  {left}{' ' * half}{mid}{' ' * (pad - half)}{right}\n"
+    )
+    if x_label or y_label:
+        out.write(f"{'':>{axis_width}}  x: {x_label}    y: {y_label}\n")
+    return out.getvalue()
+
+
+def to_csv(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    x_name: str = "x",
+) -> str:
+    """The same data as CSV text (header row, one column per series)."""
+    labels: List[str] = list(series)
+    lines = [",".join([x_name] + labels)]
+    for i, x in enumerate(x_values):
+        row = [f"{x:g}"] + [f"{series[label][i]:.6g}" for label in labels]
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"

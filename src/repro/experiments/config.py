@@ -1,0 +1,35 @@
+"""Shared experiment constants: the paper's running configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["PaperConfig", "PAPER"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperConfig:
+    """The parameter set the paper's Section 3 examples use."""
+
+    #: Users in the 200-TPS running example (the 10x scaling rule).
+    n_users: int = 2000
+    #: Per-user transaction rate ``a`` (1 / 10 s mean think time).
+    rate: float = 0.1
+    #: Default response time in the examples.
+    response_time: float = 0.2
+    #: The response times the MTF analysis sweeps.
+    response_times: tuple = (0.2, 0.5, 1.0, 2.0)
+    #: The round trips the send/receive analysis sweeps.
+    round_trips: tuple = (0.001, 0.010, 0.100)
+    #: "the installation default of 19 hash chains".
+    default_chains: int = 19
+    #: The chain counts Section 3.4-3.5 discuss.
+    chain_counts: tuple = (19, 51, 100)
+
+    @property
+    def transaction_rate(self) -> float:
+        return self.n_users * self.rate
+
+
+#: The singleton used throughout benches and reports.
+PAPER = PaperConfig()

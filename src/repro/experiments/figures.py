@@ -1,0 +1,109 @@
+"""Regeneration of the paper's figures (4, 13, 14).
+
+Each ``figureNN`` function returns a :class:`FigureResult` holding the
+raw series, an ASCII rendering, and CSV text; the corresponding bench
+in ``benchmarks/`` prints it and asserts the qualitative shape the
+paper reports (ordering of algorithms, crossovers, asymptotes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..analytic import crowcroft, figure13_series, figure14_series
+from ..analytic.series import TPCA_RATE
+from .ascii_plot import ascii_plot, to_csv
+
+__all__ = ["FigureResult", "figure4", "figure13", "figure14"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureResult:
+    """One regenerated figure."""
+
+    figure_id: str
+    title: str
+    x_name: str
+    y_name: str
+    x_values: Sequence[float]
+    series: Dict[str, List[float]]
+    y_clip: Optional[float] = None
+
+    def render(self, *, width: int = 72, height: int = 22) -> str:
+        return ascii_plot(
+            self.x_values,
+            self.series,
+            width=width,
+            height=height,
+            title=f"{self.figure_id}: {self.title}",
+            x_label=self.x_name,
+            y_label=self.y_name,
+            y_max=self.y_clip,
+        )
+
+    def csv(self) -> str:
+        return to_csv(self.x_values, self.series, x_name=self.x_name)
+
+
+def figure4(
+    n_users: int = 2000, rate: float = TPCA_RATE, points: int = 51
+) -> FigureResult:
+    """Figure 4: N(T) for 2,000 TPC/A users, T in [0, 50] seconds.
+
+    The expected number of *other* users entering at least one
+    transaction within T -- Eq. 3.  The paper's plot rises from 0
+    toward 2,000, passing ~1,264 at T = 10 s (one mean think time).
+    """
+    if points < 2:
+        raise ValueError("need at least two points")
+    times = [50.0 * i / (points - 1) for i in range(points)]
+    values = [
+        crowcroft.expected_preceding_users(n_users, rate, t) for t in times
+    ]
+    return FigureResult(
+        figure_id="Figure 4",
+        title=f"N(T) for {n_users:,} TPC/A users",
+        x_name="time between transactions for given user (seconds)",
+        y_name="number of other users entering transactions",
+        x_values=times,
+        series={"N(T)": values},
+    )
+
+
+def figure13(points: int = 51) -> FigureResult:
+    """Figure 13: PCBs searched vs. 0-10,000 TPC/A connections.
+
+    Curves: BSD, Crowcroft move-to-front at R = 1.0/0.5/0.2 s,
+    Partridge/Pink send/receive at D = 1 ms, Sequent (H=19, R=0.2 s).
+    The paper clips the y axis at 5,500.
+    """
+    n_values, series = figure13_series(points=points)
+    return FigureResult(
+        figure_id="Figure 13",
+        title="Comparison of TCP demultiplexing algorithms",
+        x_name="number of TPC/A TCP connections",
+        y_name="expected PCBs searched",
+        x_values=[float(n) for n in n_values],
+        series=series,
+        y_clip=5500.0,
+    )
+
+
+def figure14(points: int = 51) -> FigureResult:
+    """Figure 14: the 0-1,000-connection detail of Figure 13.
+
+    Adds the 10 ms send/receive curve; the y axis tops out near 600.
+    This is the view in which SR's small-N advantage and its asymptotic
+    merge with BSD are visible.
+    """
+    n_values, series = figure14_series(points=points)
+    return FigureResult(
+        figure_id="Figure 14",
+        title="Comparison of TCP demultiplexing algorithms (detail)",
+        x_name="number of TPC/A TCP connections",
+        y_name="expected PCBs searched",
+        x_values=[float(n) for n in n_values],
+        series=series,
+        y_clip=600.0,
+    )

@@ -1,0 +1,146 @@
+"""Simulated overlays for the comparison figures.
+
+The paper's Figures 13/14 are analytic; its text says the curves were
+"qualitatively confirmed by benchmarks".  This module produces that
+confirmation as data: for a grid of user counts it simulates every
+algorithm and emits both the analytic curve and the measured points,
+as one overlay table/CSV.  ``bench_fig14_simulated.py`` asserts the
+measured points sit on the curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analytic import bsd as a_bsd
+from ..analytic import crowcroft as a_mtf
+from ..analytic import sendrecv as a_sr
+from ..core.bsd import BSDDemux
+from ..core.mtf import MoveToFrontDemux
+from ..core.sendrecv import SendRecvDemux
+from ..core.sequent import SequentDemux
+from ..workload.tpca import TPCAConfig, TPCADemuxSimulation
+from .ascii_plot import to_csv
+from .simulate import sequent_prediction
+
+__all__ = ["OverlayPoint", "FigureOverlay", "simulate_figure14_overlay"]
+
+_RATE = 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class OverlayPoint:
+    """One (algorithm, N) cell: model value and measured value."""
+
+    algorithm: str
+    n_users: int
+    analytic: float
+    simulated: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.analytic == 0:
+            return abs(self.simulated)
+        return abs(self.simulated - self.analytic) / abs(self.analytic)
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureOverlay:
+    """A grid of overlay points, renderable as table or CSV."""
+
+    n_values: Sequence[int]
+    points: Sequence[OverlayPoint]
+
+    def by_algorithm(self) -> Dict[str, List[OverlayPoint]]:
+        grouped: Dict[str, List[OverlayPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.algorithm, []).append(point)
+        return grouped
+
+    @property
+    def worst_relative_error(self) -> float:
+        return max(point.relative_error for point in self.points)
+
+    def render(self) -> str:
+        lines = [
+            f"  {'algorithm':<10} "
+            + " ".join(f"{f'N={n}':>16}" for n in self.n_values)
+        ]
+        for algorithm, pts in self.by_algorithm().items():
+            cells = " ".join(
+                f"{p.simulated:7.1f}/{p.analytic:7.1f}" for p in pts
+            )
+            lines.append(f"  {algorithm:<10} {cells}")
+        lines.append("  (each cell: simulated / analytic)")
+        return "\n".join(lines)
+
+    def csv(self) -> str:
+        series: Dict[str, List[float]] = {}
+        for algorithm, pts in self.by_algorithm().items():
+            series[f"{algorithm}_analytic"] = [p.analytic for p in pts]
+            series[f"{algorithm}_simulated"] = [p.simulated for p in pts]
+        return to_csv(list(self.n_values), series, x_name="n_users")
+
+
+def _algorithms(response_time: float, rtt: float):
+    return {
+        "BSD": (
+            BSDDemux,
+            lambda n: a_bsd.cost(n),
+        ),
+        "MTF 0.2": (
+            MoveToFrontDemux,
+            lambda n: a_mtf.overall_cost(n, _RATE, response_time, examined=True),
+        ),
+        "SR 1": (
+            SendRecvDemux,
+            lambda n: a_sr.overall_cost(n, _RATE, response_time, rtt),
+        ),
+        "SEQUENT": (
+            lambda: SequentDemux(19),
+            # Balance-aware Eq. 22: the uniform-hash idealization is a
+            # visible bias at small N where the absolute cost is a few
+            # PCBs (see experiments.simulate.sequent_prediction).
+            lambda n: sequent_prediction(n, 19, _RATE, response_time),
+        ),
+    }
+
+
+def simulate_figure14_overlay(
+    n_values: Sequence[int] = (100, 250, 500, 1000),
+    *,
+    response_time: float = 0.2,
+    rtt: float = 0.001,
+    duration: float = 90.0,
+    warmup: float = 15.0,
+    seed: int = 101,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FigureOverlay:
+    """Measure every Figure-14 algorithm at each N."""
+    for n in n_values:
+        if n < 1:
+            raise ValueError(f"user counts must be >= 1, got {n}")
+    points: List[OverlayPoint] = []
+    for label, (factory, model) in _algorithms(response_time, rtt).items():
+        for n in n_values:
+            if progress:
+                progress(f"simulating {label} at N={n}")
+            config = TPCAConfig(
+                n_users=n,
+                response_time=response_time,
+                round_trip=rtt,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+            )
+            result = TPCADemuxSimulation(config, factory()).run()
+            points.append(
+                OverlayPoint(
+                    algorithm=label,
+                    n_users=n,
+                    analytic=model(n),
+                    simulated=result.mean_examined,
+                )
+            )
+    return FigureOverlay(n_values=tuple(n_values), points=tuple(points))

@@ -1,0 +1,54 @@
+"""Hash functions over protocol addresses, and balance analysis.
+
+Implements the candidates from the literature the paper cites
+([Jai89, McK91]) behind one signature ``fn(four_tuple, nbuckets)``, plus
+tools to measure how evenly each spreads a connection population (which
+bounds how closely the Sequent algorithm tracks its analytic model).
+"""
+
+from .analysis import ChainBalance, compare_functions, measure_balance
+from .crc import crc16_ccitt, crc32c
+from .modern import (
+    MICROSOFT_RSS_KEY,
+    fnv1a,
+    pearson,
+    toeplitz,
+    toeplitz_hash_value,
+)
+from .functions import (
+    HASH_FUNCTIONS,
+    HashFunction,
+    add_fold,
+    crc16_hash,
+    crc32_hash,
+    default_hash,
+    get_hash_function,
+    multiplicative,
+    python_builtin,
+    remote_port_only,
+    xor_fold,
+)
+
+__all__ = [
+    "ChainBalance",
+    "HASH_FUNCTIONS",
+    "HashFunction",
+    "MICROSOFT_RSS_KEY",
+    "add_fold",
+    "compare_functions",
+    "crc16_ccitt",
+    "crc16_hash",
+    "crc32_hash",
+    "crc32c",
+    "default_hash",
+    "fnv1a",
+    "get_hash_function",
+    "measure_balance",
+    "multiplicative",
+    "pearson",
+    "python_builtin",
+    "remote_port_only",
+    "toeplitz",
+    "toeplitz_hash_value",
+    "xor_fold",
+]

@@ -1,0 +1,126 @@
+"""Hash-balance analysis: how evenly a hash spreads connections.
+
+The Sequent algorithm's cost model (paper Eq. 18) assumes PCBs divide
+evenly across the ``H`` chains: expected scan ``(N/H + 1)/2``.  A skewed
+hash lengthens the busy chains and the *packet-weighted* expected scan
+grows, so the analytic curves are a best case.  This module quantifies
+that: chain-length distributions, chi-square uniformity statistics, and
+the expected-scan-length penalty of a given hash on a given key
+population.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from ..packet.addresses import FourTuple
+from .functions import HashFunction
+
+__all__ = ["ChainBalance", "measure_balance", "compare_functions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainBalance:
+    """Balance statistics for one hash function over one key population."""
+
+    nbuckets: int
+    nkeys: int
+    chain_lengths: Sequence[int]
+    #: Pearson chi-square statistic against the uniform distribution.
+    chi_square: float
+    #: Longest chain (worst-case lookup scan).
+    max_chain: int
+    #: Expected PCBs scanned for a uniformly chosen *key* (miss path,
+    #: no cache): mean over keys of (len(chain)+1)/2.
+    expected_scan: float
+    #: The same quantity for a perfectly balanced hash: (N/H + 1)/2.
+    ideal_scan: float
+
+    @property
+    def scan_penalty(self) -> float:
+        """``expected_scan / ideal_scan``; 1.0 is perfectly balanced."""
+        if self.ideal_scan == 0:
+            return 1.0
+        return self.expected_scan / self.ideal_scan
+
+    @property
+    def load_factor(self) -> float:
+        return self.nkeys / self.nbuckets if self.nbuckets else math.inf
+
+    def chain_histogram(self) -> Dict[int, int]:
+        """Map chain length -> number of chains with that length."""
+        hist: Dict[int, int] = {}
+        for length in self.chain_lengths:
+            hist[length] = hist.get(length, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def summary(self) -> str:
+        return (
+            f"H={self.nbuckets} N={self.nkeys}"
+            f" max_chain={self.max_chain}"
+            f" chi2={self.chi_square:.1f}"
+            f" scan={self.expected_scan:.2f}"
+            f" (ideal {self.ideal_scan:.2f},"
+            f" penalty {self.scan_penalty:.3f}x)"
+        )
+
+
+def measure_balance(
+    fn: HashFunction, keys: Iterable[FourTuple], nbuckets: int
+) -> ChainBalance:
+    """Hash every key and report how the chains came out.
+
+    Duplicate keys are counted once -- a PCB table holds one PCB per
+    connection regardless of how many packets arrive on it.
+    """
+    if nbuckets <= 0:
+        raise ValueError(f"nbuckets must be positive, got {nbuckets}")
+    unique = list(dict.fromkeys(keys))
+    lengths = [0] * nbuckets
+    for key in unique:
+        bucket = fn(key, nbuckets)
+        if not 0 <= bucket < nbuckets:
+            raise ValueError(
+                f"hash function returned bucket {bucket} outside"
+                f" range({nbuckets})"
+            )
+        lengths[bucket] += 1
+    nkeys = len(unique)
+    expected = nkeys / nbuckets if nbuckets else 0.0
+    if expected > 0:
+        chi_square = sum((length - expected) ** 2 / expected for length in lengths)
+    else:
+        chi_square = 0.0
+    if nkeys:
+        # Average over keys of the expected scan to find that key in its
+        # chain: (chain length + 1) / 2, weighting each chain by its
+        # population.
+        expected_scan = sum(length * (length + 1) / 2 for length in lengths) / nkeys
+    else:
+        expected_scan = 0.0
+    ideal_scan = (nkeys / nbuckets + 1) / 2 if nkeys else 0.0
+    return ChainBalance(
+        nbuckets=nbuckets,
+        nkeys=nkeys,
+        chain_lengths=tuple(lengths),
+        chi_square=chi_square,
+        max_chain=max(lengths) if lengths else 0,
+        expected_scan=expected_scan,
+        ideal_scan=ideal_scan,
+    )
+
+
+def compare_functions(
+    functions: Dict[str, HashFunction],
+    keys: Sequence[FourTuple],
+    nbuckets: int,
+) -> List:
+    """Measure every function on the same keys; worst penalty last."""
+    results = [
+        (name, measure_balance(fn, keys, nbuckets))
+        for name, fn in functions.items()
+    ]
+    results.sort(key=lambda item: item[1].scan_penalty)
+    return results

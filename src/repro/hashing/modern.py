@@ -1,0 +1,137 @@
+"""Descendants of the paper's idea: modern connection-hashing functions.
+
+Hash-based connection lookup did not stop at kernel PCB tables; the
+same 96-bit-key problem reappears in NIC receive-side scaling (RSS),
+flow tables, and load balancers.  This module adds the functions that
+lineage produced, behind the same ``fn(tuple, nbuckets)`` signature as
+:mod:`repro.hashing.functions`, so the balance analysis and the
+Sequent structure can use them interchangeably:
+
+* :func:`fnv1a` -- Fowler/Noll/Vo, the ubiquitous cheap byte hash.
+* :func:`pearson` -- Pearson's 1990 table-driven byte hash (a
+  contemporary of the paper).
+* :func:`toeplitz` -- the Microsoft RSS Toeplitz hash over
+  (src addr, dst addr, src port, dst port), computed exactly as a NIC
+  does, with the standard verification key.  This is, literally, the
+  paper's demultiplexing step moved into silicon.
+"""
+
+from __future__ import annotations
+
+from ..packet.addresses import FourTuple
+from .functions import HASH_FUNCTIONS, _check_buckets
+
+__all__ = [
+    "fnv1a",
+    "pearson",
+    "toeplitz",
+    "toeplitz_hash_value",
+    "MICROSOFT_RSS_KEY",
+]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a(tup: FourTuple, nbuckets: int) -> int:
+    """FNV-1a over the packed 12-byte key, reduced mod H."""
+    _check_buckets(nbuckets)
+    value = _FNV_OFFSET
+    for byte in tup.key_bits().to_bytes(12, "big"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value % nbuckets
+
+
+def _build_pearson_table():
+    """The permutation from Pearson's CACM paper (a fixed shuffle).
+
+    Any fixed permutation of 0..255 works; this one is generated
+    deterministically from a small LCG so the module has no 256-entry
+    literal to typo.
+    """
+    table = list(range(256))
+    state = 1
+    for i in range(255, 0, -1):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        j = state % (i + 1)
+        table[i], table[j] = table[j], table[i]
+    return tuple(table)
+
+
+_PEARSON_TABLE = _build_pearson_table()
+
+
+def pearson(tup: FourTuple, nbuckets: int) -> int:
+    """Pearson's table-driven hash, widened to 16 bits by double pass."""
+    _check_buckets(nbuckets)
+    data = tup.key_bits().to_bytes(12, "big")
+    h1 = 0
+    for byte in data:
+        h1 = _PEARSON_TABLE[h1 ^ byte]
+    # Second pass with a different initial byte widens to 16 bits.
+    h2 = _PEARSON_TABLE[(data[0] + 1) & 0xFF]
+    for byte in data[1:]:
+        h2 = _PEARSON_TABLE[h2 ^ byte]
+    return ((h1 << 8) | h2) % nbuckets
+
+
+#: The 40-byte verification key from the Microsoft RSS specification.
+MICROSOFT_RSS_KEY: bytes = bytes(
+    (
+        0x6D, 0x5A, 0x56, 0xDA, 0x25, 0x5B, 0x0E, 0xC2,
+        0x41, 0x67, 0x25, 0x3D, 0x43, 0xA3, 0x8F, 0xB0,
+        0xD0, 0xCA, 0x2B, 0xCB, 0xAE, 0x7B, 0x30, 0xB4,
+        0x77, 0xCB, 0x2D, 0xA3, 0x80, 0x30, 0xF2, 0x0C,
+        0x6A, 0x42, 0xB7, 0x3B, 0xBE, 0xAC, 0x01, 0xFA,
+    )
+)
+
+
+def toeplitz_hash_value(data: bytes, key: bytes = MICROSOFT_RSS_KEY) -> int:
+    """The 32-bit Toeplitz hash of ``data`` under ``key``.
+
+    For each set bit of the input (MSB first), XOR in the 32-bit key
+    window starting at that bit position -- the textbook (and
+    silicon) formulation.
+    """
+    if len(key) * 8 < len(data) * 8 + 32:
+        raise ValueError(
+            f"key of {len(key)} bytes too short for {len(data)} input bytes"
+        )
+    key_bits = int.from_bytes(key, "big")
+    key_len_bits = len(key) * 8
+    result = 0
+    for i, byte in enumerate(data):
+        for bit in range(8):
+            if byte & (0x80 >> bit):
+                offset = i * 8 + bit
+                window = (key_bits >> (key_len_bits - 32 - offset)) & 0xFFFFFFFF
+                result ^= window
+    return result
+
+
+def _rss_input(tup: FourTuple) -> bytes:
+    """The RSS TCP/IPv4 input: src addr, dst addr, src port, dst port.
+
+    RSS hashes from the *packet's* perspective; the receiver-side
+    FourTuple's remote side is the packet's source.
+    """
+    return (
+        tup.remote_addr.packed
+        + tup.local_addr.packed
+        + tup.remote_port.to_bytes(2, "big")
+        + tup.local_port.to_bytes(2, "big")
+    )
+
+
+def toeplitz(tup: FourTuple, nbuckets: int) -> int:
+    """Microsoft RSS Toeplitz hash of the connection, reduced mod H."""
+    _check_buckets(nbuckets)
+    return toeplitz_hash_value(_rss_input(tup)) % nbuckets
+
+
+# Register so the CLI/analysis sweeps include the modern functions.
+HASH_FUNCTIONS.setdefault("fnv1a", fnv1a)
+HASH_FUNCTIONS.setdefault("pearson", pearson)
+HASH_FUNCTIONS.setdefault("toeplitz", toeplitz)

@@ -1,0 +1,240 @@
+"""Protocol addresses and the TCP demultiplexing key.
+
+The paper's opening observation (Section 1) is that a TCP demultiplexing
+algorithm must map a packet's source and destination IP addresses and TCP
+ports -- 96 bits in total -- to a protocol control block, and that 96 bits
+rule out simple direct indexing.  This module provides the 96-bit key
+(:class:`FourTuple`) plus a small IPv4 address value type used throughout
+the packet, stack, and workload layers.
+
+Addresses are deliberately lightweight: immutable, hashable, cheap to
+construct, and convertible to and from both dotted-quad strings and raw
+32-bit integers, because the demultiplexing data structures hash and
+compare millions of them per simulation run.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple, Tuple, Union
+
+__all__ = [
+    "AddressError",
+    "IPv4Address",
+    "FourTuple",
+    "ip",
+    "MAX_PORT",
+]
+
+#: Largest valid TCP/UDP port number.
+MAX_PORT = 0xFFFF
+
+_DOTTED_QUAD_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+class AddressError(ValueError):
+    """Raised for malformed IP addresses, ports, or four-tuples."""
+
+
+class IPv4Address:
+    """An immutable IPv4 address.
+
+    Stored internally as a 32-bit integer so equality, hashing, and
+    serialization are single integer operations.
+
+    Parameters
+    ----------
+    value:
+        Either a dotted-quad string (``"10.0.0.1"``), a 32-bit integer,
+        another :class:`IPv4Address` (copied), or 4 raw bytes.
+
+    Examples
+    --------
+    >>> IPv4Address("10.0.0.1") == IPv4Address(0x0A000001)
+    True
+    >>> str(IPv4Address(0x0A000001))
+    '10.0.0.1'
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, bytes, "IPv4Address"]):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, str):
+            self._value = _parse_dotted_quad(value)
+        elif isinstance(value, bytes):
+            if len(value) != 4:
+                raise AddressError(
+                    f"IPv4 address must be exactly 4 bytes, got {len(value)}"
+                )
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise AddressError(f"IPv4 address out of range: {value:#x}")
+            self._value = value
+        else:
+            raise AddressError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The address as an unsigned 32-bit integer."""
+        return self._value
+
+    @property
+    def packed(self) -> bytes:
+        """The address as 4 network-order bytes."""
+        return self._value.to_bytes(4, "big")
+
+    @property
+    def octets(self) -> Tuple[int, int, int, int]:
+        """The four octets, most significant first."""
+        v = self._value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def is_loopback(self) -> bool:
+        """True for 127.0.0.0/8."""
+        return (self._value >> 24) == 127
+
+    def is_multicast(self) -> bool:
+        """True for 224.0.0.0/4."""
+        return (self._value >> 28) == 0xE
+
+    def is_private(self) -> bool:
+        """True for RFC 1918 space (10/8, 172.16/12, 192.168/16)."""
+        v = self._value
+        return (
+            (v >> 24) == 10
+            or (v >> 20) == 0xAC1  # 172.16.0.0/12
+            or (v >> 16) == 0xC0A8  # 192.168.0.0/16
+        )
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        """Return the address ``offset`` hosts later (wraps at 2**32)."""
+        if not isinstance(offset, int):
+            return NotImplemented
+        return IPv4Address((self._value + offset) & 0xFFFFFFFF)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+
+def _parse_dotted_quad(text: str) -> int:
+    """Parse ``"a.b.c.d"`` into a 32-bit integer, validating each octet."""
+    match = _DOTTED_QUAD_RE.match(text.strip())
+    if match is None:
+        raise AddressError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for octet_text in match.groups():
+        octet = int(octet_text)
+        if octet > 255:
+            raise AddressError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip(value: Union[str, int, bytes, IPv4Address]) -> IPv4Address:
+    """Shorthand constructor: ``ip("10.0.0.1")``."""
+    return IPv4Address(value)
+
+
+def _check_port(port: int, label: str) -> int:
+    if not isinstance(port, int) or isinstance(port, bool):
+        raise AddressError(f"{label} port must be an int, got {type(port).__name__}")
+    if not 0 <= port <= MAX_PORT:
+        raise AddressError(f"{label} port out of range: {port}")
+    return port
+
+
+class FourTuple(NamedTuple):
+    """The 96-bit TCP demultiplexing key.
+
+    ``(local addr, local port, remote addr, remote port)`` *as seen by the
+    receiving host*: ``local`` is the destination of an inbound packet and
+    ``remote`` its source.  This is the quantity Section 1 of the paper
+    says totals 96 bits (two 32-bit addresses + two 16-bit ports) and
+    therefore cannot be used as a direct array index.
+    """
+
+    local_addr: IPv4Address
+    local_port: int
+    remote_addr: IPv4Address
+    remote_port: int
+
+    @classmethod
+    def create(
+        cls,
+        local_addr: Union[str, int, IPv4Address],
+        local_port: int,
+        remote_addr: Union[str, int, IPv4Address],
+        remote_port: int,
+    ) -> "FourTuple":
+        """Validating constructor accepting address strings or ints."""
+        return cls(
+            IPv4Address(local_addr),
+            _check_port(local_port, "local"),
+            IPv4Address(remote_addr),
+            _check_port(remote_port, "remote"),
+        )
+
+    @property
+    def reversed(self) -> "FourTuple":
+        """The same connection as seen from the other endpoint."""
+        return FourTuple(
+            self.remote_addr, self.remote_port, self.local_addr, self.local_port
+        )
+
+    def matches(self, other: "FourTuple") -> bool:
+        """Exact-match comparison (the predicate every list scan uses)."""
+        return self == other
+
+    def key_bits(self) -> int:
+        """The tuple packed into a single 96-bit integer.
+
+        Layout (most significant first): local addr, local port,
+        remote addr, remote port.  Hash functions in
+        :mod:`repro.hashing` operate on this value.
+        """
+        return (
+            (int(self.local_addr) << 64)
+            | (self.local_port << 48)
+            | (int(self.remote_addr) << 16)
+            | self.remote_port
+        )
+
+    def words16(self) -> Iterator[int]:
+        """Yield the key as six 16-bit words (for folding hash functions)."""
+        bits = self.key_bits()
+        for shift in range(80, -1, -16):
+            yield (bits >> shift) & 0xFFFF
+
+    def words32(self) -> Iterator[int]:
+        """Yield the key as three 32-bit words."""
+        bits = self.key_bits()
+        for shift in range(64, -1, -32):
+            yield (bits >> shift) & 0xFFFFFFFF
+
+    def __str__(self) -> str:
+        return (
+            f"{self.local_addr}:{self.local_port}"
+            f" <- {self.remote_addr}:{self.remote_port}"
+        )

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+A deterministic event heap (:class:`Simulator`), named RNG streams for
+common-random-number experiment design (:class:`RngRegistry`), a star
+network of fixed-latency links (:class:`Network`), and optional tracing
+(:class:`Tracer`).
+"""
+
+from .engine import Event, SimulationError, Simulator
+from .network import Host, Link, Network
+from .pcap import PcapReader, PcapWriter, network_tap
+from .rng import RngRegistry
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Host",
+    "Link",
+    "Network",
+    "PcapReader",
+    "PcapWriter",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+    "network_tap",
+]

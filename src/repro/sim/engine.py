@@ -1,0 +1,132 @@
+"""A deterministic discrete-event simulation engine.
+
+Small, boring, and exactly what the reproduction needs: a time-ordered
+event heap with stable FIFO tie-breaking, cancellation, and run-until
+controls.  Determinism matters more than features here -- two runs with
+the same seed must replay the identical event sequence so that paper
+experiments are reproducible to the last PCB examined.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["SimulationError", "Event", "Simulator"]
+
+
+class SimulationError(Exception):
+    """Raised for scheduling in the past, re-running, and similar misuse."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        # Earlier time first; FIFO within a timestamp (seq strictly
+        # increases), so same-time events run in scheduling order.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """Event loop with a virtual clock starting at 0.0 seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Total events executed so far."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled (including cancelled-but-unpopped)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Run ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, now is {self._now:.6f}"
+            )
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (lazily; popped events are skipped)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_run += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Drain the event heap.
+
+        ``until`` stops the clock at that virtual time (events beyond it
+        stay pending, and the clock advances to exactly ``until``);
+        ``max_events`` bounds the number of callbacks as a runaway
+        guard.  Returns the final virtual time.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until:.6f}, now is {self._now:.6f}"
+            )
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

@@ -1,0 +1,136 @@
+"""A simulated network: hosts joined by fixed-latency links.
+
+The paper's model needs exactly one network property -- the round-trip
+time ``D`` between clients and the server (it enters the Partridge/Pink
+analysis, Eqs. 8-16) -- so the network is a star of point-to-point
+links with configurable one-way delay, optional jitter, and optional
+loss (off by default; the paper assumes "negligible loss rates").
+Packets are delivered in FIFO order per link even under jitter, as on
+a real LAN segment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Union
+
+from ..packet.addresses import IPv4Address
+from ..packet.builder import Packet
+from .engine import Simulator
+
+__all__ = ["Host", "Link", "Network"]
+
+
+class Host(Protocol):
+    """Anything that can be attached to the network."""
+
+    @property
+    def address(self) -> IPv4Address:
+        """The host's IP address (one per host in this model)."""
+        ...
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the network when a packet arrives."""
+        ...
+
+
+class Link:
+    """A point-to-point link with one-way delay and FIFO ordering."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        *,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        rng=None,
+    ):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if (jitter > 0.0 or loss_rate > 0.0) and rng is None:
+            raise ValueError("jitter/loss need an rng stream")
+        self._sim = sim
+        self._delay = delay
+        self._jitter = jitter
+        self._loss_rate = loss_rate
+        self._rng = rng
+        self._last_arrival = 0.0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def transmit(self, packet: Packet, deliver: Callable[[Packet], None]) -> None:
+        """Schedule delivery of ``packet`` after the link delay."""
+        self.packets_sent += 1
+        if self._loss_rate and self._rng.random() < self._loss_rate:
+            self.packets_dropped += 1
+            return
+        latency = self._delay
+        if self._jitter:
+            latency += self._rng.uniform(0.0, self._jitter)
+        arrival = self._sim.now + latency
+        # FIFO: a jittered packet never overtakes its predecessor.
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+        self._sim.schedule_at(arrival, deliver, packet)
+
+
+class Network:
+    """A set of hosts, each reachable via its own link.
+
+    ``default_delay`` is the one-way latency used for hosts attached
+    without an explicit link, i.e. D/2 for the paper's round-trip D.
+    """
+
+    def __init__(self, sim: Simulator, *, default_delay: float = 0.0005):
+        self._sim = sim
+        self._default_delay = default_delay
+        self._hosts: Dict[IPv4Address, Host] = {}
+        self._links: Dict[IPv4Address, Link] = {}
+        self.packets_delivered = 0
+        self.packets_to_nowhere = 0
+
+    def attach(self, host: Host, link: Optional[Link] = None) -> None:
+        """Add a host; duplicate addresses are an error."""
+        addr = host.address
+        if addr in self._hosts:
+            raise ValueError(f"address {addr} already attached")
+        self._hosts[addr] = host
+        self._links[addr] = link or Link(self._sim, self._default_delay)
+
+    def detach(self, address: Union[str, IPv4Address]) -> None:
+        address = IPv4Address(address)
+        self._hosts.pop(address)  # KeyError if absent, intentionally
+        self._links.pop(address)
+
+    def host(self, address: Union[str, IPv4Address]) -> Host:
+        return self._hosts[IPv4Address(address)]
+
+    def link_to(self, address: Union[str, IPv4Address]) -> Link:
+        return self._links[IPv4Address(address)]
+
+    def send(self, packet: Packet) -> None:
+        """Route ``packet`` to the host owning its destination address.
+
+        Packets to unattached addresses are counted and dropped (the
+        LAN has no router to ICMP back through).
+        """
+        dst = packet.ip.dst
+        host = self._hosts.get(dst)
+        if host is None:
+            self.packets_to_nowhere += 1
+            return
+        link = self._links[dst]
+
+        def deliver(pkt: Packet) -> None:
+            self.packets_delivered += 1
+            host.deliver(pkt)
+
+        link.transmit(packet, deliver)

@@ -1,0 +1,150 @@
+"""pcap capture of simulated traffic.
+
+Writes classic libpcap files (magic 0xA1B2C3D4, LINKTYPE_ETHERNET)
+that Wireshark/tcpdump open directly, so a full-stack simulation run
+can be inspected with standard tooling.  Packets are framed in
+synthetic Ethernet (MACs derived from the IPv4 addresses) since the
+simulated network routes on IP alone.
+
+Usage::
+
+    writer = PcapWriter(path)
+    network_tap(network, writer)   # capture everything a Network sends
+    ... run the simulation ...
+    writer.close()
+
+A matching :class:`PcapReader` parses the files back (used by tests to
+round-trip, and handy for offline analysis without wireshark).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+from typing import BinaryIO, Iterator, List, Tuple, Union
+
+from ..packet.builder import Packet, parse_packet
+from ..packet.ethernet import EthernetFrame, EtherType, MACAddress
+
+__all__ = ["PcapWriter", "PcapReader", "network_tap"]
+
+_MAGIC = 0xA1B2C3D4
+_VERSION_MAJOR = 2
+_VERSION_MINOR = 4
+_LINKTYPE_ETHERNET = 1
+_SNAPLEN = 65535
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def _mac_for(ip_packed: bytes) -> MACAddress:
+    """A stable synthetic MAC for an IPv4 address (locally administered)."""
+    return MACAddress(b"\x02\x00" + ip_packed)
+
+
+class PcapWriter:
+    """Writes packets to a libpcap file as they are captured."""
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self._path = pathlib.Path(path)
+        self._file: BinaryIO = open(self._path, "wb")
+        self._file.write(
+            _GLOBAL_HEADER.pack(
+                _MAGIC, _VERSION_MAJOR, _VERSION_MINOR,
+                0, 0, _SNAPLEN, _LINKTYPE_ETHERNET,
+            )
+        )
+        self.packets_written = 0
+        self._closed = False
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def write(self, timestamp: float, packet: Packet) -> None:
+        """Capture one simulated packet at virtual time ``timestamp``."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        frame = EthernetFrame(
+            dst=_mac_for(packet.ip.dst.packed),
+            src=_mac_for(packet.ip.src.packed),
+            ethertype=EtherType.IPV4,
+            payload=packet.build(),
+        )
+        wire = frame.build()[:-4]  # pcap stores no FCS
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:  # rounding carried into the next second
+            seconds += 1
+            micros -= 1_000_000
+        self._file.write(
+            _RECORD_HEADER.pack(seconds, micros, len(wire), len(wire))
+        )
+        self._file.write(wire)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Parses a classic-format pcap file back into packets."""
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self._path = pathlib.Path(path)
+
+    def __iter__(self) -> Iterator[Tuple[float, Packet]]:
+        with open(self._path, "rb") as handle:
+            header = handle.read(_GLOBAL_HEADER.size)
+            if len(header) < _GLOBAL_HEADER.size:
+                raise ValueError(f"{self._path}: truncated pcap header")
+            magic, _, _, _, _, _, linktype = _GLOBAL_HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise ValueError(f"{self._path}: bad pcap magic {magic:#x}")
+            if linktype != _LINKTYPE_ETHERNET:
+                raise ValueError(f"{self._path}: unsupported linktype {linktype}")
+            while True:
+                record = handle.read(_RECORD_HEADER.size)
+                if not record:
+                    return
+                if len(record) < _RECORD_HEADER.size:
+                    raise ValueError(f"{self._path}: truncated record header")
+                seconds, micros, captured, _ = _RECORD_HEADER.unpack(record)
+                data = handle.read(captured)
+                if len(data) < captured:
+                    raise ValueError(f"{self._path}: truncated packet body")
+                # Ethernet without FCS: parse header fields manually.
+                ethertype = int.from_bytes(data[12:14], "big")
+                if ethertype != EtherType.IPV4:
+                    continue  # non-IP frames are skipped, not an error
+                packet = parse_packet(data[14:])
+                yield seconds + micros / 1_000_000, packet
+
+    def read_all(self) -> List[Tuple[float, Packet]]:
+        return list(self)
+
+
+def network_tap(network, writer: PcapWriter):
+    """Capture every packet a :class:`~repro.sim.network.Network` sends.
+
+    Wraps ``network.send`` in place; returns the original so callers
+    can un-tap.  Packets are stamped at *send* time (the simulated
+    clock when they entered the wire).
+    """
+    original_send = network.send
+
+    def tapped(packet: Packet) -> None:
+        writer.write(network._sim.now, packet)
+        original_send(packet)
+
+    network.send = tapped
+    return original_send

@@ -1,0 +1,81 @@
+"""Lightweight tracing for simulations.
+
+A :class:`Tracer` collects timestamped records -- packet deliveries,
+lookups, state transitions -- behind an on/off switch so hot paths pay
+one attribute check when tracing is off.  Experiments use it to dump
+event timelines when a run's statistics look wrong, and a couple of
+integration tests assert on traced sequences directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    message: str
+    data: Tuple[Tuple[str, Any], ...] = ()
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.data)
+        return f"[{self.time:12.6f}] {self.category}: {self.message} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, with category filtering."""
+
+    def __init__(self, *, enabled: bool = False, max_records: int = 1_000_000):
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.enabled = enabled
+        self._max_records = max_records
+        self._records: List[TraceRecord] = []
+        self._category_filter: Optional[frozenset] = None
+        self.dropped = 0
+
+    def restrict(self, *categories: str) -> None:
+        """Only record the given categories (empty = record everything)."""
+        self._category_filter = frozenset(categories) if categories else None
+
+    def record(self, time: float, category: str, message: str, **data: Any) -> None:
+        """Add a record (no-op when disabled or filtered)."""
+        if not self.enabled:
+            return
+        if self._category_filter and category not in self._category_filter:
+            return
+        if len(self._records) >= self._max_records:
+            self.dropped += 1
+            return
+        self._records.append(
+            TraceRecord(time, category, message, tuple(sorted(data.items())))
+        )
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._records)
+
+    def by_category(self) -> Dict[str, List[TraceRecord]]:
+        grouped: Dict[str, List[TraceRecord]] = {}
+        for record in self._records:
+            grouped.setdefault(record.category, []).append(record)
+        return grouped
+
+    def matching(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        return [record for record in self._records if predicate(record)]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """The trace as printable text (last ``limit`` records)."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(str(record) for record in records)

@@ -1,0 +1,25 @@
+"""Minimal TCP endpoint stack over the simulated network.
+
+:class:`HostStack` is a host with one IP address whose inbound path
+runs a pluggable :mod:`repro.core` demultiplexing algorithm;
+:class:`TCPEndpoint` is the RFC 793 state machine for one connection;
+:class:`Listener` accepts passive opens; :class:`PCBTable` joins the
+demux algorithm with the listener table.
+"""
+
+from .endpoint import TCPEndpoint
+from .listener import Listener
+from .pcb_table import PCBTable
+from .stack import HostStack
+from .states import TCPState, TCPStateError, can_transition, check_transition
+
+__all__ = [
+    "HostStack",
+    "Listener",
+    "PCBTable",
+    "TCPEndpoint",
+    "TCPState",
+    "TCPStateError",
+    "can_transition",
+    "check_transition",
+]

@@ -1,0 +1,81 @@
+"""Listening sockets: passive open and connection acceptance."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..packet.addresses import IPv4Address
+from .endpoint import TCPEndpoint
+
+__all__ = ["Listener"]
+
+
+class Listener:
+    """A passive socket on (address, port), owned by a HostStack.
+
+    ``on_accept(endpoint)`` fires when a new connection completes its
+    handshake (reaches ESTABLISHED); connections are also queued on
+    :attr:`accepted` for pull-style consumers.  ``on_data`` /
+    ``on_close`` are installed on every accepted endpoint.
+    """
+
+    def __init__(
+        self,
+        stack,
+        port: int,
+        *,
+        address: Optional[IPv4Address] = None,
+        on_accept: Optional[Callable[[TCPEndpoint], None]] = None,
+        on_data: Optional[Callable[[TCPEndpoint, bytes], None]] = None,
+        on_close: Optional[Callable[[TCPEndpoint], None]] = None,
+        backlog: int = 0,
+    ):
+        self._stack = stack
+        self.port = port
+        self.address = address
+        self.on_accept = on_accept
+        self.on_data = on_data
+        self.on_close = on_close
+        #: 0 means unlimited (simulation convenience).
+        self.backlog = backlog
+        self.accepted: List[TCPEndpoint] = []
+        self.syn_count = 0
+        self.refused = 0
+        self._half_open = 0
+        self._closed = False
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def admit(self) -> bool:
+        """Called by the stack per inbound SYN; False refuses (backlog)."""
+        if self._closed:
+            return False
+        self.syn_count += 1
+        if self.backlog and self._half_open >= self.backlog:
+            self.refused += 1
+            return False
+        self._half_open += 1
+        return True
+
+    def established(self, endpoint: TCPEndpoint) -> None:
+        """Called by the stack when an admitted connection completes."""
+        self._half_open = max(0, self._half_open - 1)
+        self.accepted.append(endpoint)
+        if self.on_accept:
+            self.on_accept(endpoint)
+
+    def handshake_failed(self) -> None:
+        """Called if an admitted connection dies before ESTABLISHED."""
+        self._half_open = max(0, self._half_open - 1)
+
+    def close(self) -> None:
+        """Stop accepting; existing connections are unaffected."""
+        if not self._closed:
+            self._closed = True
+            self._stack.table.remove_listener(self.port, self.address)
+
+    def __repr__(self) -> str:
+        where = self.address or "*"
+        return f"<Listener {where}:{self.port} accepted={len(self.accepted)}>"

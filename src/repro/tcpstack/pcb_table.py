@@ -1,0 +1,92 @@
+"""The host's PCB table: pluggable demux algorithm plus listener table.
+
+Inbound segment classification follows the paper's world:
+
+1. the *established-connection* lookup runs through one of the
+   :mod:`repro.core` algorithms (this is the search the paper costs);
+2. if no connection matches, a *listener* table is consulted by
+   (local address, local port) with address wildcarding -- the path a
+   SYN for a new connection takes.
+
+Historically BSD kept listening PCBs on the same linear list and
+wildcard-matched during the one scan; separating the tables keeps the
+measured algorithms exactly as the paper models them (exact 96-bit
+match), and the listener probe is not charged to the demux statistics.
+DESIGN.md records this choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.base import DemuxAlgorithm, LookupResult
+from ..core.pcb import PCB
+from ..core.stats import PacketKind
+from ..packet.addresses import FourTuple, IPv4Address
+
+__all__ = ["ListenerKey", "PCBTable"]
+
+#: (local address or None for wildcard, local port)
+ListenerKey = Tuple[Optional[IPv4Address], int]
+
+
+class PCBTable:
+    """Established-connection demux + listener lookup for one host."""
+
+    def __init__(self, algorithm: DemuxAlgorithm):
+        self._algorithm = algorithm
+        self._listeners: Dict[ListenerKey, object] = {}
+
+    @property
+    def algorithm(self) -> DemuxAlgorithm:
+        """The pluggable established-connection lookup structure."""
+        return self._algorithm
+
+    # -- established connections -----------------------------------------
+
+    def insert(self, pcb: PCB) -> None:
+        self._algorithm.insert(pcb)
+
+    def remove(self, tup: FourTuple) -> PCB:
+        return self._algorithm.remove(tup)
+
+    def lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        """The cost-accounted lookup the paper studies."""
+        return self._algorithm.lookup(tup, kind)
+
+    def note_send(self, pcb: PCB) -> None:
+        self._algorithm.note_send(pcb)
+
+    def __len__(self) -> int:
+        return len(self._algorithm)
+
+    def __iter__(self) -> Iterator[PCB]:
+        return iter(self._algorithm)
+
+    # -- listeners ---------------------------------------------------------
+
+    def add_listener(
+        self, port: int, owner: object, address: Optional[IPv4Address] = None
+    ) -> None:
+        """Register a listening socket on (address, port).
+
+        ``address=None`` listens on all local addresses (INADDR_ANY).
+        """
+        key: ListenerKey = (address, port)
+        if key in self._listeners:
+            raise ValueError(f"already listening on {address or '*'}:{port}")
+        self._listeners[key] = owner
+
+    def remove_listener(self, port: int, address: Optional[IPv4Address] = None):
+        return self._listeners.pop((address, port))  # KeyError if absent
+
+    def find_listener(self, local_addr: IPv4Address, local_port: int):
+        """Exact (addr, port) match first, then the wildcard."""
+        owner = self._listeners.get((local_addr, local_port))
+        if owner is None:
+            owner = self._listeners.get((None, local_port))
+        return owner
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)

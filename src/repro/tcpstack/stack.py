@@ -1,0 +1,263 @@
+"""The host TCP stack: the inbound path the paper measures.
+
+A :class:`HostStack` owns one IP address, one PCB table (with a
+pluggable demultiplexing algorithm -- the paper's variable), and the
+endpoints of its connections.  Its :meth:`deliver` method is the code
+path the whole reproduction is about:
+
+1. classify the inbound segment (data vs. pure transport-level ack);
+2. run the demux algorithm's cost-accounted PCB lookup;
+3. on a miss, consult the listener table (SYNs for new connections);
+4. hand the segment to the endpoint state machine.
+
+Outbound packets update the algorithm's send-side knowledge
+(:meth:`~repro.core.base.DemuxAlgorithm.note_send`), which is what the
+Partridge/Pink cache keys on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional, Union
+
+from ..core.base import DemuxAlgorithm
+from ..core.pcb import PCB
+from ..core.stats import PacketKind
+from ..packet.addresses import FourTuple, IPv4Address
+from ..packet.builder import Packet
+from ..packet.ip import IPv4Header
+from ..packet.tcp import TCPFlags, TCPSegment
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..sim.trace import Tracer
+from .endpoint import TCPEndpoint
+from .listener import Listener
+from .pcb_table import PCBTable
+from .states import TCPState
+
+__all__ = ["HostStack"]
+
+_EPHEMERAL_BASE = 49152
+
+
+class HostStack:
+    """One simulated host's TCP implementation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: Union[str, IPv4Address],
+        algorithm: DemuxAlgorithm,
+        *,
+        mss: int = 536,
+        tracer: Optional[Tracer] = None,
+        delayed_ack: bool = False,
+    ):
+        self.sim = sim
+        self.network = network
+        self._address = IPv4Address(address)
+        self.table = PCBTable(algorithm)
+        self._tracer = tracer or Tracer(enabled=False)
+        self._mss = mss
+        self._delayed_ack = delayed_ack
+        self._iss_counter = itertools.count(1000, 64000)
+        self._port_counter = itertools.count(_EPHEMERAL_BASE)
+        # Inbound-path counters.
+        self.packets_received = 0
+        self.packets_sent = 0
+        self.demux_misses_to_listener = 0
+        self.demux_drops = 0
+        self.resets_sent = 0
+        self.out_of_order = 0
+        network.attach(self)
+
+    # -- Host protocol ------------------------------------------------------
+
+    @property
+    def address(self) -> IPv4Address:
+        return self._address
+
+    @property
+    def demux(self) -> DemuxAlgorithm:
+        """The pluggable PCB-lookup algorithm under study."""
+        return self.table.algorithm
+
+    def deliver(self, packet: Packet) -> None:
+        """The inbound path: demultiplex, then run the state machine."""
+        self.packets_received += 1
+        segment = packet.tcp
+        kind = PacketKind.ACK if segment.is_pure_ack else PacketKind.DATA
+        tup = packet.four_tuple
+        result = self.table.lookup(tup, kind)
+        self.trace(
+            "demux", f"{tup}", kind=kind.value, examined=result.examined,
+            hit=result.cache_hit,
+        )
+        if result.found:
+            endpoint = result.pcb.user_data
+            if isinstance(endpoint, TCPEndpoint):
+                endpoint.handle(packet)
+            return
+        # No established connection: a SYN may create one.
+        if segment.is_syn and not segment.is_ack:
+            self._handle_listener_syn(packet, tup)
+            return
+        self.demux_drops += 1
+        if not segment.is_rst:
+            self._send_reset(packet)
+
+    # -- passive open ------------------------------------------------------
+
+    def _handle_listener_syn(self, packet: Packet, tup: FourTuple) -> None:
+        listener = self.table.find_listener(tup.local_addr, tup.local_port)
+        if listener is None or not listener.admit():
+            self.demux_drops += 1
+            self._send_reset(packet)
+            return
+        self.demux_misses_to_listener += 1
+        pcb = PCB(tup, mss=self._mss)
+
+        def on_establish(endpoint: TCPEndpoint) -> None:
+            listener.established(endpoint)
+
+        def on_close(endpoint: TCPEndpoint) -> None:
+            if endpoint.state is not TCPState.ESTABLISHED and endpoint.aborted:
+                listener.handshake_failed()
+            self._close_callback(listener, endpoint)
+
+        endpoint = TCPEndpoint(
+            self,
+            pcb,
+            on_data=listener.on_data,
+            on_establish=on_establish,
+            on_close=on_close,
+            delayed_ack=self._delayed_ack,
+        )
+        self.table.insert(pcb)
+        endpoint.open_passive(packet)
+
+    @staticmethod
+    def _close_callback(listener: Listener, endpoint: TCPEndpoint) -> None:
+        if listener.on_close:
+            listener.on_close(endpoint)
+
+    def listen(
+        self,
+        port: int,
+        *,
+        address: Optional[IPv4Address] = None,
+        on_accept: Optional[Callable[[TCPEndpoint], None]] = None,
+        on_data: Optional[Callable[[TCPEndpoint, bytes], None]] = None,
+        on_close: Optional[Callable[[TCPEndpoint], None]] = None,
+        backlog: int = 0,
+    ) -> Listener:
+        """Open a passive socket; returns the :class:`Listener`."""
+        listener = Listener(
+            self,
+            port,
+            address=address,
+            on_accept=on_accept,
+            on_data=on_data,
+            on_close=on_close,
+            backlog=backlog,
+        )
+        self.table.add_listener(port, listener, address)
+        return listener
+
+    # -- active open ---------------------------------------------------------
+
+    def connect(
+        self,
+        remote_addr: Union[str, IPv4Address],
+        remote_port: int,
+        *,
+        local_port: Optional[int] = None,
+        on_data: Optional[Callable[[TCPEndpoint, bytes], None]] = None,
+        on_establish: Optional[Callable[[TCPEndpoint], None]] = None,
+        on_close: Optional[Callable[[TCPEndpoint], None]] = None,
+    ) -> TCPEndpoint:
+        """Open a connection; the returned endpoint is in SYN_SENT."""
+        tup = FourTuple.create(
+            self._address,
+            self.allocate_port() if local_port is None else local_port,
+            IPv4Address(remote_addr),
+            remote_port,
+        )
+        pcb = PCB(tup, mss=self._mss)
+        endpoint = TCPEndpoint(
+            self,
+            pcb,
+            on_data=on_data,
+            on_establish=on_establish,
+            on_close=on_close,
+            delayed_ack=self._delayed_ack,
+        )
+        self.table.insert(pcb)
+        endpoint.open_active()
+        return endpoint
+
+    def allocate_port(self) -> int:
+        """Next ephemeral port (wraps back to the base at 65535)."""
+        port = next(self._port_counter)
+        if port > 0xFFFF:
+            self._port_counter = itertools.count(_EPHEMERAL_BASE)
+            port = next(self._port_counter)
+        return port
+
+    def next_iss(self) -> int:
+        """Deterministic initial send sequence (RFC-793-style clock)."""
+        return next(self._iss_counter) & 0xFFFFFFFF
+
+    # -- outbound and bookkeeping -------------------------------------------
+
+    def transmit(self, endpoint: TCPEndpoint, packet: Packet) -> None:
+        """Send an endpoint's packet; updates send-side demux state."""
+        self.packets_sent += 1
+        endpoint.pcb.note_send(len(packet.tcp.payload))
+        self.table.note_send(endpoint.pcb)
+        self.trace("send", f"{packet}")
+        self.network.send(packet)
+
+    def _send_reset(self, offending: Packet) -> None:
+        """RST for a segment with no home (RFC 793 rules, simplified)."""
+        self.resets_sent += 1
+        seg = offending.tcp
+        if seg.is_ack:
+            seq, ack, flags = seg.ack, 0, TCPFlags.RST
+        else:
+            seq = 0
+            ack = (seg.seq + seg.segment_length) & 0xFFFFFFFF
+            flags = TCPFlags.RST | TCPFlags.ACK
+        reset = TCPSegment(
+            src_port=seg.dst_port,
+            dst_port=seg.src_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+        )
+        packet = Packet(
+            ip=IPv4Header(src=offending.ip.dst, dst=offending.ip.src), tcp=reset
+        )
+        self.packets_sent += 1
+        self.network.send(packet)
+
+    def forget(self, endpoint: TCPEndpoint) -> None:
+        """Remove a closed endpoint's PCB from the demux table."""
+        tup = endpoint.pcb.four_tuple
+        try:
+            self.table.remove(tup)
+        except KeyError:
+            pass  # already removed (abort during teardown)
+
+    def count_out_of_order(self) -> None:
+        self.out_of_order += 1
+
+    def trace(self, category: str, message: str, **data) -> None:
+        self._tracer.record(self.sim.now, category, message, **data)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HostStack {self._address} {self.demux.name}"
+            f" pcbs={len(self.table)}>"
+        )

@@ -1,0 +1,91 @@
+"""TCP connection states and legal transitions (RFC 793 subset).
+
+The reproduction needs real connections -- the PCBs the demultiplexer
+searches belong to endpoints that performed a handshake and will
+eventually tear down -- so the stack carries the RFC 793 state machine
+for the paths it exercises: passive/active open, data transfer, and
+orderly close from either side.  Simultaneous open and most RST edge
+cases are validated as transitions but not driven by the workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet
+
+__all__ = ["TCPState", "TCPStateError", "can_transition", "check_transition"]
+
+
+class TCPState(enum.Enum):
+    """RFC 793 connection states."""
+
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TCPStateError(Exception):
+    """Raised on an illegal state transition."""
+
+
+#: Legal transitions, per the RFC 793 state diagram (RST paths collapse
+#: to CLOSED from any synchronized state).
+_TRANSITIONS: Dict[TCPState, FrozenSet[TCPState]] = {
+    TCPState.CLOSED: frozenset({TCPState.LISTEN, TCPState.SYN_SENT}),
+    TCPState.LISTEN: frozenset(
+        {TCPState.SYN_RCVD, TCPState.SYN_SENT, TCPState.CLOSED}
+    ),
+    TCPState.SYN_SENT: frozenset(
+        {TCPState.ESTABLISHED, TCPState.SYN_RCVD, TCPState.CLOSED}
+    ),
+    TCPState.SYN_RCVD: frozenset(
+        {TCPState.ESTABLISHED, TCPState.FIN_WAIT_1, TCPState.CLOSED}
+    ),
+    TCPState.ESTABLISHED: frozenset(
+        {TCPState.FIN_WAIT_1, TCPState.CLOSE_WAIT, TCPState.CLOSED}
+    ),
+    TCPState.FIN_WAIT_1: frozenset(
+        {TCPState.FIN_WAIT_2, TCPState.CLOSING, TCPState.TIME_WAIT, TCPState.CLOSED}
+    ),
+    TCPState.FIN_WAIT_2: frozenset({TCPState.TIME_WAIT, TCPState.CLOSED}),
+    TCPState.CLOSE_WAIT: frozenset({TCPState.LAST_ACK, TCPState.CLOSED}),
+    TCPState.CLOSING: frozenset({TCPState.TIME_WAIT, TCPState.CLOSED}),
+    TCPState.LAST_ACK: frozenset({TCPState.CLOSED}),
+    TCPState.TIME_WAIT: frozenset({TCPState.CLOSED}),
+}
+
+#: States in which the connection appears in the demux table.
+SYNCHRONIZED_STATES = frozenset(
+    {
+        TCPState.SYN_RCVD,
+        TCPState.ESTABLISHED,
+        TCPState.FIN_WAIT_1,
+        TCPState.FIN_WAIT_2,
+        TCPState.CLOSE_WAIT,
+        TCPState.CLOSING,
+        TCPState.LAST_ACK,
+        TCPState.TIME_WAIT,
+    }
+)
+
+
+def can_transition(current: TCPState, target: TCPState) -> bool:
+    """True if RFC 793 permits moving from ``current`` to ``target``."""
+    return target in _TRANSITIONS.get(current, frozenset())
+
+
+def check_transition(current: TCPState, target: TCPState) -> None:
+    """Raise :class:`TCPStateError` on an illegal transition."""
+    if not can_transition(current, target):
+        raise TCPStateError(f"illegal TCP transition {current} -> {target}")

@@ -1,0 +1,49 @@
+"""Traffic workloads: TPC/A OLTP, packet trains, polling, and mixes.
+
+Each workload drives a :mod:`repro.core` demultiplexing algorithm --
+either directly (the demux-level simulations, which scale to the
+paper's 2,000 users) or through the full TCP stack -- and returns a
+:class:`WorkloadResult` snapshot of the lookup statistics.
+"""
+
+from .base import WorkloadResult
+from .churn import ChurnConfig, ChurnWorkload
+from .mixed import MixedConfig, MixedWorkload
+from .polling import PollingConfig, PollingWorkload
+from .thinktime import (
+    DeterministicThink,
+    ExponentialThink,
+    ThinkTimeModel,
+    TruncatedExponentialThink,
+    make_think_model,
+)
+from .tpca import (
+    SERVER_ADDRESS,
+    SERVER_PORT,
+    TPCAConfig,
+    TPCADemuxSimulation,
+    TPCAFullStackSimulation,
+)
+from .trains import PacketTrainWorkload, TrainConfig
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnWorkload",
+    "DeterministicThink",
+    "ExponentialThink",
+    "MixedConfig",
+    "MixedWorkload",
+    "PacketTrainWorkload",
+    "PollingConfig",
+    "PollingWorkload",
+    "SERVER_ADDRESS",
+    "SERVER_PORT",
+    "ThinkTimeModel",
+    "TPCAConfig",
+    "TPCADemuxSimulation",
+    "TPCAFullStackSimulation",
+    "TrainConfig",
+    "TruncatedExponentialThink",
+    "WorkloadResult",
+    "make_think_model",
+]

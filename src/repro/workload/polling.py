@@ -1,0 +1,77 @@
+"""Deterministic round-robin polling: move-to-front's worst case.
+
+"Note that a TPC/A is not the worst case; if the think times were
+deterministic (exactly 10 seconds always), Crowcroft's algorithm would
+look through all 2,000 PCBs on each transaction entry.  One example of
+a system with this behavior is a central server polling its clients, as
+seen in many point-of-sale terminal applications" (paper, Section 3.2).
+
+The model: the server cycles through its N terminals in a fixed order;
+each poll produces one inbound data packet (the terminal's reply) and
+one inbound pure ack.  Between a terminal's consecutive replies, every
+other terminal has replied exactly once -- so under move-to-front the
+terminal's PCB has sunk to the very tail of the list every time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.base import DemuxAlgorithm
+from ..core.pcb import PCB
+from ..core.stats import PacketKind
+from ..packet.addresses import FourTuple, IPv4Address
+from .base import WorkloadResult
+
+__all__ = ["PollingConfig", "PollingWorkload"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PollingConfig:
+    """Parameters of a polling run."""
+
+    n_terminals: int = 100
+    #: Complete polling cycles to run.
+    n_cycles: int = 50
+    #: Whether each reply is followed by a transport-level ack inbound
+    #: to the server (terminal acks the server's next poll).
+    with_acks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_terminals < 1:
+            raise ValueError("need at least one terminal")
+        if self.n_cycles < 1:
+            raise ValueError("need at least one cycle")
+
+
+class PollingWorkload:
+    """Round-robin terminal replies against a demux algorithm."""
+
+    def __init__(self, config: PollingConfig, algorithm: DemuxAlgorithm):
+        self.config = config
+        self.algorithm = algorithm
+        self._tuples = []
+
+    def _populate(self) -> None:
+        server = IPv4Address("10.0.0.1")
+        for index in range(self.config.n_terminals):
+            tup = FourTuple(
+                server, 7000, IPv4Address("10.3.0.1") + index, 60000 + index % 5000
+            )
+            self.algorithm.insert(PCB(tup))
+            self._tuples.append(tup)
+
+    def run(self) -> WorkloadResult:
+        cfg = self.config
+        self._populate()
+        for _ in range(cfg.n_cycles):
+            for tup in self._tuples:
+                self.algorithm.lookup(tup, PacketKind.DATA)
+                if cfg.with_acks:
+                    self.algorithm.lookup(tup, PacketKind.ACK)
+        return WorkloadResult.from_algorithm(
+            self.algorithm,
+            workload="polling",
+            n_connections=cfg.n_terminals,
+            sim_time=0.0,
+        )

@@ -1,0 +1,119 @@
+"""Think-time models for simulated users.
+
+TPC/A mandates a truncated negative exponential (paper Section 2); the
+paper's analysis idealizes it as untruncated (Section 3); and the
+paper's worst case for move-to-front is deterministic think time
+("a central server polling its clients", Section 3.2).  All three are
+provided behind one ``sample(rng) -> seconds`` interface so workloads
+take the model as a parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol
+
+from ..analytic.distributions import Exponential, TruncatedExponential
+
+__all__ = [
+    "ThinkTimeModel",
+    "ExponentialThink",
+    "TruncatedExponentialThink",
+    "DeterministicThink",
+    "make_think_model",
+]
+
+
+class ThinkTimeModel(Protocol):
+    """Anything that can produce think times."""
+
+    @property
+    def mean(self) -> float:
+        """Expected think time in seconds."""
+        ...
+
+    def sample(self, rng) -> float:
+        """Draw one think time using ``rng``."""
+        ...
+
+
+@dataclasses.dataclass(frozen=True)
+class ExponentialThink:
+    """The analysis' idealization: untruncated exponential."""
+
+    mean_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mean_seconds <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_seconds}")
+
+    @property
+    def mean(self) -> float:
+        return self.mean_seconds
+
+    def sample(self, rng) -> float:
+        return Exponential(1.0 / self.mean_seconds).sample(rng)
+
+
+@dataclasses.dataclass(frozen=True)
+class TruncatedExponentialThink:
+    """The TPC/A-mandated distribution: truncated at 10x the mean."""
+
+    mean_seconds: float = 10.0
+    cutoff_multiple: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mean_seconds <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_seconds}")
+        if self.cutoff_multiple < 10.0:
+            raise ValueError(
+                "TPC/A requires the maximum to be at least 10x the mean;"
+                f" got {self.cutoff_multiple}x"
+            )
+
+    @property
+    def _dist(self) -> TruncatedExponential:
+        return TruncatedExponential(
+            rate=1.0 / self.mean_seconds,
+            cutoff=self.cutoff_multiple * self.mean_seconds,
+        )
+
+    @property
+    def mean(self) -> float:
+        return self._dist.mean
+
+    def sample(self, rng) -> float:
+        return self._dist.sample(rng)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeterministicThink:
+    """Fixed think time: the Section 3.2 move-to-front worst case."""
+
+    mean_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mean_seconds <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_seconds}")
+
+    @property
+    def mean(self) -> float:
+        return self.mean_seconds
+
+    def sample(self, rng) -> float:
+        return self.mean_seconds
+
+
+def make_think_model(name: str, mean_seconds: float = 10.0) -> ThinkTimeModel:
+    """Factory by name: ``exponential``, ``truncated``, ``deterministic``."""
+    models = {
+        "exponential": ExponentialThink,
+        "truncated": TruncatedExponentialThink,
+        "deterministic": DeterministicThink,
+    }
+    try:
+        factory = models[name]
+    except KeyError:
+        known = ", ".join(sorted(models))
+        raise ValueError(f"unknown think model {name!r}; known: {known}") from None
+    return factory(mean_seconds)

@@ -1,0 +1,116 @@
+"""Bulk-transfer packet trains (the regime BSD's cache was built for).
+
+"Many recent protocol optimizations for TCP assume that a large
+component of TCP traffic is bulk-data transfers, which result in packet
+trains [JR86].  If packet trains are prevalent ... a very simple
+one-PCB cache like those used in BSD systems yields very high cache hit
+rates" (paper, Section 1 abstract).  The Sequent algorithm must keep
+that property ("while still maintaining good performance for
+packet-train traffic"), which this workload verifies.
+
+The model: N established connections; transfers arrive as trains of L
+consecutive data segments on one connection (with a transport ack
+flowing back mid-train every ``ack_every`` segments, exercising both
+packet kinds), and successive trains pick their connection uniformly or
+by a Zipf-like popularity law.  With mean train length L, a one-entry
+cache hits at least (L-1)/L of the time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.base import DemuxAlgorithm
+from ..core.pcb import PCB
+from ..core.stats import PacketKind
+from ..packet.addresses import FourTuple, IPv4Address
+from ..sim.rng import RngRegistry
+from .base import WorkloadResult
+
+__all__ = ["TrainConfig", "PacketTrainWorkload"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainConfig:
+    """Parameters of a packet-train run."""
+
+    n_connections: int = 8
+    #: Mean train length in segments (geometric; the Jain/Routhier
+    #: packet-train model has geometric-ish inter-car gaps).
+    mean_train_length: int = 64
+    #: Trains to generate.
+    n_trains: int = 500
+    #: A pure ack arrives after every this many data segments.
+    ack_every: int = 2
+    #: Zipf-like skew across connections; 0 = uniform.
+    popularity_skew: float = 0.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_connections < 1:
+            raise ValueError("need at least one connection")
+        if self.mean_train_length < 1:
+            raise ValueError("mean train length must be >= 1")
+        if self.n_trains < 1:
+            raise ValueError("need at least one train")
+        if self.ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        if self.popularity_skew < 0:
+            raise ValueError("popularity skew must be non-negative")
+
+
+class PacketTrainWorkload:
+    """Drives a demux algorithm with bulk-transfer packet trains."""
+
+    def __init__(self, config: TrainConfig, algorithm: DemuxAlgorithm):
+        self.config = config
+        self.algorithm = algorithm
+        self._rng = RngRegistry(config.seed).stream("trains")
+        self._tuples = []
+        self._weights = []
+
+    def _populate(self) -> None:
+        cfg = self.config
+        server = IPv4Address("10.0.0.1")
+        for index in range(cfg.n_connections):
+            tup = FourTuple(
+                server, 9000, IPv4Address("10.2.0.1") + index, 50000 + index
+            )
+            self.algorithm.insert(PCB(tup))
+            self._tuples.append(tup)
+            # Zipf-like weights 1/(rank+1)^skew.
+            self._weights.append(1.0 / (index + 1) ** cfg.popularity_skew)
+
+    def _pick_connection(self) -> FourTuple:
+        return self._rng.choices(self._tuples, weights=self._weights, k=1)[0]
+
+    def _train_length(self) -> int:
+        mean = self.config.mean_train_length
+        if mean == 1:
+            return 1
+        # Geometric with the requested mean, floored at one segment.
+        p = 1.0 / mean
+        length = 1
+        while self._rng.random() > p:
+            length += 1
+        return length
+
+    def run(self) -> WorkloadResult:
+        cfg = self.config
+        self._populate()
+        segments = 0
+        for _ in range(cfg.n_trains):
+            tup = self._pick_connection()
+            length = self._train_length()
+            for i in range(length):
+                self.algorithm.lookup(tup, PacketKind.DATA)
+                segments += 1
+                if (i + 1) % cfg.ack_every == 0:
+                    self.algorithm.lookup(tup, PacketKind.ACK)
+                    segments += 1
+        return WorkloadResult.from_algorithm(
+            self.algorithm,
+            workload="trains",
+            n_connections=cfg.n_connections,
+            sim_time=0.0,  # untimed; trains are back to back
+        )

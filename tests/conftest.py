@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.connection_id import ConnectionIdDemux
+from repro.core.hashed_mtf import HashedMTFDemux
+from repro.core.linear import LinearDemux
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.multicache import MultiCacheDemux
+from repro.core.pcb import PCB
+from repro.core.sendrecv import SendRecvDemux
+from repro.core.sequent import SequentDemux
+from repro.packet.addresses import FourTuple, IPv4Address
+
+#: Factories for every demux algorithm, keyed by registry name.  Tests
+#: that assert interface-level behaviour parametrize over these.
+ALL_ALGORITHM_FACTORIES = {
+    "linear": LinearDemux,
+    "bsd": BSDDemux,
+    "mtf": MoveToFrontDemux,
+    "multicache": lambda: MultiCacheDemux(4),
+    "sendrecv": SendRecvDemux,
+    "sequent": lambda: SequentDemux(7),
+    "hashed_mtf": lambda: HashedMTFDemux(7),
+    "connection_id": ConnectionIdDemux,
+}
+
+
+def make_tuple(index: int, *, server_port: int = 1521) -> FourTuple:
+    """A distinct, valid four-tuple per index (deterministic)."""
+    return FourTuple(
+        IPv4Address("10.0.0.1"),
+        server_port,
+        IPv4Address("10.1.0.0") + (index + 1),
+        40000 + (index % 20000),
+    )
+
+
+def make_pcbs(count: int) -> list:
+    """``count`` distinct PCBs."""
+    return [PCB(make_tuple(i)) for i in range(count)]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture(params=sorted(ALL_ALGORITHM_FACTORIES))
+def any_algorithm(request):
+    """One instance of each demux algorithm (parametrized)."""
+    return ALL_ALGORITHM_FACTORIES[request.param]()
+
+
+@pytest.fixture(
+    params=["linear", "bsd", "mtf", "multicache", "sendrecv", "sequent",
+            "hashed_mtf"]
+)
+def scanning_algorithm(request):
+    """Algorithms whose lookups actually scan (excludes connection_id)."""
+    return ALL_ALGORITHM_FACTORIES[request.param]()

@@ -1,0 +1,120 @@
+"""Integration: the full-stack TPC/A simulation end to end.
+
+Real SYN handshakes through the listener, real segments over the
+simulated LAN, real state machines -- the complete paper scenario at a
+population small enough for CI.
+"""
+
+import pytest
+
+from repro.analytic import bsd as a_bsd
+from repro.core.bsd import BSDDemux
+from repro.core.sequent import SequentDemux
+from repro.workload.thinktime import ExponentialThink
+from repro.workload.tpca import TPCAConfig, TPCAFullStackSimulation
+
+
+def run_fullstack(algorithm, *, n_users=60, duration=80.0, seed=5,
+                  mean_think=4.0):
+    """Shorter think time than TPC/A's 10 s so a CI-sized run still
+    collects thousands of lookups."""
+    config = TPCAConfig(
+        n_users=n_users,
+        duration=duration,
+        warmup=10.0,
+        seed=seed,
+        think_model=ExponentialThink(mean_think),
+    )
+    sim = TPCAFullStackSimulation(config, algorithm)
+    result = sim.run()
+    return sim, result
+
+
+class TestFullStack:
+    @pytest.fixture(scope="class")
+    def bsd_run(self):
+        return run_fullstack(BSDDemux())
+
+    def test_all_users_connect(self, bsd_run):
+        sim, result = bsd_run
+        assert len(sim.server.table) == 60
+        assert result.n_connections == 60
+
+    def test_transactions_flow(self, bsd_run):
+        sim, result = bsd_run
+        # 60 users, ~1/(4+0.2)s each, 80 s window: hundreds of txns.
+        assert sim.transactions_completed > 500
+
+    def test_server_sees_data_and_acks_evenly(self, bsd_run):
+        sim, result = bsd_run
+        # Per transaction the server receives one query + one ack.
+        assert result.data_lookups == pytest.approx(
+            result.ack_lookups, rel=0.1
+        )
+
+    def test_no_lookup_failures_in_steady_state(self, bsd_run):
+        sim, result = bsd_run
+        combined = sim.algorithm.stats.combined()
+        assert combined.not_found == 0
+        assert sim.server.demux_drops == 0
+
+    def test_bsd_cost_matches_analytic(self, bsd_run):
+        """The full stack reproduces Eq. 1 (with the effective per-user
+        rate a = 1/(think + response + rtt) instead of TPC/A's 0.1/s --
+        Eq. 1 is rate-independent anyway)."""
+        sim, result = bsd_run
+        assert result.mean_examined == pytest.approx(
+            a_bsd.cost(60), rel=0.08
+        )
+
+    def test_retransmissions_absent_on_clean_network(self, bsd_run):
+        sim, result = bsd_run
+        # Every inbound packet at every host was expected: no stray
+        # resets anywhere.
+        assert sim.server.resets_sent == 0
+        for client in sim.clients:
+            assert client.resets_sent == 0
+
+    def test_response_times_measured(self, bsd_run):
+        """User-perceived response time = R + round trip (no queueing
+        in this model), and the TPC/A 90%-under-2s validity rule holds."""
+        sim, result = bsd_run
+        assert len(sim.response_times) > 400
+        p50 = sim.response_time_percentile(0.50)
+        # R=0.2s + ~1ms round trip.
+        assert 0.195 < p50 < 0.215
+        assert sim.meets_tpca_response_rule
+
+    def test_response_percentile_validation(self, bsd_run):
+        sim, _ = bsd_run
+        with pytest.raises(ValueError):
+            sim.response_time_percentile(1.5)
+
+    def test_sequent_beats_bsd_fullstack(self):
+        _, bsd_result = run_fullstack(BSDDemux(), n_users=60, duration=60.0)
+        _, seq_result = run_fullstack(
+            SequentDemux(19), n_users=60, duration=60.0
+        )
+        assert seq_result.mean_examined < bsd_result.mean_examined / 4
+
+
+class TestFullStackVsDemuxLevel:
+    def test_two_fidelities_agree(self):
+        """The demux-level and full-stack simulations must measure the
+        same steady-state cost for the same scenario."""
+        from repro.workload.tpca import TPCADemuxSimulation
+
+        n, think = 60, 4.0
+        _, full = run_fullstack(BSDDemux(), n_users=n, duration=100.0,
+                                mean_think=think)
+        fast_cfg = TPCAConfig(
+            n_users=n,
+            duration=100.0,
+            warmup=10.0,
+            seed=5,
+            think_model=ExponentialThink(think),
+        )
+        fast = TPCADemuxSimulation(fast_cfg, BSDDemux()).run()
+        assert full.mean_examined == pytest.approx(
+            fast.mean_examined, rel=0.1
+        )

@@ -1,0 +1,111 @@
+"""Integration: byte-exact wire round trips through every layer.
+
+The simulations pass header *objects* for speed; this suite proves the
+objects' wire formats are genuinely interoperable -- everything a host
+sends can be serialized to Ethernet/IPv4/TCP bytes, parsed back, and
+demultiplexed to the same PCB.
+"""
+
+from repro.core.bsd import BSDDemux
+from repro.core.pcb import PCB
+from repro.core.sequent import SequentDemux
+from repro.core.stats import PacketKind
+from repro.packet.addresses import FourTuple, IPv4Address
+from repro.packet.builder import build_packet, make_ack, make_data, parse_packet
+from repro.packet.ethernet import EthernetFrame, EtherType, MACAddress
+from repro.packet.tcp import TCPFlags, TCPSegment
+
+
+def full_stack_bytes(packet):
+    """Packet object -> Ethernet frame bytes -> parsed Packet."""
+    ip_bytes = packet.build()
+    frame = EthernetFrame(
+        dst=MACAddress("02:00:00:00:00:01"),
+        src=MACAddress("02:00:00:00:00:02"),
+        ethertype=EtherType.IPV4,
+        payload=ip_bytes,
+    )
+    wire = frame.build()
+    parsed_frame = EthernetFrame.parse(wire)
+    assert parsed_frame.ethertype == EtherType.IPV4
+    # IP's total length trims the Ethernet padding.
+    return parse_packet(parsed_frame.payload)
+
+
+class TestEthernetIpTcpRoundTrip:
+    def test_data_packet_survives_all_layers(self):
+        tup = FourTuple.create("10.0.0.1", 1521, "10.1.0.5", 41000)
+        packet = make_data(tup, b"SELECT balance FROM accounts", seq=7, ack=9)
+        again = full_stack_bytes(packet)
+        assert again.four_tuple == tup
+        assert again.tcp.payload == b"SELECT balance FROM accounts"
+        assert again.tcp.seq == 7
+
+    def test_minimum_size_ack_padded_and_trimmed(self):
+        tup = FourTuple.create("10.0.0.1", 1521, "10.1.0.5", 41000)
+        packet = make_ack(tup, seq=1, ack=2)
+        again = full_stack_bytes(packet)
+        assert again.is_pure_ack
+        assert again.tcp.payload == b""  # padding trimmed by IP length
+
+    def test_demux_after_wire_round_trip(self):
+        """Parse inbound bytes and look the connection up: the PCB found
+        is the installed one, for both a flat and a hashed structure."""
+        tuples = [
+            FourTuple.create("10.0.0.1", 1521, "10.1.0.5", 41000 + i)
+            for i in range(20)
+        ]
+        for demux in (BSDDemux(), SequentDemux(7)):
+            pcbs = {tup: PCB(tup) for tup in tuples}
+            for pcb in pcbs.values():
+                demux.insert(pcb)
+            for tup in tuples:
+                wire = build_packet(
+                    str(tup.remote_addr),
+                    str(tup.local_addr),
+                    TCPSegment(
+                        src_port=tup.remote_port,
+                        dst_port=tup.local_port,
+                        flags=TCPFlags.ACK,
+                        payload=b"q",
+                    ),
+                )
+                packet = parse_packet(wire)
+                kind = (
+                    PacketKind.ACK if packet.is_pure_ack else PacketKind.DATA
+                )
+                result = demux.lookup(packet.four_tuple, kind)
+                assert result.pcb is pcbs[tup], demux.name
+
+    def test_four_packet_transaction_on_the_wire(self):
+        """Serialize the paper's full 4-packet TPC/A exchange and check
+        each leg parses and classifies correctly."""
+        server = IPv4Address("10.0.0.1")
+        client = IPv4Address("10.1.0.5")
+        server_tup = FourTuple(server, 1521, client, 41000)
+
+        query = make_data(server_tup, b"txn", seq=100, ack=200)
+        query_ack = make_ack(server_tup.reversed, seq=200, ack=103)
+        response = make_data(server_tup.reversed, b"ok", seq=200, ack=103)
+        response_ack = make_ack(server_tup, seq=103, ack=202)
+
+        legs = [query, query_ack, response, response_ack]
+        reparsed = [parse_packet(p.build()) for p in legs]
+
+        assert not reparsed[0].is_pure_ack  # query carries data
+        assert reparsed[1].is_pure_ack  # transport-level ack
+        assert not reparsed[2].is_pure_ack  # response carries data
+        assert reparsed[3].is_pure_ack  # transport-level ack
+
+        # The two server-inbound packets demux to the same key.
+        assert reparsed[0].four_tuple == reparsed[3].four_tuple == server_tup
+        # The two client-inbound packets to its reverse.
+        assert reparsed[1].four_tuple == reparsed[2].four_tuple == (
+            server_tup.reversed
+        )
+
+    def test_checksums_across_many_payload_sizes(self):
+        tup = FourTuple.create("10.0.0.1", 80, "10.1.0.5", 41000)
+        for size in (0, 1, 2, 3, 100, 535, 536, 1000):
+            packet = make_data(tup, bytes(size % 251 for _ in range(size)))
+            assert full_stack_bytes(packet).tcp.payload == packet.tcp.payload

@@ -1,0 +1,121 @@
+"""Property-based tests on the analytic model's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import bsd, crowcroft, sendrecv, sequent
+from repro.hashing.functions import HASH_FUNCTIONS
+from repro.packet.addresses import FourTuple, IPv4Address
+
+users = st.integers(min_value=1, max_value=20000)
+small_users = st.integers(min_value=2, max_value=5000)
+rates = st.floats(min_value=0.001, max_value=10.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+chains = st.integers(min_value=1, max_value=500)
+
+
+class TestBSDProperties:
+    @given(users)
+    def test_cost_between_one_and_half_n_plus_one(self, n):
+        cost = bsd.cost(n)
+        assert 1.0 <= cost <= n / 2 + 1
+
+    @given(users, rates, times)
+    def test_train_probability_is_probability(self, n, a, r):
+        p = bsd.ack_train_probability(n, a, r)
+        assert 0.0 <= p <= 1.0
+
+
+class TestCrowcroftProperties:
+    @given(small_users, rates, times)
+    def test_preceding_bounded_by_population(self, n, a, t):
+        value = crowcroft.expected_preceding_users(n, a, t)
+        assert 0.0 <= value <= n - 1
+
+    @given(small_users, rates, times)
+    def test_entry_cost_bracketed(self, n, a, r):
+        """Entry cost lies between (N-1)/2 (R=0) and 2(N-1)/3 (R=inf)."""
+        cost = crowcroft.entry_cost(n, a, r)
+        assert (n - 1) / 2 - 1e-9 <= cost <= 2 * (n - 1) / 3 + 1e-9
+
+    @given(small_users, rates, times)
+    def test_overall_below_deterministic_worst_case(self, n, a, r):
+        assert crowcroft.overall_cost(n, a, r) <= (
+            crowcroft.deterministic_entry_cost(n) + 1e-9
+        )
+
+    @given(small_users, rates, st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=0.001, max_value=10.0))
+    def test_ack_cost_monotone_in_response_time(self, n, a, r, dr):
+        assert crowcroft.ack_cost(n, a, r + dr) >= crowcroft.ack_cost(n, a, r)
+
+
+class TestSendRecvProperties:
+    @given(small_users, rates, times, times)
+    def test_overall_between_hit_and_miss(self, n, a, r, d):
+        cost = sendrecv.overall_cost(n, a, r, d)
+        assert sendrecv.hit_cost() - 1e-9 <= cost <= sendrecv.miss_cost(n)
+
+    @given(small_users, rates, times)
+    def test_monotone_in_rtt(self, n, a, r):
+        costs = [sendrecv.overall_cost(n, a, r, d) for d in (0.0, 0.01, 0.1, 1.0)]
+        assert all(x <= y + 1e-9 for x, y in zip(costs, costs[1:]))
+
+    @given(small_users, rates, times, times)
+    def test_never_worse_than_bsd_plus_cache_overhead(self, n, a, r, d):
+        """Two cache probes cost at most 2 extra vs BSD's 1."""
+        assert sendrecv.overall_cost(n, a, r, d) <= bsd.cost(n) + 2.0
+
+
+class TestSequentProperties:
+    @given(small_users, chains)
+    def test_approx_cost_bounds(self, n, h):
+        cost = sequent.cost_approx(n, h)
+        assert 1.0 <= cost <= bsd.cost(n) + 1e-9
+
+    @given(small_users, chains, rates, times)
+    def test_exact_at_most_approx(self, n, h, a, r):
+        """The Eq. 20 refinement only ever credits the cache."""
+        exact = sequent.overall_cost(n, h, a, r)
+        assert exact <= sequent.cost_approx(n, h) + 1e-9
+
+    @given(small_users, rates, times)
+    def test_more_chains_never_hurt(self, n, a, r):
+        costs = [sequent.overall_cost(n, h, a, r) for h in (1, 4, 16, 64)]
+        assert all(x >= y - 1e-9 for x, y in zip(costs, costs[1:]))
+
+    @given(small_users, chains, rates, times)
+    def test_survival_is_probability(self, n, h, a, r):
+        assert 0.0 <= sequent.survive_probability(n, h, a, r) <= 1.0
+
+
+class TestHashFunctionProperties:
+    tuples = st.builds(
+        FourTuple,
+        local_addr=st.integers(min_value=0, max_value=0xFFFFFFFF).map(
+            IPv4Address
+        ),
+        local_port=st.integers(min_value=0, max_value=0xFFFF),
+        remote_addr=st.integers(min_value=0, max_value=0xFFFFFFFF).map(
+            IPv4Address
+        ),
+        remote_port=st.integers(min_value=0, max_value=0xFFFF),
+    )
+
+    @given(tuples, st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=200)
+    def test_every_function_in_range(self, tup, nbuckets):
+        for name, fn in HASH_FUNCTIONS.items():
+            bucket = fn(tup, nbuckets)
+            assert 0 <= bucket < nbuckets, name
+
+    @given(tuples)
+    def test_equal_tuples_equal_hashes(self, a):
+        clone = FourTuple(
+            IPv4Address(int(a.local_addr)),
+            a.local_port,
+            IPv4Address(int(a.remote_addr)),
+            a.remote_port,
+        )
+        for name, fn in HASH_FUNCTIONS.items():
+            assert fn(a, 19) == fn(clone, 19), name

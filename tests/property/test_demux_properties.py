@@ -1,0 +1,165 @@
+"""Property-based tests over the demultiplexing structures.
+
+Hypothesis drives random insert/remove/lookup/send command sequences at
+all seven structures simultaneously and checks the cross-structure
+invariants: they always agree on which PCB a key maps to, their
+populations stay identical, and each structure's cost stays within its
+own bound.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bsd import BSDDemux
+from repro.core.connection_id import ConnectionIdDemux
+from repro.core.hashed_mtf import HashedMTFDemux
+from repro.core.linear import LinearDemux
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.pcb import PCB
+from repro.core.sendrecv import SendRecvDemux
+from repro.core.sequent import SequentDemux
+from repro.core.stats import PacketKind
+from repro.packet.addresses import FourTuple, IPv4Address
+
+SERVER = IPv4Address("10.0.0.1")
+
+
+def tuple_for(index: int) -> FourTuple:
+    return FourTuple(SERVER, 1521, IPv4Address("10.7.0.0") + index, 40000 + index)
+
+
+def fresh_structures():
+    return [
+        LinearDemux(),
+        BSDDemux(),
+        MoveToFrontDemux(),
+        SendRecvDemux(),
+        SequentDemux(5),
+        HashedMTFDemux(3),
+        ConnectionIdDemux(),
+    ]
+
+
+# A command is (op, key_index): insert/remove/lookup_data/lookup_ack/send.
+commands = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "remove", "lookup_data", "lookup_ack", "send"]
+        ),
+        st.integers(min_value=0, max_value=14),
+    ),
+    max_size=60,
+)
+
+
+@given(commands)
+@settings(max_examples=120, deadline=None)
+def test_all_structures_agree_on_membership_and_target(script):
+    structures = fresh_structures()
+    live = {}  # index -> list of per-structure PCBs
+
+    for op, index in script:
+        tup = tuple_for(index)
+        if op == "insert":
+            if index in live:
+                continue
+            live[index] = []
+            for structure in structures:
+                pcb = PCB(tup)
+                structure.insert(pcb)
+                live[index].append(pcb)
+        elif op == "remove":
+            if index not in live:
+                continue
+            expected = live.pop(index)
+            for structure, pcb in zip(structures, expected):
+                assert structure.remove(tup) is pcb
+        elif op == "send":
+            if index not in live:
+                continue
+            for structure, pcb in zip(structures, live[index]):
+                structure.note_send(pcb)
+        else:
+            kind = PacketKind.DATA if op == "lookup_data" else PacketKind.ACK
+            for structure, pcb in zip(
+                structures,
+                live.get(index, [None] * len(structures)),
+            ):
+                result = structure.lookup(tup, kind)
+                if index in live:
+                    assert result.pcb is pcb, structure.name
+                else:
+                    assert result.pcb is None, structure.name
+
+        # Global invariants after every command.
+        population = len(live)
+        for structure in structures:
+            assert len(structure) == population, structure.name
+            assert (
+                sorted(p.four_tuple for p in structure)
+                == sorted(tuple_for(i) for i in live)
+            ), structure.name
+
+
+@given(commands)
+@settings(max_examples=80, deadline=None)
+def test_cost_bounds_hold_throughout(script):
+    structures = fresh_structures()
+    live = set()
+    for op, index in script:
+        tup = tuple_for(index)
+        if op == "insert" and index not in live:
+            live.add(index)
+            for structure in structures:
+                structure.insert(PCB(tup))
+        elif op == "remove" and index in live:
+            live.discard(index)
+            for structure in structures:
+                structure.remove(tup)
+        elif op in ("lookup_data", "lookup_ack"):
+            kind = PacketKind.DATA if op == "lookup_data" else PacketKind.ACK
+            for structure in structures:
+                result = structure.lookup(tup, kind)
+                # No structure may examine more than every PCB plus two
+                # cache slots -- and never a negative count.
+                assert 0 <= result.examined <= len(live) + 2, structure.name
+                if result.cache_hit:
+                    assert result.examined <= 2, structure.name
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.lists(st.integers(min_value=0, max_value=39), min_size=1, max_size=80),
+)
+@settings(max_examples=60, deadline=None)
+def test_mtf_examined_equals_prior_position(n, lookups):
+    """MTF's cost is exactly 1 + (PCBs in front before the lookup)."""
+    demux = MoveToFrontDemux()
+    for i in range(n):
+        demux.insert(PCB(tuple_for(i)))
+    for raw in lookups:
+        index = raw % n
+        position = demux.position_of(tuple_for(index))
+        result = demux.lookup(tuple_for(index))
+        assert result.examined == position + 1
+        assert demux.position_of(tuple_for(index)) == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_sequent_chain_assignment_is_stable(nchains, npcbs):
+    """A PCB's chain never changes, so remove always finds it."""
+    demux = SequentDemux(nchains)
+    for i in range(npcbs):
+        demux.insert(PCB(tuple_for(i)))
+    for i in range(npcbs):
+        chain_before = demux.chain_of(tuple_for(i))
+        demux.lookup(tuple_for(i))
+        assert demux.chain_of(tuple_for(i)) == chain_before
+    for i in range(npcbs):
+        demux.remove(tuple_for(i))
+    assert len(demux) == 0
+    assert all(length == 0 for length in demux.chain_lengths())

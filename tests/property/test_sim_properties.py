@@ -1,0 +1,91 @@
+"""Property-based tests for the simulation engine and RNG streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestEngineOrdering:
+    @given(delays)
+    @settings(max_examples=150)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+        assert sim.now == max(times)
+
+    @given(delays)
+    @settings(max_examples=100)
+    def test_equal_times_preserve_fifo(self, times):
+        sim = Simulator()
+        order = []
+        # Duplicate every time so ties are guaranteed.
+        for i, t in enumerate(list(times) + list(times)):
+            sim.schedule(t, order.append, (t, i))
+        sim.run()
+        # Within each timestamp, sequence numbers must ascend.
+        by_time = {}
+        for t, i in order:
+            by_time.setdefault(t, []).append(i)
+        for sequence in by_time.values():
+            assert sequence == sorted(sequence)
+
+    @given(delays, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=100)
+    def test_cancellation_removes_exactly_the_cancelled(self, times, cancel_n):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(t, fired.append, i) for i, t in enumerate(times)]
+        doomed = set(range(len(events)))
+        doomed = set(list(doomed)[:cancel_n])
+        for i in doomed:
+            sim.cancel(events[i])
+        sim.run()
+        assert set(fired) == set(range(len(times))) - doomed
+
+    @given(delays, st.floats(min_value=0.0, max_value=1000.0,
+                             allow_nan=False))
+    @settings(max_examples=100)
+    def test_run_until_is_a_clean_partition(self, times, cut):
+        """Events split exactly at the cut; resuming runs the rest."""
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, fired.append, t)
+        sim.run(until=cut)
+        assert all(t <= cut for t in fired)
+        before = len(fired)
+        sim.run()
+        assert len(fired) == len(times)
+        assert all(t > cut for t in fired[before:])
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1,
+                                                              max_size=20))
+    @settings(max_examples=100)
+    def test_stream_reproducibility(self, seed, name):
+        a = RngRegistry(seed).stream(name).random()
+        b = RngRegistry(seed).stream(name).random()
+        assert a == b
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50)
+    def test_distinct_names_give_distinct_sequences(self, seed):
+        reg = RngRegistry(seed)
+        a = [reg.stream("alpha").random() for _ in range(3)]
+        b = [reg.stream("beta").random() for _ in range(3)]
+        assert a != b

@@ -1,0 +1,80 @@
+"""Tests for the BSD analytic model (paper Section 3.1, Eq. 1)."""
+
+import pytest
+
+from repro.analytic import bsd
+
+
+class TestEq1:
+    def test_paper_headline_number(self):
+        """200 TPS -> 2,000 users -> 1,001 PCBs per packet."""
+        assert bsd.cost(2000) == pytest.approx(1001.0, abs=0.01)
+
+    def test_single_user(self):
+        # One user: always a cache hit after the first packet; Eq. 1
+        # gives exactly 1.
+        assert bsd.cost(1) == pytest.approx(1.0)
+
+    def test_closed_form_matches_decomposition(self):
+        for n in (1, 2, 10, 500, 2000, 10000):
+            decomposed = 1.0 + (n - 1) / n * bsd.miss_cost(n)
+            assert bsd.cost(n) == pytest.approx(decomposed)
+
+    def test_approaches_n_over_2(self):
+        n = 100000
+        assert bsd.cost(n) == pytest.approx(n / 2, rel=0.001)
+
+    def test_monotone_in_n(self):
+        costs = [bsd.cost(n) for n in range(1, 200)]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            bsd.cost(0)
+
+
+class TestHitRateAndMissCost:
+    def test_hit_rate_paper_value(self):
+        """'The hit rate for the PCB cache is 1/N, which is 0.05% for a
+        200 TPC/A TPS benchmark.'"""
+        assert bsd.hit_rate(2000) == pytest.approx(0.0005)
+
+    def test_miss_cost_is_half_scan(self):
+        assert bsd.miss_cost(2000) == pytest.approx(1000.5)
+        assert bsd.miss_cost(1) == 1.0
+
+
+class TestFootnote4:
+    def test_per_user_quiet_96_percent(self):
+        """e^{-2 * 0.1 * 0.2} = 0.9608 -- the footnote's '96%'."""
+        assert bsd.per_user_quiet_probability(0.1, 0.2) == pytest.approx(
+            0.96, abs=0.001
+        )
+
+    def test_train_probability_is_1_9e_minus_35(self):
+        """The body's '1.9e-3' with footnote 4's dropped exponent."""
+        p = bsd.ack_train_probability(2000, 0.1, 0.2)
+        assert p == pytest.approx(1.88e-35, rel=0.01)
+        assert p == pytest.approx(
+            bsd.per_user_quiet_probability(0.1, 0.2) ** 1999
+        )
+
+    def test_train_probability_monotone(self):
+        """Longer response times and more users both shrink it."""
+        base = bsd.ack_train_probability(100, 0.1, 0.2)
+        assert bsd.ack_train_probability(200, 0.1, 0.2) < base
+        assert bsd.ack_train_probability(100, 0.1, 0.4) < base
+
+    def test_single_user_always_trains(self):
+        assert bsd.ack_train_probability(1, 0.1, 0.2) == 1.0
+
+    def test_zero_response_time(self):
+        assert bsd.per_user_quiet_probability(0.1, 0.0) == 1.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bsd.per_user_quiet_probability(0.0, 0.2)
+        with pytest.raises(ValueError):
+            bsd.per_user_quiet_probability(0.1, -0.2)
+        with pytest.raises(ValueError):
+            bsd.ack_train_probability(0, 0.1, 0.2)

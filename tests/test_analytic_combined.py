@@ -1,0 +1,96 @@
+"""Tests for the Section 3.5 combination models."""
+
+import pytest
+
+from repro.analytic import combined, crowcroft, multicache, sequent
+
+
+class TestChainPopulation:
+    def test_basic(self):
+        assert combined.effective_chain_population(2000, 19) == pytest.approx(
+            2000 / 19
+        )
+
+    def test_floors_at_one(self):
+        assert combined.effective_chain_population(5, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            combined.effective_chain_population(0, 19)
+        with pytest.raises(ValueError):
+            combined.effective_chain_population(2000, 0)
+
+
+class TestHashedMTF:
+    def test_h1_is_plain_crowcroft(self):
+        assert combined.hashed_mtf_cost(2000, 1, 0.1, 0.2) == pytest.approx(
+            crowcroft.overall_cost(2000, 0.1, 0.2, examined=True)
+        )
+
+    def test_reduction_identity(self):
+        """The model is exactly Crowcroft at N/H -- the same identity
+        the paper uses for BSD in Eq. 19."""
+        assert combined.hashed_mtf_cost(2000, 19, 0.1, 0.2) == pytest.approx(
+            crowcroft.overall_cost(round(2000 / 19), 0.1, 0.2, examined=True)
+        )
+
+    def test_mtf_chains_beat_plain_chains_but_not_by_two(self):
+        """MTF inside chains helps, bounded by the paper's ~2x."""
+        plain = sequent.overall_cost(2000, 19, 0.1, 0.2, consistent=True)
+        mtf = combined.hashed_mtf_cost(2000, 19, 0.1, 0.2)
+        assert mtf < plain
+        assert plain / mtf < 2.0
+
+    def test_more_chains_beat_the_combination(self):
+        """The paper's conclusion: H=100 plain beats H=19 with MTF."""
+        mtf19 = combined.hashed_mtf_cost(2000, 19, 0.1, 0.2)
+        plain100 = sequent.overall_cost(2000, 100, 0.1, 0.2)
+        assert plain100 < mtf19
+
+
+class TestHashedLRU:
+    def test_h1_is_plain_multicache(self):
+        assert combined.hashed_lru_cost(2000, 1, 8) == pytest.approx(
+            multicache.cost(2000, 8)
+        )
+
+    def test_cache_bounded_by_chain_population(self):
+        # k larger than the chain population clips gracefully.
+        value = combined.hashed_lru_cost(100, 50, 64)
+        assert value == pytest.approx(multicache.cost(2, 2))
+
+    def test_lru_chains_never_beat_the_scan_floor(self):
+        """Per chain the (p+1)/2 floor still binds: LRU-fronted chains
+        cannot beat plain chains' miss scan."""
+        population = 2000 / 19
+        floor = (round(population) + 1) / 2
+        for k in (1, 2, 8, 32):
+            assert combined.hashed_lru_cost(2000, 19, k) >= floor - 1e-9
+
+
+class TestGainBound:
+    def test_bound_is_two_for_long_chains(self):
+        assert combined.mtf_gain_bound(2000, 19) == 2.0
+
+    def test_bound_shrinks_for_short_chains(self):
+        assert combined.mtf_gain_bound(100, 100) == 1.0
+        # population 2 -> bound (2+1)/2 = 1.5 < 2.
+        assert combined.mtf_gain_bound(200, 100) == pytest.approx(1.5)
+
+    def test_measured_gain_respects_bound(self, rng):
+        """Measured MTF-in-chain gain stays under the analytic bound."""
+        from repro.core.hashed_mtf import HashedMTFDemux
+        from repro.core.sequent import SequentDemux
+        from conftest import make_pcbs, make_tuple
+
+        n, h = 400, 19
+        plain, mtf = SequentDemux(h), HashedMTFDemux(h)
+        for a, b in zip(make_pcbs(n), make_pcbs(n)):
+            plain.insert(a)
+            mtf.insert(b)
+        for _ in range(6000):
+            tup = make_tuple(rng.randrange(n))
+            plain.lookup(tup)
+            mtf.lookup(tup)
+        gain = plain.stats.mean_examined / mtf.stats.mean_examined
+        assert gain <= combined.mtf_gain_bound(n, h) + 0.1

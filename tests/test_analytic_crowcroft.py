@@ -1,0 +1,128 @@
+"""Tests for the Crowcroft move-to-front analysis (Section 3.2)."""
+
+import pytest
+
+from repro.analytic import crowcroft
+
+N = 2000
+A = 0.1  # TPC/A per-user rate
+
+
+class TestEq2Eq3:
+    def test_cdf_eq2(self):
+        assert crowcroft.other_user_cdf(A, 0.0) == 0.0
+        assert crowcroft.other_user_cdf(A, 10.0) == pytest.approx(0.6321, abs=1e-4)
+
+    def test_figure4_shape(self):
+        """Figure 4: N(T) rises from 0 toward N-1 over [0, 50] s."""
+        assert crowcroft.expected_preceding_users(N, A, 0.0) == 0.0
+        at_10 = crowcroft.expected_preceding_users(N, A, 10.0)
+        assert at_10 == pytest.approx(1999 * 0.63212, rel=1e-4)
+        at_50 = crowcroft.expected_preceding_users(N, A, 50.0)
+        assert 1980 < at_50 < 1999  # nearly everyone
+
+    def test_sum_matches_closed_form_at_scale(self):
+        """The paper's O(N) binomial sum (Eq. 3) vs. the closed form."""
+        for t in (0.1, 1.0, 10.0, 40.0):
+            direct = crowcroft.expected_preceding_users(N, A, t, method="sum")
+            closed = crowcroft.expected_preceding_users(N, A, t, method="closed")
+            assert direct == pytest.approx(closed, rel=1e-9)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            crowcroft.expected_preceding_users(N, A, 1.0, method="magic")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            crowcroft.expected_preceding_users(N, A, -1.0)
+
+
+class TestEntryCost:
+    @pytest.mark.parametrize(
+        "r,paper",
+        [(0.2, 1019), (0.5, 1045), (1.0, 1086), (2.0, 1150)],
+    )
+    def test_paper_values(self, r, paper):
+        assert crowcroft.entry_cost(N, A, r) == pytest.approx(paper, rel=0.002)
+
+    def test_closed_form_matches_quadrature(self):
+        for r in (0.0, 0.2, 1.0, 5.0):
+            closed = crowcroft.entry_cost(N, A, r)
+            quad = crowcroft.entry_cost_quadrature(N, A, r)
+            assert closed == pytest.approx(quad, rel=1e-8)
+
+    def test_zero_response_time_floor(self):
+        """R=0: entry cost is (N-1)/2 -- on average half the other
+        users transacted more recently (2/3 - 1/6 = 1/2)."""
+        assert crowcroft.entry_cost(N, A, 0.0) == pytest.approx((N - 1) / 2)
+
+    def test_large_r_ceiling(self):
+        """R -> inf: at most 2/3 of the others precede."""
+        assert crowcroft.entry_cost(N, A, 1e9) == pytest.approx(
+            (N - 1) * 2 / 3, rel=1e-9
+        )
+
+    def test_examined_flag_adds_one(self):
+        base = crowcroft.entry_cost(N, A, 0.2)
+        assert crowcroft.entry_cost(N, A, 0.2, examined=True) == base + 1
+
+
+class TestAckCost:
+    @pytest.mark.parametrize(
+        "r,paper", [(0.2, 78), (0.5, 190), (1.0, 362), (2.0, 659)]
+    )
+    def test_paper_values(self, r, paper):
+        assert crowcroft.ack_cost(N, A, r) == pytest.approx(paper, rel=0.01)
+
+    def test_is_n_of_2r(self):
+        for r in (0.2, 1.0):
+            assert crowcroft.ack_cost(N, A, r) == pytest.approx(
+                crowcroft.expected_preceding_users(N, A, 2 * r)
+            )
+
+
+class TestOverallCost:
+    @pytest.mark.parametrize(
+        "r,paper", [(0.2, 549), (0.5, 618), (1.0, 724), (2.0, 904)]
+    )
+    def test_paper_values(self, r, paper):
+        assert crowcroft.overall_cost(N, A, r) == pytest.approx(paper, rel=0.002)
+
+    def test_is_mean_of_entry_and_ack(self):
+        r = 0.7
+        expected = (
+            crowcroft.entry_cost(N, A, r) + crowcroft.ack_cost(N, A, r)
+        ) / 2
+        assert crowcroft.overall_cost(N, A, r) == pytest.approx(expected)
+
+    def test_better_than_bsd_for_tpca(self):
+        """The paper's conclusion: 'a significant improvement over the
+        search length of 1,001 resulting from the BSD algorithm'."""
+        from repro.analytic import bsd
+
+        for r in (0.2, 0.5, 1.0, 2.0):
+            assert crowcroft.overall_cost(N, A, r) < bsd.cost(N)
+
+    def test_worse_entry_than_bsd(self):
+        """But entry packets alone are *worse* than BSD -- the paper's
+        'somewhat worse than the BSD algorithm's 1,001 PCBs'."""
+        from repro.analytic import bsd
+
+        for r in (0.2, 2.0):
+            assert crowcroft.entry_cost(N, A, r) > bsd.cost(N)
+
+    def test_improves_with_smaller_response_time(self):
+        assert crowcroft.overall_cost(N, A, 0.2) < crowcroft.overall_cost(
+            N, A, 2.0
+        )
+
+
+class TestDeterministicWorstCase:
+    def test_scans_everything(self):
+        assert crowcroft.deterministic_entry_cost(2000) == 1999.0
+        assert crowcroft.deterministic_entry_cost(2000, examined=True) == 2000.0
+
+    def test_worse_than_tpca(self):
+        assert crowcroft.deterministic_entry_cost(N) > crowcroft.entry_cost(
+            N, A, 2.0
+        )

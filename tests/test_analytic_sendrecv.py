@@ -1,0 +1,131 @@
+"""Tests for the Partridge/Pink analysis (Section 3.3, Eqs. 7-17)."""
+
+import pytest
+
+from repro.analytic import sendrecv
+
+N = 2000
+A = 0.1
+R = 0.2
+
+
+class TestPaperValues:
+    @pytest.mark.parametrize(
+        "d,paper", [(0.001, 667), (0.010, 993), (0.100, 1002)]
+    )
+    def test_overall_cost(self, d, paper):
+        assert sendrecv.overall_cost(N, A, R, d) == pytest.approx(
+            paper, rel=0.002
+        )
+
+    def test_insensitive_to_response_time(self):
+        """'The algorithm is extremely insensitive to the value of R
+        for large values of N.'"""
+        values = [sendrecv.overall_cost(N, A, r, 0.001) for r in (0.1, 0.5, 2.0)]
+        assert max(values) - min(values) < 0.02 * min(values)
+
+
+class TestClosedFormsVsQuadrature:
+    @pytest.mark.parametrize("n", [2, 10, 500, 2000])
+    @pytest.mark.parametrize("d", [0.0, 0.001, 0.05])
+    def test_case1(self, n, d):
+        closed = sendrecv.case1_cost(n, A, R, d)
+        quad = sendrecv.case1_cost_quadrature(n, A, R, d)
+        assert closed == pytest.approx(quad, rel=1e-7, abs=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 10, 500, 2000])
+    @pytest.mark.parametrize("d", [0.001, 0.05])
+    def test_case2(self, n, d):
+        closed = sendrecv.case2_cost(n, A, R, d)
+        quad = sendrecv.case2_cost_quadrature(n, A, R, d)
+        assert closed == pytest.approx(quad, rel=1e-7, abs=1e-9)
+
+
+class TestLimits:
+    def test_ack_cost_limits_from_paper(self):
+        """'As D and N increase, this expression approaches (N+5)/2
+        ... As D decreases toward zero or N decreases toward one, the
+        expression approaches just one.'"""
+        assert sendrecv.ack_cost(N, A, 10.0) == pytest.approx(
+            (N + 5) / 2, rel=1e-6
+        )
+        assert sendrecv.ack_cost(N, A, 0.0) == pytest.approx(1.0)
+        assert sendrecv.ack_cost(1, A, 5.0) == pytest.approx(1.0)
+
+    def test_overall_approaches_miss_cost_for_large_n(self):
+        """Eq. 17 'approaches (N+5)/2 as N increases'."""
+        n = 50000
+        assert sendrecv.overall_cost(n, A, R, 0.1) == pytest.approx(
+            (n + 5) / 2, rel=0.01
+        )
+
+    def test_single_connection_costs_one(self):
+        assert sendrecv.overall_cost(1, A, R, 0.001) == pytest.approx(1.0)
+
+    def test_miss_and_hit_costs(self):
+        assert sendrecv.hit_cost() == 1.0
+        assert sendrecv.miss_cost(2000) == pytest.approx(1002.5)
+
+
+class TestSurvivalProbabilities:
+    def test_case1_window_is_t_plus_r_plus_d(self):
+        """Eq. 8: the vulnerable window spans think + response + rtt."""
+        import math
+
+        t, r, d = 5.0, 0.3, 0.01
+        expected = math.exp(-A * (t + r + d) * (N - 1))
+        assert sendrecv.survive_probability_case1(N, A, t, r, d) == (
+            pytest.approx(expected)
+        )
+
+    def test_case2_window_is_2t(self):
+        import math
+
+        t = 0.1
+        expected = math.exp(-2 * A * t * (N - 1))
+        assert sendrecv.survive_probability_case2(N, A, t) == pytest.approx(
+            expected
+        )
+
+    def test_ack_window_is_2d(self):
+        import math
+
+        d = 0.005
+        expected = math.exp(-2 * A * d * (N - 1))
+        assert sendrecv.survive_probability_ack(N, A, d) == pytest.approx(
+            expected
+        )
+
+    def test_probabilities_in_unit_interval(self):
+        for fn, args in [
+            (sendrecv.survive_probability_case1, (N, A, 1.0, R, 0.01)),
+            (sendrecv.survive_probability_case2, (N, A, 1.0)),
+            (sendrecv.survive_probability_ack, (N, A, 0.01)),
+        ]:
+            assert 0.0 <= fn(*args) <= 1.0
+
+    def test_smaller_population_better_survival(self):
+        small = sendrecv.survive_probability_ack(10, A, 0.01)
+        large = sendrecv.survive_probability_ack(1000, A, 0.01)
+        assert small > large
+
+
+class TestSmallPopulationAdvantage:
+    def test_beats_bsd_at_small_n(self):
+        """Figure 14's story: SR wins for small N, converges at large."""
+        from repro.analytic import bsd
+
+        assert sendrecv.overall_cost(50, A, R, 0.001) < bsd.cost(50)
+        # By N = 10,000 with a 10 ms RTT the gap has nearly closed.
+        gap = bsd.cost(10000) - sendrecv.overall_cost(10000, A, R, 0.010)
+        assert abs(gap) / bsd.cost(10000) < 0.02
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sendrecv.overall_cost(0, A, R, 0.001)
+        with pytest.raises(ValueError):
+            sendrecv.overall_cost(N, -1.0, R, 0.001)
+        with pytest.raises(ValueError):
+            sendrecv.overall_cost(N, A, -0.1, 0.001)
+        with pytest.raises(ValueError):
+            sendrecv.overall_cost(N, A, R, -0.001)

@@ -1,0 +1,124 @@
+"""Tests for the Sequent hashed-chain analysis (Section 3.4, Eqs. 18-22)."""
+
+import pytest
+
+from repro.analytic import bsd, sequent
+
+N = 2000
+A = 0.1
+R = 0.2
+
+
+class TestEq19Approximation:
+    def test_paper_value(self):
+        assert sequent.cost_approx(N, 19) == pytest.approx(53.6, abs=0.05)
+
+    def test_h1_recovers_bsd(self):
+        """Eq. 19 with one chain is exactly Eq. 1."""
+        for n in (1, 10, 500, 2000):
+            assert sequent.cost_approx(n, 1) == pytest.approx(bsd.cost(n))
+
+    def test_h_ge_n_costs_one(self):
+        assert sequent.cost_approx(10, 10) == 1.0
+        assert sequent.cost_approx(10, 64) == 1.0
+
+    def test_approaches_n_over_2h(self):
+        n, h = 10**6, 100
+        assert sequent.cost_approx(n, h) == pytest.approx(n / (2 * h), rel=0.001)
+
+    def test_chain_load(self):
+        assert sequent.chain_load(2000, 19) == pytest.approx(105.26, abs=0.01)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sequent.cost_approx(0, 19)
+        with pytest.raises(ValueError):
+            sequent.cost_approx(2000, 0)
+
+
+class TestEq20Survival:
+    def test_paper_h19_value(self):
+        """'This probability is about 1.5% for a 2000-user benchmark
+        with a 200-millisecond response time and 19 hash chains.'"""
+        assert sequent.survive_probability(N, 19, A, R) == pytest.approx(
+            0.0154, abs=0.0005
+        )
+
+    def test_paper_h51_value(self):
+        """'if the number of hash chains is increased to 51, the
+        probability increases to almost 21%'."""
+        assert sequent.survive_probability(N, 51, A, R) == pytest.approx(
+            0.217, abs=0.003
+        )
+
+    def test_beats_bsd_train_probability_by_30_orders(self):
+        """'These compare quite favorably to the 1.9e-3[5] probability
+        for the single-chain BSD algorithm.'"""
+        ratio = sequent.survive_probability(N, 19, A, R) / (
+            bsd.ack_train_probability(N, A, R)
+        )
+        assert ratio > 1e30
+
+    def test_more_chains_better_survival(self):
+        assert sequent.survive_probability(N, 51, A, R) > (
+            sequent.survive_probability(N, 19, A, R)
+        )
+
+    def test_one_pcb_per_chain_always_survives(self):
+        assert sequent.survive_probability(100, 100, A, R) == 1.0
+        assert sequent.survive_probability(10, 100, A, R) == 1.0
+
+
+class TestEq21Eq22:
+    def test_paper_exact_value(self):
+        assert sequent.overall_cost(N, 19, A, R) == pytest.approx(53.0, abs=0.05)
+
+    def test_h100_less_than_9(self):
+        assert sequent.overall_cost(N, 100, A, R) < 9.0
+
+    def test_eq22_is_mean_of_data_and_ack(self):
+        data = sequent.data_cost(N, 19)
+        ack = sequent.ack_cost(N, 19, A, R)
+        assert sequent.overall_cost(N, 19, A, R) == pytest.approx(
+            (data + ack) / 2
+        )
+
+    def test_consistent_variant_adds_cache_probe_on_miss(self):
+        plain = sequent.ack_cost(N, 19, A, R)
+        consistent = sequent.ack_cost(N, 19, A, R, consistent=True)
+        p = sequent.survive_probability(N, 19, A, R)
+        assert consistent - plain == pytest.approx(1.0 - p)
+
+    def test_ack_cheaper_than_data(self):
+        """The per-chain cache only demonstrably helps acks (Eq. 21 <
+        Eq. 19 whenever survival is possible)."""
+        assert sequent.ack_cost(N, 19, A, R) < sequent.data_cost(N, 19)
+
+
+class TestApproximationError:
+    def test_h19_error_about_one_percent(self):
+        """'Equation 19 predicts 53.6 for a little more than 1% error.'"""
+        err = sequent.approximation_error(N, 19, A, R)
+        assert 0.005 < err < 0.02
+
+    def test_h51_error_exceeds_ten_percent(self):
+        assert sequent.approximation_error(N, 51, A, R) > 0.10
+
+    def test_error_grows_with_chains(self):
+        errs = [
+            sequent.approximation_error(N, h, A, R) for h in (10, 19, 51, 100)
+        ]
+        assert errs == sorted(errs)
+
+
+class TestOrderOfMagnitudeHeadline:
+    def test_vs_bsd(self):
+        """'an order of magnitude improvement over the BSD algorithm'."""
+        assert bsd.cost(N) / sequent.overall_cost(N, 19, A, R) > 10.0
+
+    def test_vs_crowcroft_and_sendrecv(self):
+        from repro.analytic import crowcroft, sendrecv
+
+        seq = sequent.overall_cost(N, 19, A, R)
+        assert crowcroft.overall_cost(N, A, R) / seq > 10.0
+        assert sendrecv.overall_cost(N, A, R, 0.001) / seq > 10.0

@@ -1,0 +1,83 @@
+"""Tests for ASCII plotting and CSV emission."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot, to_csv
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        text = ascii_plot(
+            [0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]},
+            title="My Plot", x_label="n", y_label="cost",
+        )
+        assert "My Plot" in text
+        assert "up" in text and "down" in text
+        assert "x: n" in text and "y: cost" in text
+
+    def test_markers_appear(self):
+        text = ascii_plot([0, 1], {"a": [0.0, 1.0]})
+        assert "*" in text
+
+    def test_distinct_series_distinct_markers(self):
+        text = ascii_plot([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "*" in text and "o" in text
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y values must land on earlier (upper) lines."""
+        text = ascii_plot([0, 1, 2, 3], {"a": [0, 1, 2, 3]}, height=8)
+        lines = [line for line in text.splitlines() if "|" in line]
+        cols = {}
+        for row, line in enumerate(lines):
+            body = line.split("|", 1)[1]
+            for col, ch in enumerate(body):
+                if ch == "*":
+                    cols[col] = row
+        ordered = [cols[c] for c in sorted(cols)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_y_clip(self):
+        # A huge value is clipped to the ceiling rather than crushing
+        # the other series.
+        text = ascii_plot(
+            [0, 1], {"tall": [0, 1e9]}, y_max=100.0, height=6
+        )
+        assert "100" in text
+
+    def test_axis_labels_show_range(self):
+        text = ascii_plot([5, 10, 15], {"a": [1, 2, 3]})
+        assert "5" in text and "15" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot([0, 1], {"a": [1.0]})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {"a": []})
+
+    def test_tiny_plot_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {"a": [0, 1]}, width=2, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "*" in text
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv([1, 2], {"a": [10.0, 20.0], "b": [0.5, 1.5]},
+                      x_name="n")
+        lines = text.strip().splitlines()
+        assert lines[0] == "n,a,b"
+        assert lines[1] == "1,10,0.5"
+        assert lines[2] == "2,20,1.5"
+
+    def test_round_trips_through_float(self):
+        text = to_csv([1], {"a": [1001.0001]})
+        value = float(text.strip().splitlines()[1].split(",")[1])
+        assert value == pytest.approx(1001.0001, rel=1e-6)
+
+    def test_trailing_newline(self):
+        assert to_csv([1], {"a": [1.0]}).endswith("\n")

@@ -1,0 +1,85 @@
+"""Tests for the log-space binomial machinery."""
+
+import math
+
+import pytest
+
+from repro.analytic.binomial import (
+    binomial_expectation,
+    binomial_mean_direct,
+    binomial_pmf,
+    log_binomial_coefficient,
+)
+
+
+class TestLogBinomial:
+    def test_small_exact_values(self):
+        assert math.isclose(math.exp(log_binomial_coefficient(5, 2)), 10.0)
+        assert math.isclose(math.exp(log_binomial_coefficient(10, 0)), 1.0)
+        assert math.isclose(math.exp(log_binomial_coefficient(10, 10)), 1.0)
+
+    def test_symmetry(self):
+        assert log_binomial_coefficient(100, 30) == pytest.approx(
+            log_binomial_coefficient(100, 70)
+        )
+
+    def test_large_n_no_overflow(self):
+        # C(2000, 1000) overflows floats (~1e600); log space handles it.
+        value = log_binomial_coefficient(2000, 1000)
+        assert 1380 < value < 1390  # ln C(2000,1000) ~ 2000 ln2 - ...
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            log_binomial_coefficient(5, 6)
+        with pytest.raises(ValueError):
+            log_binomial_coefficient(-1, 0)
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(50, k, 0.3) for k in range(51))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_edge_probabilities(self):
+        assert binomial_pmf(10, 0, 0.0) == 1.0
+        assert binomial_pmf(10, 5, 0.0) == 0.0
+        assert binomial_pmf(10, 10, 1.0) == 1.0
+        assert binomial_pmf(10, 3, 1.0) == 0.0
+
+    def test_out_of_support_is_zero(self):
+        assert binomial_pmf(10, -1, 0.5) == 0.0
+        assert binomial_pmf(10, 11, 0.5) == 0.0
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(10, 5, 1.5)
+
+    def test_matches_exact_small_case(self):
+        # C(4,2) 0.5^4 = 6/16.
+        assert binomial_pmf(4, 2, 0.5) == pytest.approx(6 / 16)
+
+
+class TestMeanIdentity:
+    """The Eq. 3 identity: the direct sum equals n*p."""
+
+    @pytest.mark.parametrize("n", [1, 7, 100, 1999])
+    @pytest.mark.parametrize("p", [0.0, 0.01, 0.3, 0.63, 0.999, 1.0])
+    def test_direct_sum_equals_np(self, n, p):
+        assert binomial_mean_direct(n, p) == pytest.approx(
+            n * p, rel=1e-9, abs=1e-9
+        )
+
+    def test_expectation_of_constant(self):
+        assert binomial_expectation(30, 0.4, lambda i: 7.0) == pytest.approx(7.0)
+
+    def test_expectation_of_square_matches_moments(self):
+        # E[X^2] = np(1-p) + (np)^2.
+        n, p = 40, 0.25
+        expected = n * p * (1 - p) + (n * p) ** 2
+        assert binomial_expectation(n, p, lambda i: float(i * i)) == pytest.approx(
+            expected
+        )
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_mean_direct(-1, 0.5)

@@ -1,0 +1,131 @@
+"""Tests for the BSD algorithm's exact cost semantics (Section 3.1)."""
+
+from repro.core.bsd import BSDDemux
+from repro.core.pcb import PCB
+from repro.core.stats import PacketKind
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestCacheSemantics:
+    def test_cache_hit_costs_exactly_one(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(10)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        demux.lookup(make_tuple(5))  # prime the cache
+        result = demux.lookup(make_tuple(5))
+        assert result.cache_hit
+        assert result.examined == 1
+
+    def test_miss_costs_cache_plus_scan_position(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(10)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        # Insertion is at the head, so list order is 9..0.
+        demux.lookup(make_tuple(9))  # cache <- head PCB
+        result = demux.lookup(make_tuple(0))  # tail of the list
+        assert not result.cache_hit
+        # 1 cache probe + 10 list entries scanned.
+        assert result.examined == 11
+
+    def test_cold_cache_costs_scan_only(self):
+        demux = BSDDemux()
+        for pcb in make_pcbs(10):
+            demux.insert(pcb)
+        result = demux.lookup(make_tuple(9))  # head, empty cache
+        assert result.examined == 1
+
+    def test_lookup_updates_cache(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(3)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        demux.lookup(make_tuple(1))
+        assert demux.cached_pcb is pcbs[1]
+
+    def test_failed_lookup_leaves_cache(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(3)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        demux.lookup(make_tuple(1))
+        demux.lookup(make_tuple(50))  # miss entirely
+        assert demux.cached_pcb is pcbs[1]
+
+    def test_remove_invalidates_cache(self):
+        demux = BSDDemux()
+        for pcb in make_pcbs(3):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(1))
+        demux.remove(make_tuple(1))
+        assert demux.cached_pcb is None
+
+    def test_remove_other_pcb_keeps_cache(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(3)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        demux.lookup(make_tuple(1))
+        demux.remove(make_tuple(2))
+        assert demux.cached_pcb is pcbs[1]
+
+    def test_list_order_is_insertion_at_head(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(4)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        assert [p.four_tuple for p in demux] == [
+            p.four_tuple for p in reversed(pcbs)
+        ]
+
+    def test_lookup_does_not_reorder_list(self):
+        demux = BSDDemux()
+        pcbs = make_pcbs(4)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        before = [p.four_tuple for p in demux]
+        demux.lookup(make_tuple(0))
+        demux.lookup(make_tuple(2))
+        assert [p.four_tuple for p in demux] == before
+
+
+class TestPacketTrainBehaviour:
+    def test_train_hit_rate(self):
+        """A train of L packets on one connection: (L-1)/L cache hits."""
+        demux = BSDDemux()
+        for pcb in make_pcbs(50):
+            demux.insert(pcb)
+        train_length = 20
+        for _ in range(train_length):
+            demux.lookup(make_tuple(25), PacketKind.DATA)
+        stats = demux.stats.kind(PacketKind.DATA)
+        assert stats.cache_hits == train_length - 1
+        assert stats.hit_rate == (train_length - 1) / train_length
+
+    def test_alternating_connections_never_hit(self):
+        """The OLTP pathology: alternation defeats a one-entry cache."""
+        demux = BSDDemux()
+        for pcb in make_pcbs(10):
+            demux.insert(pcb)
+        for _ in range(10):
+            demux.lookup(make_tuple(0))
+            demux.lookup(make_tuple(9))
+        assert demux.stats.cache_hits == 0
+
+
+class TestSteadyStateCost:
+    def test_uniform_random_cost_approaches_eq1(self, rng):
+        """Uniform lookups over N PCBs should average ~ 1 + (N^2-1)/2N."""
+        from repro.analytic import bsd as analytic_bsd
+
+        n = 60
+        demux = BSDDemux()
+        for pcb in make_pcbs(n):
+            demux.insert(pcb)
+        trials = 6000
+        for _ in range(trials):
+            demux.lookup(make_tuple(rng.randrange(n)))
+        expected = analytic_bsd.cost(n)
+        assert abs(demux.stats.mean_examined - expected) / expected < 0.05

@@ -1,0 +1,111 @@
+"""Tests for whole-packet construction and parsing."""
+
+import pytest
+
+from repro.packet.addresses import FourTuple, IPv4Address
+from repro.packet.builder import (
+    Packet,
+    build_packet,
+    make_ack,
+    make_data,
+    parse_packet,
+    split_payload,
+)
+from repro.packet.ip import IPProto, IPv4Header, PacketError
+from repro.packet.tcp import TCPFlags, TCPSegment
+
+TUP = FourTuple.create("10.0.0.1", 80, "10.0.0.2", 40000)
+
+
+class TestBuildParse:
+    def test_round_trip(self):
+        segment = TCPSegment(
+            src_port=40000, dst_port=80, seq=5, ack=6,
+            flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"query",
+        )
+        wire = build_packet("10.0.0.2", "10.0.0.1", segment, ttl=32,
+                            identification=99)
+        packet = parse_packet(wire)
+        assert packet.ip.src == IPv4Address("10.0.0.2")
+        assert packet.ip.ttl == 32
+        assert packet.ip.identification == 99
+        assert packet.tcp.payload == b"query"
+        assert packet.tcp.seq == 5
+
+    def test_parse_rejects_non_tcp(self):
+        header = IPv4Header(src="10.0.0.1", dst="10.0.0.2",
+                            protocol=IPProto.UDP, payload_length=0)
+        with pytest.raises(PacketError, match="not a TCP packet"):
+            parse_packet(header.build())
+
+    def test_parse_rejects_truncated_payload(self):
+        segment = TCPSegment(src_port=1, dst_port=2, payload=b"abcdef")
+        wire = build_packet("10.0.0.1", "10.0.0.2", segment)
+        with pytest.raises(PacketError, match="truncated"):
+            parse_packet(wire[:-3])
+
+    def test_parse_verify_false_skips_tcp_checksum(self):
+        segment = TCPSegment(src_port=1, dst_port=2, payload=b"abcdef")
+        wire = bytearray(build_packet("10.0.0.1", "10.0.0.2", segment))
+        wire[-1] ^= 0xFF  # corrupt last payload byte
+        with pytest.raises(PacketError):
+            parse_packet(bytes(wire))
+        packet = parse_packet(bytes(wire), verify=False)
+        assert packet.tcp.payload.endswith(b"\x99") or True  # parsed anyway
+
+    def test_packet_build_method_round_trips(self):
+        packet = make_data(TUP, b"hello", seq=10, ack=20)
+        wire = packet.build()
+        again = parse_packet(wire)
+        assert again.four_tuple == TUP
+        assert again.tcp.payload == b"hello"
+
+    def test_wire_length(self):
+        packet = make_data(TUP, b"x" * 10)
+        wire = packet.build()
+        assert packet.wire_length == len(wire) == 20 + 20 + 10
+
+
+class TestConvenienceConstructors:
+    def test_make_data_direction(self):
+        packet = make_data(TUP, b"payload")
+        # The packet travels toward the tuple's local side.
+        assert packet.ip.src == TUP.remote_addr
+        assert packet.ip.dst == TUP.local_addr
+        assert packet.tcp.src_port == TUP.remote_port
+        assert packet.tcp.dst_port == TUP.local_port
+        assert packet.four_tuple == TUP
+
+    def test_make_data_flags(self):
+        assert make_data(TUP, b"x").tcp.flags == TCPFlags.ACK | TCPFlags.PSH
+        assert make_data(TUP, b"x", push=False).tcp.flags == TCPFlags.ACK
+
+    def test_make_data_is_not_pure_ack(self):
+        assert not make_data(TUP, b"x").is_pure_ack
+
+    def test_make_ack_is_pure_ack(self):
+        packet = make_ack(TUP, seq=1, ack=2)
+        assert packet.is_pure_ack
+        assert packet.four_tuple == TUP
+        assert packet.tcp.payload == b""
+
+    def test_str_shows_endpoints(self):
+        assert "10.0.0.2" in str(make_ack(TUP))
+
+
+class TestSplitPayload:
+    def test_even_split(self):
+        assert split_payload(b"abcdef", 2) == (b"ab", b"cd", b"ef")
+
+    def test_remainder(self):
+        assert split_payload(b"abcde", 2) == (b"ab", b"cd", b"e")
+
+    def test_empty_payload_gives_one_empty_chunk(self):
+        assert split_payload(b"", 100) == (b"",)
+
+    def test_mss_larger_than_payload(self):
+        assert split_payload(b"abc", 100) == (b"abc",)
+
+    def test_bad_mss_rejected(self):
+        with pytest.raises(PacketError):
+            split_payload(b"abc", 0)

@@ -1,0 +1,126 @@
+"""Tests for the Internet checksum (RFC 1071 / 1624)."""
+
+import pytest
+
+from repro.packet.checksum import (
+    incremental_update,
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header,
+    verify_checksum,
+)
+
+
+class TestOnesComplementSum:
+    def test_empty(self):
+        assert ones_complement_sum(b"") == 0
+
+    def test_single_word(self):
+        assert ones_complement_sum(b"\x12\x34") == 0x1234
+
+    def test_carry_folds_back(self):
+        # 0xFFFF + 0x0001 -> carry folds to 0x0001.
+        assert ones_complement_sum(b"\xff\xff\x00\x01") == 0x0001
+
+    def test_odd_length_pads_with_zero(self):
+        assert ones_complement_sum(b"\xab") == 0xAB00
+        assert ones_complement_sum(b"\x12\x34\x56") == 0x1234 + 0x5600
+
+    def test_initial_seed_chains(self):
+        base = ones_complement_sum(b"\x01\x02\x03\x04")
+        assert ones_complement_sum(b"\x03\x04", initial=0x0102) == base
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ones_complement_sum(b"", initial=0x10000)
+
+    def test_rfc1071_example(self):
+        # RFC 1071 worked example: 0x0001 0xf203 0xf4f5 0xf6f7
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert ones_complement_sum(data) == 0xDDF2
+        assert internet_checksum(data) == 0x220D
+
+
+class TestInternetChecksum:
+    def test_checksum_verifies(self):
+        data = bytes(range(100))
+        checksum = internet_checksum(data)
+        # Insert checksum and verify the whole verifies to all-ones sum.
+        assert verify_checksum(data + checksum.to_bytes(2, "big"))
+
+    def test_all_zero_data(self):
+        assert internet_checksum(b"\x00" * 20) == 0xFFFF
+
+    def test_corruption_detected(self):
+        data = bytearray(bytes(range(40)))
+        checksum = internet_checksum(bytes(data))
+        packet = bytes(data) + checksum.to_bytes(2, "big")
+        corrupted = bytearray(packet)
+        corrupted[5] ^= 0x40
+        assert not verify_checksum(bytes(corrupted))
+
+    def test_byte_swap_within_word_detected(self):
+        data = b"\x12\x34\x56\x78"
+        checksum = internet_checksum(data)
+        swapped = b"\x34\x12\x56\x78"
+        assert internet_checksum(swapped) != checksum
+
+    def test_range(self):
+        for data in (b"", b"\x00", b"\xff" * 9, bytes(range(256))):
+            assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestIncrementalUpdate:
+    def test_matches_full_recompute(self):
+        data = bytearray(bytes(range(20)))
+        old = internet_checksum(bytes(data))
+        old_word = (data[4] << 8) | data[5]
+        data[4:6] = b"\xbe\xef"
+        new_word = 0xBEEF
+        updated = incremental_update(old, old_word, new_word)
+        assert updated == internet_checksum(bytes(data))
+
+    def test_no_change_is_identity(self):
+        assert incremental_update(0x1234, 0x5678, 0x5678) == 0x1234
+
+    def test_ttl_decrement_style_update(self):
+        # Simulate a router decrementing TTL (high byte of word 4).
+        data = bytearray(b"\x45\x00\x00\x28\x00\x01\x40\x00\x40\x06\x00\x00"
+                         b"\x0a\x00\x00\x01\x0a\x00\x00\x02")
+        checksum = internet_checksum(bytes(data))
+        old_word = (data[8] << 8) | data[9]
+        data[8] -= 1
+        new_word = (data[8] << 8) | data[9]
+        assert incremental_update(checksum, old_word, new_word) == (
+            internet_checksum(bytes(data))
+        )
+
+    @pytest.mark.parametrize("bad", [-1, 0x10000])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            incremental_update(bad, 0, 0)
+        with pytest.raises(ValueError):
+            incremental_update(0, bad, 0)
+        with pytest.raises(ValueError):
+            incremental_update(0, 0, bad)
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        ph = pseudo_header(b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02", 6, 20)
+        assert len(ph) == 12
+        assert ph[:4] == b"\x0a\x00\x00\x01"
+        assert ph[4:8] == b"\x0a\x00\x00\x02"
+        assert ph[8] == 0
+        assert ph[9] == 6
+        assert int.from_bytes(ph[10:12], "big") == 20
+
+    def test_rejects_bad_address_lengths(self):
+        with pytest.raises(ValueError):
+            pseudo_header(b"\x0a\x00\x00", b"\x0a\x00\x00\x02", 6, 20)
+
+    def test_rejects_bad_protocol_and_length(self):
+        with pytest.raises(ValueError):
+            pseudo_header(b"\x00" * 4, b"\x00" * 4, 256, 20)
+        with pytest.raises(ValueError):
+            pseudo_header(b"\x00" * 4, b"\x00" * 4, 6, 0x10000)

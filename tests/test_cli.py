@@ -1,0 +1,136 @@
+"""Tests for the repro-demux command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in (
+            ["tables"],
+            ["figures"],
+            ["validate"],
+            ["simulate"],
+            ["hash-balance"],
+            ["run-all"],
+            ["report"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Text-3.1" in out and "MISMATCH" not in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--figure", "4", "--points", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_figures_all(self, capsys):
+        assert main(["figures", "--points", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out and "Figure 14" in out
+
+    def test_validate_small(self, capsys):
+        # ~2,400 lookups; much shorter runs leave sampling noise larger
+        # than the validation tolerance.
+        code = main(
+            ["validate", "--users", "100", "--duration", "120",
+             "--algorithms", "bsd", "linear"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "bsd" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "sequent:h=7", "--users", "50",
+             "--duration", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tpca/sequent" in out
+        assert "H=7" in out
+
+    def test_simulate_think_model(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "mtf", "--users", "30",
+             "--duration", "20", "--think-model", "deterministic"]
+        )
+        assert code == 0
+
+    def test_compare_tpca(self, capsys):
+        code = main(
+            ["compare", "--workload", "tpca", "--users", "100",
+             "--algorithms", "bsd", "sequent:h=7"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bsd" in out and "sequent:h=7" in out
+
+    @pytest.mark.parametrize(
+        "workload", ["trains", "polling", "mixed", "churn"]
+    )
+    def test_compare_other_workloads(self, workload, capsys):
+        code = main(
+            ["compare", "--workload", workload, "--users", "60",
+             "--algorithms", "sequent:h=7"]
+        )
+        assert code == 0
+        assert "PCBs/pkt" in capsys.readouterr().out
+
+    def test_hash_balance(self, capsys):
+        assert main(["hash-balance", "--users", "200", "--chains", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32" in out and "xor_fold" in out
+
+    def test_run_all(self, tmp_path, capsys):
+        code = main(
+            ["run-all", "--out", str(tmp_path / "out"), "--no-simulation"]
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "report.md").exists()
+
+    def test_report_no_simulation(self, capsys):
+        assert main(["report", "--no-simulation"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+
+    def test_bad_algorithm_spec_raises(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--algorithm", "nonsense"])
+
+    def test_pcap_summary(self, tmp_path, capsys):
+        from repro.packet.addresses import FourTuple
+        from repro.packet.builder import make_ack, make_data
+        from repro.sim.pcap import PcapWriter
+
+        tup = FourTuple.create("10.0.0.1", 80, "10.0.0.2", 40000)
+        path = tmp_path / "c.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(0.0, make_data(tup, b"abc"))
+            writer.write(0.1, make_ack(tup.reversed))
+        assert main(["pcap", str(path), "--flows"]) == 0
+        out = capsys.readouterr().out
+        assert "2 packets" in out
+        assert "pure acks: 1" in out
+        assert "1 flows" in out
+        assert "3 payload bytes" in out
+
+    def test_pcap_empty_file(self, tmp_path, capsys):
+        from repro.sim.pcap import PcapWriter
+
+        path = tmp_path / "empty.pcap"
+        PcapWriter(path).close()
+        assert main(["pcap", str(path)]) == 0
+        assert "empty capture" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for connection-ID direct indexing (the Section 3.5 alternative)."""
+
+import pytest
+
+from repro.core.base import DemuxError
+from repro.core.connection_id import ConnectionIdDemux
+from repro.core.pcb import PCB
+from repro.core.stats import PacketKind
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestIdAssignment:
+    def test_ids_assigned_densely(self):
+        demux = ConnectionIdDemux()
+        pcbs = make_pcbs(5)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        ids = [demux.connection_id(p.four_tuple) for p in pcbs]
+        assert sorted(ids) == [0, 1, 2, 3, 4]
+
+    def test_ids_recycled_after_remove(self):
+        demux = ConnectionIdDemux()
+        for pcb in make_pcbs(5):
+            demux.insert(pcb)
+        freed = demux.connection_id(make_tuple(2))
+        demux.remove(make_tuple(2))
+        new_pcb = PCB(make_tuple(50))
+        demux.insert(new_pcb)
+        assert demux.connection_id(make_tuple(50)) == freed
+
+    def test_capacity_enforced(self):
+        demux = ConnectionIdDemux(max_connections=3)
+        for pcb in make_pcbs(3):
+            demux.insert(pcb)
+        with pytest.raises(DemuxError, match="exhausted"):
+            demux.insert(PCB(make_tuple(10)))
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionIdDemux(max_connections=0)
+
+    def test_connection_id_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            ConnectionIdDemux().connection_id(make_tuple(0))
+
+
+class TestLookupCost:
+    def test_tuple_lookup_costs_exactly_one(self):
+        demux = ConnectionIdDemux()
+        pcbs = make_pcbs(100)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        for pcb in pcbs:
+            assert demux.lookup(pcb.four_tuple).examined == 1
+
+    def test_lookup_by_id_fast_path(self):
+        demux = ConnectionIdDemux()
+        pcbs = make_pcbs(10)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        cid = demux.connection_id(pcbs[3].four_tuple)
+        result = demux.lookup_by_id(cid, PacketKind.DATA)
+        assert result.pcb is pcbs[3]
+        assert result.examined == 1
+
+    def test_lookup_by_id_out_of_range(self):
+        demux = ConnectionIdDemux()
+        result = demux.lookup_by_id(42)
+        assert not result.found
+
+    def test_lookup_by_id_freed_slot(self):
+        demux = ConnectionIdDemux()
+        demux.insert(PCB(make_tuple(0)))
+        cid = demux.connection_id(make_tuple(0))
+        demux.remove(make_tuple(0))
+        assert not demux.lookup_by_id(cid).found
+
+    def test_lookup_by_id_records_stats(self):
+        demux = ConnectionIdDemux()
+        demux.insert(PCB(make_tuple(0)))
+        demux.lookup_by_id(0)
+        demux.lookup(make_tuple(0))
+        assert demux.stats.lookups == 2
+        assert demux.stats.mean_examined == 1.0
+
+    def test_iteration_skips_freed_slots(self):
+        demux = ConnectionIdDemux()
+        for pcb in make_pcbs(4):
+            demux.insert(pcb)
+        demux.remove(make_tuple(1))
+        assert len(list(demux)) == 3
+        assert len(demux) == 3

@@ -1,0 +1,101 @@
+"""Tests for the memory-hierarchy cost model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    CIRCA_1992,
+    CIRCA_2020,
+    CacheLevel,
+    MemoryModel,
+    speedup_estimate,
+)
+from repro.core.pcb import PCB
+
+
+class TestValidation:
+    def test_cache_level_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheLevel("x", 0, 1.0)
+        with pytest.raises(ValueError):
+            CacheLevel("x", 1024, 0.0)
+
+    def test_levels_must_be_ordered(self):
+        with pytest.raises(ValueError, match="ordered"):
+            MemoryModel(
+                levels=(
+                    CacheLevel("big", 1 << 20, 10.0),
+                    CacheLevel("small", 1 << 10, 1.0),
+                ),
+                memory_ns=100.0,
+            )
+
+    def test_touched_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MemoryModel(levels=(), memory_ns=100.0, touched_fraction=0.0)
+        with pytest.raises(ValueError):
+            MemoryModel(levels=(), memory_ns=100.0, touched_fraction=1.5)
+
+
+class TestAccessCost:
+    def test_fits_in_first_level(self):
+        model = CIRCA_1992
+        small = model.levels[0].capacity_bytes
+        assert model.access_cost_ns(small) == model.levels[0].access_ns
+
+    def test_spills_to_next_level(self):
+        model = CIRCA_1992
+        mid = model.levels[0].capacity_bytes + 1
+        assert model.access_cost_ns(mid) == model.levels[1].access_ns
+
+    def test_spills_to_memory(self):
+        model = CIRCA_1992
+        huge = model.levels[-1].capacity_bytes + 1
+        assert model.access_cost_ns(huge) == model.memory_ns
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            CIRCA_1992.access_cost_ns(-1)
+
+
+class TestLookupCost:
+    def test_working_set_scales_with_pcbs(self):
+        model = CIRCA_1992
+        assert model.working_set_bytes(0) == 0
+        assert model.working_set_bytes(200) == int(
+            200 * PCB.APPROX_SIZE_BYTES * model.touched_fraction
+        )
+
+    def test_small_population_is_cache_speed(self):
+        # A handful of PCBs fit on chip in 1992.
+        cost_10 = CIRCA_1992.lookup_cost_ns(5.0, 10)
+        assert cost_10 == 5.0 * CIRCA_1992.levels[0].access_ns
+
+    def test_2000_pcbs_spill_off_chip_in_1992(self):
+        """The paper's claim: 2,000 PCBs do not fit in any on-chip
+        cache of the era, so each examined PCB is an off-chip access."""
+        working = CIRCA_1992.working_set_bytes(2000)
+        assert working > CIRCA_1992.levels[0].capacity_bytes
+
+    def test_paper_headline_speedup_order_of_magnitude(self):
+        """BSD's 1001 vs Sequent's 53 examined PCBs: ~19x estimated."""
+        ratio = speedup_estimate(CIRCA_1992, 1001.0, 53.0, 2000)
+        assert 15.0 < ratio < 25.0
+
+    def test_negative_examined_rejected(self):
+        with pytest.raises(ValueError):
+            CIRCA_1992.lookup_cost_ns(-1.0, 100)
+
+    def test_zero_improved_cost_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_estimate(CIRCA_1992, 10.0, 0.0, 100)
+
+
+class TestPresets:
+    def test_describe_lists_levels(self):
+        text = CIRCA_1992.describe()
+        assert "on-chip" in text and "memory" in text
+
+    def test_modern_hierarchy_has_three_levels(self):
+        assert len(CIRCA_2020.levels) == 3
+        # Modern DRAM is faster than 1992 DRAM.
+        assert CIRCA_2020.memory_ns < CIRCA_1992.memory_ns

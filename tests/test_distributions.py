@@ -1,0 +1,105 @@
+"""Tests for the exponential / truncated-exponential distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.analytic.distributions import Exponential, TruncatedExponential
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(0.1).mean == pytest.approx(10.0)
+
+    def test_cdf_is_paper_eq2(self):
+        dist = Exponential(0.1)
+        assert dist.cdf(0) == 0.0
+        assert dist.cdf(10) == pytest.approx(1 - math.exp(-1))
+        assert dist.cdf(-5) == 0.0
+
+    def test_pdf_integrates_to_cdf(self):
+        dist = Exponential(0.5)
+        # Riemann check over [0, 4].
+        dt = 0.001
+        total = sum(dist.pdf(i * dt) * dt for i in range(4000))
+        assert total == pytest.approx(dist.cdf(4.0), abs=1e-3)
+
+    def test_survival_complements_cdf(self):
+        dist = Exponential(0.2)
+        for t in (0.0, 1.0, 7.5):
+            assert dist.survival(t) + dist.cdf(t) == pytest.approx(1.0)
+
+    def test_memorylessness(self):
+        """P[X > s+t | X > s] = P[X > t] -- the property the paper's
+        whole analysis stands on."""
+        dist = Exponential(0.3)
+        s, t = 2.0, 5.0
+        conditional = dist.survival(s + t) / dist.survival(s)
+        assert conditional == pytest.approx(dist.survival(t))
+
+    def test_sample_mean(self):
+        rng = random.Random(42)
+        dist = Exponential(0.1)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestTruncatedExponential:
+    def test_tpca_construction(self):
+        dist = TruncatedExponential.tpca()
+        assert dist.untruncated_mean == pytest.approx(10.0)
+        assert dist.cutoff == pytest.approx(100.0)
+
+    def test_tpca_rejects_short_think(self):
+        with pytest.raises(ValueError, match="10"):
+            TruncatedExponential.tpca(mean_think=5.0)
+
+    def test_paper_negligibility_claims(self):
+        """Section 3: 'only 0.004% of the values are neglected ... they
+        sum to less than 0.4% of the total think time'."""
+        dist = TruncatedExponential.tpca()
+        assert dist.truncation_mass == pytest.approx(math.exp(-10))
+        assert dist.truncation_mass < 0.0001  # 0.004% ~ 4.5e-5
+        assert dist.neglected_time_fraction == pytest.approx(11 * math.exp(-10))
+        assert dist.neglected_time_fraction < 0.004  # "less than 0.4%"
+
+    def test_truncated_mean_slightly_below_untruncated(self):
+        dist = TruncatedExponential.tpca()
+        assert dist.mean < 10.0
+        assert dist.mean == pytest.approx(10.0, rel=0.001)
+
+    def test_cdf_reaches_one_at_cutoff(self):
+        dist = TruncatedExponential(rate=0.1, cutoff=100.0)
+        assert dist.cdf(100.0) == 1.0
+        assert dist.cdf(1000.0) == 1.0
+        assert dist.cdf(-1.0) == 0.0
+
+    def test_pdf_zero_outside_support(self):
+        dist = TruncatedExponential(rate=0.1, cutoff=100.0)
+        assert dist.pdf(-1.0) == 0.0
+        assert dist.pdf(100.1) == 0.0
+        assert dist.pdf(5.0) > 0.0
+
+    def test_pdf_renormalized(self):
+        dist = TruncatedExponential(rate=1.0, cutoff=2.0)
+        dt = 0.0005
+        total = sum(dist.pdf(i * dt) * dt for i in range(4000))
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_samples_respect_cutoff(self):
+        rng = random.Random(7)
+        dist = TruncatedExponential(rate=1.0, cutoff=2.0)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert max(samples) <= 2.0
+        assert sum(samples) / len(samples) == pytest.approx(dist.mean, rel=0.05)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedExponential(rate=0.0, cutoff=1.0)
+        with pytest.raises(ValueError):
+            TruncatedExponential(rate=1.0, cutoff=0.0)

@@ -1,0 +1,148 @@
+"""Edge-path tests for the TCP endpoint: simultaneous open, half-close,
+retransmission exhaustion, TIME_WAIT behaviour."""
+
+from repro.core.bsd import BSDDemux
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.tcpstack.stack import HostStack
+from repro.tcpstack.states import TCPState
+
+
+def build_pair(delay=0.0005):
+    sim = Simulator()
+    net = Network(sim, default_delay=delay)
+    a = HostStack(sim, net, "10.0.0.1", BSDDemux())
+    b = HostStack(sim, net, "10.0.0.2", BSDDemux())
+    return sim, net, a, b
+
+
+def test_simultaneous_open():
+    """Both ends SYN each other at the same instant (RFC 793 fig. 8)."""
+    sim, net, a, b = build_pair()
+    ep_a = a.connect("10.0.0.2", 7000, local_port=7001)
+    ep_b = b.connect("10.0.0.1", 7001, local_port=7000)
+    sim.run(until=5.0)
+    assert ep_a.state is TCPState.ESTABLISHED
+    assert ep_b.state is TCPState.ESTABLISHED
+    # One connection per host, no stray resets.
+    assert len(a.table) == 1 and len(b.table) == 1
+    assert a.resets_sent == 0 and b.resets_sent == 0
+    # And data flows over it.
+    received = []
+    ep_b.on_data = lambda ep, data: received.append(data)
+    ep_a.send(b"post-simultaneous")
+    sim.run(until=6.0)
+    assert received == [b"post-simultaneous"]
+
+
+def test_half_close_peer_keeps_sending():
+    """Client closes its direction; server may keep sending from
+    CLOSE_WAIT and the client (FIN_WAIT_2) still receives and acks."""
+    sim, net, a, b = build_pair()
+    server_eps = []
+    b.listen(80, on_accept=server_eps.append)
+    client_rx = []
+    ep = a.connect(
+        "10.0.0.2", 80, on_data=lambda e, data: client_rx.append(data)
+    )
+    sim.run(until=1.0)
+    ep.close()
+    sim.run(until=2.0)
+    server = server_eps[0]
+    assert server.state is TCPState.CLOSE_WAIT
+    server.send(b"late data")
+    sim.run(until=3.0)
+    assert client_rx == [b"late data"]
+    assert ep.state is TCPState.FIN_WAIT_2
+    # Server finally closes; both sides reach CLOSED (via TIME_WAIT).
+    server.close()
+    sim.run(until=10.0)
+    assert server.state is TCPState.CLOSED
+    assert ep.state is TCPState.CLOSED
+
+
+def test_syn_retransmission_exhaustion_aborts():
+    """A SYN into the void retransmits with backoff, then gives up."""
+    sim, net, a, b = build_pair()
+    closed = []
+    ep = a.connect("10.9.9.9", 80, on_close=closed.append)  # nobody there
+    sim.run(until=900.0)
+    assert ep.state is TCPState.CLOSED
+    assert ep.aborted
+    assert closed == [ep]
+    assert len(a.table) == 0
+    # Backoff actually happened: more than 1, fewer than 15 SYNs.
+    assert 2 <= net.packets_to_nowhere <= 15
+
+
+def test_data_retransmission_exhaustion_aborts():
+    """Total loss toward the peer: data retries back off, then abort."""
+    sim = Simulator()
+    net = Network(sim, default_delay=0.0005)
+    a = HostStack(sim, net, "10.0.0.1", BSDDemux())
+    b = HostStack(sim, net, "10.0.0.2", BSDDemux())
+    b.listen(80)
+    ep = a.connect("10.0.0.2", 80)
+    sim.run(until=1.0)
+    assert ep.state is TCPState.ESTABLISHED
+    # Now cut the path toward b entirely.
+    net.detach("10.0.0.2")
+    ep.send(b"into the void")
+    sim.run(until=900.0)
+    assert ep.state is TCPState.CLOSED
+    assert ep.aborted
+
+
+def test_time_wait_reacks_retransmitted_fin():
+    """A FIN replayed into TIME_WAIT is re-acked, not dropped."""
+    sim, net, a, b = build_pair()
+    server_eps = []
+    b.listen(80, on_accept=server_eps.append)
+    ep = a.connect("10.0.0.2", 80)
+    sim.run(until=1.0)
+    ep.close()
+    sim.run(until=1.2)
+    server = server_eps[0]
+    server.close()
+    sim.run(until=1.4)
+    assert ep.state is TCPState.TIME_WAIT
+    sent_before = a.packets_sent
+    # Replay the server's FIN (as if its ack got lost).
+    from repro.packet.builder import Packet
+    from repro.packet.ip import IPv4Header
+    from repro.packet.tcp import TCPFlags, TCPSegment
+
+    tup = ep.pcb.four_tuple
+    fin = Packet(
+        ip=IPv4Header(src=tup.remote_addr, dst=tup.local_addr),
+        tcp=TCPSegment(
+            src_port=tup.remote_port,
+            dst_port=tup.local_port,
+            seq=(ep.pcb.rcv_nxt - 1) & 0xFFFFFFFF,
+            ack=ep.pcb.snd_nxt,
+            flags=TCPFlags.FIN | TCPFlags.ACK,
+        ),
+    )
+    net.send(fin)
+    sim.run(until=1.6)
+    assert a.packets_sent == sent_before + 1  # one re-ack
+
+
+def test_connection_reuse_after_time_wait():
+    """Once TIME_WAIT expires the same four-tuple can be reused."""
+    sim, net, a, b = build_pair()
+    b.listen(80, on_data=lambda ep, data: None)
+    ep = a.connect("10.0.0.2", 80, local_port=50000)
+    sim.run(until=1.0)
+    ep.close()
+    sim.run(until=1.5)
+    # Server app closes too, completing the exchange.
+    for server_ep in list(b.table):
+        endpoint = server_ep.user_data
+        if endpoint.state is TCPState.CLOSE_WAIT:
+            endpoint.close()
+    sim.run(until=20.0)  # TIME_WAIT (1 s in simulation) expires
+    assert len(a.table) == 0 and len(b.table) == 0
+    ep2 = a.connect("10.0.0.2", 80, local_port=50000)
+    sim.run(until=21.0)
+    assert ep2.state is TCPState.ESTABLISHED

@@ -1,0 +1,35 @@
+"""Tests for the shared paper-configuration constants."""
+
+import pytest
+
+from repro.experiments.config import PAPER, PaperConfig
+
+
+class TestPaperConfig:
+    def test_running_example(self):
+        assert PAPER.n_users == 2000
+        assert PAPER.rate == pytest.approx(0.1)
+        assert PAPER.transaction_rate == pytest.approx(200.0)
+
+    def test_scaling_rule_holds(self):
+        """users = 10x TPS, the TPC/A rule the whole analysis assumes."""
+        assert PAPER.n_users == 10 * PAPER.transaction_rate
+
+    def test_sweep_values_match_paper(self):
+        assert PAPER.response_times == (0.2, 0.5, 1.0, 2.0)
+        assert PAPER.round_trips == (0.001, 0.010, 0.100)
+        assert PAPER.default_chains == 19
+        assert PAPER.chain_counts == (19, 51, 100)
+
+    def test_max_response_time_is_tpca_limit(self):
+        """2 s is the benchmark's 90th-percentile ceiling; the paper
+        sweeps up to exactly it."""
+        assert max(PAPER.response_times) == 2.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER.n_users = 1
+
+    def test_custom_config(self):
+        small = PaperConfig(n_users=500)
+        assert small.transaction_rate == pytest.approx(50.0)

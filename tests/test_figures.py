@@ -1,0 +1,85 @@
+"""Tests for the regenerated figures (4, 13, 14)."""
+
+import pytest
+
+from repro.experiments.figures import figure4, figure13, figure14
+
+
+class TestFigure4:
+    def test_rises_from_zero_toward_population(self):
+        figure = figure4(points=26)
+        values = figure.series["N(T)"]
+        assert values[0] == 0.0
+        assert values[-1] > 1900  # nearly all 1,999 others by T=50s
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_value_at_mean_think_time(self):
+        """At T=10s (one mean think time): 1999 * (1 - 1/e) ~ 1264."""
+        figure = figure4(points=51)
+        idx = figure.x_values.index(10.0)
+        assert figure.series["N(T)"][idx] == pytest.approx(1263.6, abs=1.0)
+
+    def test_render_and_csv(self):
+        figure = figure4(points=11)
+        assert "Figure 4" in figure.render()
+        csv = figure.csv()
+        assert csv.splitlines()[0].endswith("N(T)")
+
+
+class TestFigure13:
+    def test_all_paper_curves_present(self):
+        figure = figure13(points=11)
+        assert set(figure.series) == {
+            "BSD", "MTF 1.0", "MTF 0.5", "MTF 0.2", "SR 1", "SEQUENT"
+        }
+
+    def test_qualitative_ordering_at_scale(self):
+        """The paper's visual: BSD worst (with SR converging to it),
+        MTF clustered in the middle by response time, Sequent an order
+        of magnitude below everything."""
+        figure = figure13(points=21)
+        idx = figure.x_values.index(10000.0)
+        at_10k = {label: ys[idx] for label, ys in figure.series.items()}
+        assert at_10k["SEQUENT"] * 10 < at_10k["MTF 0.2"]
+        assert at_10k["MTF 0.2"] < at_10k["MTF 0.5"] < at_10k["MTF 1.0"]
+        assert at_10k["MTF 1.0"] < at_10k["SR 1"] <= at_10k["BSD"] * 1.01
+
+    def test_y_clip_matches_paper_axis(self):
+        assert figure13().y_clip == 5500.0
+
+    def test_bsd_slope_is_half(self):
+        figure = figure13(points=21)
+        ys = figure.series["BSD"]
+        xs = figure.x_values
+        slope = (ys[-1] - ys[1]) / (xs[-1] - xs[1])
+        assert slope == pytest.approx(0.5, rel=0.01)
+
+
+class TestFigure14:
+    def test_detail_range(self):
+        figure = figure14(points=11)
+        assert max(figure.x_values) == 1000.0
+        assert "SR 10" in figure.series
+
+    def test_sr_small_n_advantage_visible(self):
+        """In the detail view SR 1 sits well below BSD, and SR 10
+        between SR 1 and BSD -- the paper's Figure 14 story."""
+        figure = figure14(points=21)
+        idx = figure.x_values.index(1000.0)
+        bsd = figure.series["BSD"][idx]
+        sr1 = figure.series["SR 1"][idx]
+        sr10 = figure.series["SR 10"][idx]
+        assert sr1 < sr10 < bsd
+
+    def test_sequent_bottom_at_every_point(self):
+        figure = figure14(points=21)
+        for i in range(1, len(figure.x_values)):
+            others = [
+                ys[i]
+                for label, ys in figure.series.items()
+                if label != "SEQUENT"
+            ]
+            assert figure.series["SEQUENT"][i] <= min(others)
+
+    def test_render_mentions_detail(self):
+        assert "detail" in figure14(points=5).render()

@@ -1,0 +1,90 @@
+"""Tests for hash chain-balance analysis."""
+
+import pytest
+
+from repro.hashing.analysis import compare_functions, measure_balance
+from repro.hashing.functions import crc32_hash, remote_port_only, xor_fold
+
+from conftest import make_tuple
+
+
+def keys(n):
+    return [make_tuple(i) for i in range(n)]
+
+
+class TestMeasureBalance:
+    def test_chain_lengths_sum_to_keys(self):
+        balance = measure_balance(crc32_hash, keys(100), 7)
+        assert sum(balance.chain_lengths) == 100
+        assert balance.nkeys == 100
+        assert balance.nbuckets == 7
+
+    def test_duplicates_counted_once(self):
+        dup_keys = keys(10) + keys(10)
+        balance = measure_balance(crc32_hash, dup_keys, 7)
+        assert balance.nkeys == 10
+
+    def test_empty_population(self):
+        balance = measure_balance(crc32_hash, [], 7)
+        assert balance.nkeys == 0
+        assert balance.expected_scan == 0.0
+        assert balance.scan_penalty == 1.0
+
+    def test_perfectly_balanced_hash(self):
+        """remote_port_only on sequential ports is perfectly uniform."""
+        balance = measure_balance(remote_port_only, keys(190), 19)
+        assert balance.max_chain == 10
+        assert balance.chi_square == pytest.approx(0.0)
+        assert balance.scan_penalty == pytest.approx(1.0)
+
+    def test_degenerate_hash_penalty(self):
+        """A constant hash puts everything on one chain: penalty H."""
+        constant = lambda tup, n: 0
+        n, h = 100, 10
+        balance = measure_balance(constant, keys(n), h)
+        assert balance.max_chain == n
+        assert balance.expected_scan == pytest.approx((n + 1) / 2)
+        # Ideal is (n/h + 1)/2 = 5.5; penalty ~9.2x.
+        assert balance.scan_penalty > 5.0
+
+    def test_ideal_scan_formula(self):
+        balance = measure_balance(crc32_hash, keys(190), 19)
+        assert balance.ideal_scan == pytest.approx((190 / 19 + 1) / 2)
+
+    def test_load_factor(self):
+        assert measure_balance(crc32_hash, keys(38), 19).load_factor == 2.0
+
+    def test_out_of_range_hash_detected(self):
+        bad = lambda tup, n: n  # returns nbuckets, out of range
+        with pytest.raises(ValueError, match="outside"):
+            measure_balance(bad, keys(5), 3)
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            measure_balance(crc32_hash, keys(5), 0)
+
+    def test_chain_histogram(self):
+        balance = measure_balance(remote_port_only, keys(190), 19)
+        assert balance.chain_histogram() == {10: 19}
+
+    def test_summary_text(self):
+        text = measure_balance(crc32_hash, keys(100), 7).summary()
+        assert "H=7" in text and "N=100" in text
+
+
+class TestCompareFunctions:
+    def test_sorted_by_penalty(self):
+        functions = {
+            "crc32": crc32_hash,
+            "constant": lambda tup, n: 0,
+            "xor": xor_fold,
+        }
+        results = compare_functions(functions, keys(100), 8)
+        penalties = [balance.scan_penalty for _, balance in results]
+        assert penalties == sorted(penalties)
+        assert results[-1][0] == "constant"
+
+    def test_all_functions_present(self):
+        functions = {"a": crc32_hash, "b": xor_fold}
+        results = compare_functions(functions, keys(50), 4)
+        assert {name for name, _ in results} == {"a", "b"}

@@ -1,0 +1,110 @@
+"""Tests for the hash-chains + move-to-front combination (Section 3.5)."""
+
+import pytest
+
+from repro.core.hashed_mtf import HashedMTFDemux
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.sequent import SequentDemux
+from repro.core.stats import PacketKind
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestStructure:
+    def test_rejects_nonpositive_chains(self):
+        with pytest.raises(ValueError):
+            HashedMTFDemux(0)
+
+    def test_chain_lengths_sum(self):
+        demux = HashedMTFDemux(5)
+        for pcb in make_pcbs(23):
+            demux.insert(pcb)
+        assert sum(demux.chain_lengths()) == 23
+
+    def test_describe_mentions_cache_mode(self):
+        assert "cached" in HashedMTFDemux(3).describe()
+        assert "uncached" in HashedMTFDemux(3, per_chain_cache=False).describe()
+
+
+class TestMTFWithinChain:
+    def test_found_pcb_moves_to_chain_front(self):
+        demux = HashedMTFDemux(3, per_chain_cache=False)
+        pcbs = make_pcbs(30)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        target = pcbs[0]
+        chain = demux.chain_of(target.four_tuple)
+        demux.lookup(target.four_tuple)
+        # The target is now the first PCB of its chain in iteration order.
+        chain_members = [
+            p for p in demux if demux.chain_of(p.four_tuple) == chain
+        ]
+        assert chain_members[0] is target
+
+    def test_repeat_lookup_costs_one(self):
+        demux = HashedMTFDemux(3, per_chain_cache=False)
+        for pcb in make_pcbs(30):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(17))
+        assert demux.lookup(make_tuple(17)).examined == 1
+
+    def test_cache_mode_hits_cost_one(self):
+        demux = HashedMTFDemux(3, per_chain_cache=True)
+        for pcb in make_pcbs(30):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(17))
+        result = demux.lookup(make_tuple(17))
+        assert result.cache_hit and result.examined == 1
+
+    def test_h1_uncached_equals_plain_mtf(self, rng):
+        hashed = HashedMTFDemux(1, per_chain_cache=False)
+        plain = MoveToFrontDemux()
+        for pcb_a, pcb_b in zip(make_pcbs(25), make_pcbs(25)):
+            hashed.insert(pcb_a)
+            plain.insert(pcb_b)
+        for _ in range(400):
+            tup = make_tuple(rng.randrange(25))
+            assert hashed.lookup(tup).examined == plain.lookup(tup).examined
+
+    def test_remove_keeps_chain_consistent(self):
+        demux = HashedMTFDemux(3)
+        pcbs = make_pcbs(9)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        demux.lookup(pcbs[4].four_tuple)
+        demux.remove(pcbs[4].four_tuple)
+        assert len(demux) == 8
+        assert not demux.lookup(pcbs[4].four_tuple).found
+
+
+class TestPaperSection35Claim:
+    def test_mtf_in_chain_wins_at_most_factor_two_on_uniform(self, rng):
+        """Uniform traffic: MTF cannot beat ~half the chain scan, which
+        is the paper's 'best-case factor-of-two' bound."""
+        n, h, trials = 200, 10, 6000
+        plain = SequentDemux(h)
+        mtf = HashedMTFDemux(h, per_chain_cache=True)
+        for pcb_a, pcb_b in zip(make_pcbs(n), make_pcbs(n)):
+            plain.insert(pcb_a)
+            mtf.insert(pcb_b)
+        for _ in range(trials):
+            tup = make_tuple(rng.randrange(n))
+            kind = PacketKind.DATA if rng.random() < 0.5 else PacketKind.ACK
+            plain.lookup(tup, kind)
+            mtf.lookup(tup, kind)
+        improvement = plain.stats.mean_examined / mtf.stats.mean_examined
+        assert improvement < 2.0
+
+    def test_more_chains_beat_mtf_combination(self, rng):
+        """H=19 -> H=100 buys more than adding MTF to H=19 chains."""
+        n, trials = 400, 8000
+        mtf19 = HashedMTFDemux(19)
+        plain100 = SequentDemux(100)
+        for pcb_a, pcb_b in zip(make_pcbs(n), make_pcbs(n)):
+            mtf19.insert(pcb_a)
+            plain100.insert(pcb_b)
+        for _ in range(trials):
+            tup = make_tuple(rng.randrange(n))
+            mtf19.lookup(tup)
+            plain100.lookup(tup)
+        assert plain100.stats.mean_examined < mtf19.stats.mean_examined

@@ -1,0 +1,113 @@
+"""Tests for listening sockets (backlog, accept queue, close)."""
+
+from repro.core.bsd import BSDDemux
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.tcpstack.stack import HostStack
+from repro.tcpstack.states import TCPState
+
+
+def build(n_clients=3, backlog=0):
+    sim = Simulator()
+    net = Network(sim, default_delay=0.0005)
+    server = HostStack(sim, net, "10.0.0.1", BSDDemux())
+    listener = server.listen(80, backlog=backlog)
+    clients = [
+        HostStack(sim, net, f"10.0.1.{i + 1}", BSDDemux())
+        for i in range(n_clients)
+    ]
+    return sim, server, listener, clients
+
+
+class TestAccept:
+    def test_accept_queue_fills(self):
+        sim, server, listener, clients = build(3)
+        for client in clients:
+            client.connect("10.0.0.1", 80)
+        sim.run(until=1.0)
+        assert len(listener.accepted) == 3
+        assert listener.syn_count == 3
+        assert all(
+            ep.state is TCPState.ESTABLISHED for ep in listener.accepted
+        )
+
+    def test_on_accept_callback(self):
+        sim, server, listener, clients = build(1)
+        seen = []
+        listener.on_accept = seen.append
+        clients[0].connect("10.0.0.1", 80)
+        sim.run(until=1.0)
+        assert seen == listener.accepted
+
+    def test_on_data_installed_on_accepted(self):
+        sim, server, listener, clients = build(1)
+        got = []
+        listener.on_data = lambda ep, data: got.append(data)
+        clients[0].connect(
+            "10.0.0.1", 80, on_establish=lambda e: e.send(b"hi")
+        )
+        sim.run(until=1.0)
+        assert got == [b"hi"]
+
+    def test_distinct_four_tuples_per_connection(self):
+        sim, server, listener, clients = build(3)
+        for client in clients:
+            client.connect("10.0.0.1", 80)
+        sim.run(until=1.0)
+        tuples = {ep.pcb.four_tuple for ep in listener.accepted}
+        assert len(tuples) == 3
+
+
+class TestBacklog:
+    def test_backlog_refuses_excess_syns(self):
+        # Tiny backlog, slow handshakes: flood 5 SYNs at once.
+        sim, server, listener, clients = build(5, backlog=2)
+        for client in clients:
+            client.connect("10.0.0.1", 80)
+        sim.run(until=5.0)
+        assert listener.refused == 3
+        assert len(listener.accepted) == 2
+        # Refused clients got RSTs and aborted.
+        aborted = sum(
+            1
+            for client in clients
+            for pcb in []
+        )
+        assert server.resets_sent == 3
+
+    def test_unlimited_backlog_default(self):
+        sim, server, listener, clients = build(5, backlog=0)
+        for client in clients:
+            client.connect("10.0.0.1", 80)
+        sim.run(until=1.0)
+        assert listener.refused == 0
+        assert len(listener.accepted) == 5
+
+
+class TestClose:
+    def test_closed_listener_refuses(self):
+        sim, server, listener, clients = build(1)
+        listener.close()
+        assert listener.is_closed
+        clients[0].connect("10.0.0.1", 80)
+        sim.run(until=1.0)
+        assert listener.accepted == []
+        assert server.resets_sent >= 1
+
+    def test_close_idempotent(self):
+        sim, server, listener, clients = build(0)
+        listener.close()
+        listener.close()  # second close must not raise
+
+    def test_existing_connections_survive_listener_close(self):
+        sim, server, listener, clients = build(1)
+        clients[0].connect("10.0.0.1", 80)
+        sim.run(until=1.0)
+        listener.close()
+        ep = listener.accepted[0]
+        assert ep.state is TCPState.ESTABLISHED
+        assert len(server.table) == 1
+
+    def test_repr(self):
+        _, _, listener, _ = build(0)
+        assert ":80" in repr(listener)

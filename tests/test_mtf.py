@@ -1,0 +1,113 @@
+"""Tests for Crowcroft's move-to-front list (Section 3.2)."""
+
+import pytest
+
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.stats import PacketKind
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestMoveToFrontMechanics:
+    def test_found_pcb_moves_to_front(self):
+        demux = MoveToFrontDemux()
+        pcbs = make_pcbs(5)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        demux.lookup(make_tuple(0))  # currently at the tail
+        assert demux.position_of(make_tuple(0)) == 0
+
+    def test_front_lookup_costs_one_and_keeps_order(self):
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(5):
+            demux.insert(pcb)
+        head = next(iter(demux)).four_tuple
+        before = [p.four_tuple for p in demux]
+        result = demux.lookup(head)
+        assert result.examined == 1
+        assert [p.four_tuple for p in demux] == before
+
+    def test_examined_equals_position_plus_one(self):
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(6):
+            demux.insert(pcb)
+        # Order after insertion: 5,4,3,2,1,0.
+        assert demux.lookup(make_tuple(3)).examined == 3
+        # Now order: 3,5,4,2,1,0.
+        assert demux.lookup(make_tuple(0)).examined == 6
+
+    def test_miss_scans_everything_without_reorder(self):
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(5):
+            demux.insert(pcb)
+        before = [p.four_tuple for p in demux]
+        result = demux.lookup(make_tuple(50))
+        assert not result.found
+        assert result.examined == 5
+        assert [p.four_tuple for p in demux] == before
+
+    def test_list_remains_permutation_of_inserted(self, rng):
+        demux = MoveToFrontDemux()
+        pcbs = make_pcbs(20)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        for _ in range(200):
+            demux.lookup(make_tuple(rng.randrange(20)))
+        assert sorted(p.four_tuple for p in demux) == sorted(
+            p.four_tuple for p in pcbs
+        )
+        assert len(demux) == 20
+
+    def test_position_of_missing_raises(self):
+        demux = MoveToFrontDemux()
+        with pytest.raises(KeyError):
+            demux.position_of(make_tuple(0))
+
+    def test_remove_mid_list(self):
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(5):
+            demux.insert(pcb)
+        demux.remove(make_tuple(2))
+        assert len(demux) == 4
+        assert not demux.lookup(make_tuple(2)).found
+
+
+class TestWorkloadShapes:
+    def test_round_robin_is_worst_case(self):
+        """Deterministic polling: every lookup scans the whole list
+        (the paper's point-of-sale example)."""
+        n = 15
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(n):
+            demux.insert(pcb)
+        # Prime one full cycle to reach the steady round-robin order.
+        for i in range(n):
+            demux.lookup(make_tuple(i))
+        demux.stats.reset()
+        for i in range(n):
+            assert demux.lookup(make_tuple(i)).examined == n
+
+    def test_packet_train_is_best_case(self):
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(30):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(7))
+        demux.stats.reset()
+        for _ in range(50):
+            demux.lookup(make_tuple(7), PacketKind.DATA)
+        assert demux.stats.mean_examined == 1.0
+
+    def test_recently_active_cheaper_than_stale(self):
+        """The property Eqs. 5/6 quantify: PCBs touched recently sit
+        near the front."""
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(20):
+            demux.insert(pcb)
+        # Touch 0..9 (so 9 is most recent).
+        for i in range(10):
+            demux.lookup(make_tuple(i))
+        recent = demux.lookup(make_tuple(9)).examined
+        # 9 moved to front by its own lookup; now a stale one:
+        stale_cost = demux.lookup(make_tuple(15)).examined
+        assert recent == 1
+        assert stale_cost > 10

@@ -1,0 +1,111 @@
+"""Tests for the IRM move-to-front theory and its simulated agreement."""
+
+import pytest
+
+from repro.analytic.mtf_irm import (
+    competitive_ratio,
+    mtf_cost,
+    normalize,
+    random_order_cost,
+    static_optimal_cost,
+    zipf_weights,
+)
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.stats import PacketKind
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestClosedForms:
+    def test_normalize(self):
+        assert normalize([2.0, 2.0]) == [0.5, 0.5]
+        with pytest.raises(ValueError):
+            normalize([])
+        with pytest.raises(ValueError):
+            normalize([1.0, 0.0])
+
+    def test_uniform_equals_random_order(self):
+        """The punchline: uniform IRM makes MTF exactly (N+1)/2."""
+        for n in (1, 2, 10, 100):
+            uniform = [1.0] * n
+            assert mtf_cost(uniform) == pytest.approx((n + 1) / 2)
+            assert mtf_cost(uniform) == pytest.approx(
+                random_order_cost(uniform)
+            )
+
+    def test_two_items_exact(self):
+        # p, q: cost = 1 + 2pq/(p+q) = 1 + 2pq.
+        assert mtf_cost([0.9, 0.1]) == pytest.approx(1 + 2 * 0.9 * 0.1)
+
+    def test_skew_beats_random_order(self):
+        weights = zipf_weights(100, skew=1.0)
+        assert mtf_cost(weights) < random_order_cost(weights)
+
+    def test_mtf_never_beats_static_optimal(self):
+        for skew in (0.0, 0.5, 1.0, 2.0):
+            weights = zipf_weights(50, skew)
+            assert mtf_cost(weights) >= static_optimal_cost(weights) - 1e-9
+
+    def test_rivest_competitive_bound(self):
+        """C_MTF <= 2 C_OPT for every weight vector tried."""
+        cases = [
+            [1.0] * 20,
+            zipf_weights(50, 1.0),
+            zipf_weights(50, 2.0),
+            [1000.0] + [1.0] * 99,
+            [2.0**-i for i in range(20)],
+        ]
+        for weights in cases:
+            assert competitive_ratio(weights) <= 2.0 + 1e-9
+
+    def test_static_optimal_orders_descending(self):
+        # 0.7/0.2/0.1: optimal = 1*0.7 + 2*0.2 + 3*0.1 = 1.4.
+        assert static_optimal_cost([0.1, 0.7, 0.2]) == pytest.approx(1.4)
+
+    def test_zipf_weights_shape(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights == pytest.approx([1.0, 0.5, 1 / 3, 0.25])
+        assert zipf_weights(4, 0.0) == [1.0] * 4
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, -1.0)
+
+
+class TestSimulatedAgreement:
+    def _measure(self, weights, trials, rng):
+        n = len(weights)
+        demux = MoveToFrontDemux()
+        for pcb in make_pcbs(n):
+            demux.insert(pcb)
+        indices = list(range(n))
+        # Warm into stationarity, then measure.
+        for _ in range(trials // 4):
+            demux.lookup(make_tuple(rng.choices(indices, weights)[0]))
+        demux.stats.reset()
+        for _ in range(trials):
+            demux.lookup(
+                make_tuple(rng.choices(indices, weights)[0]),
+                PacketKind.DATA,
+            )
+        return demux.stats.mean_examined
+
+    def test_uniform_irm_matches_closed_form(self, rng):
+        n = 40
+        measured = self._measure([1.0] * n, 8000, rng)
+        assert measured == pytest.approx((n + 1) / 2, rel=0.05)
+
+    def test_zipf_irm_matches_closed_form(self, rng):
+        weights = zipf_weights(40, 1.0)
+        measured = self._measure(weights, 8000, rng)
+        assert measured == pytest.approx(mtf_cost(weights), rel=0.05)
+
+    def test_tpca_beats_irm_because_of_pairing(self):
+        """TPC/A MTF cost (Eq. 6) is far below the uniform-IRM (N+1)/2:
+        the response-ack pairing is the entire win."""
+        from repro.analytic import crowcroft
+
+        n = 2000
+        irm = (n + 1) / 2  # 1000.5
+        tpca = crowcroft.overall_cost(n, 0.1, 0.2, examined=True)  # ~550
+        assert tpca < 0.6 * irm

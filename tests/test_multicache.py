@@ -1,0 +1,169 @@
+"""Tests for the k-entry LRU cache structure and its analytic model."""
+
+import pytest
+
+from repro.analytic import bsd as a_bsd
+from repro.analytic import multicache as a_mc
+from repro.core.bsd import BSDDemux
+from repro.core.multicache import MultiCacheDemux
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestLRUMechanics:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            MultiCacheDemux(0)
+
+    def test_mru_probe_costs_one(self):
+        demux = MultiCacheDemux(4)
+        for pcb in make_pcbs(20):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(7))
+        result = demux.lookup(make_tuple(7))
+        assert result.cache_hit and result.examined == 1
+
+    def test_probe_cost_equals_recency_rank(self):
+        demux = MultiCacheDemux(4)
+        for pcb in make_pcbs(20):
+            demux.insert(pcb)
+        for i in (1, 2, 3, 4):  # fill cache; 4 is MRU
+            demux.lookup(make_tuple(i))
+        assert demux.lookup(make_tuple(4)).examined == 1
+        # 4 is MRU again; 3 now second.
+        assert demux.lookup(make_tuple(3)).examined == 2
+        # Order now 3,4,2,1; the LRU entry costs k probes.
+        assert demux.lookup(make_tuple(1)).examined == 4
+
+    def test_eviction_is_lru(self):
+        demux = MultiCacheDemux(3)
+        for pcb in make_pcbs(20):
+            demux.insert(pcb)
+        for i in (1, 2, 3):
+            demux.lookup(make_tuple(i))
+        demux.lookup(make_tuple(1))  # refresh 1; LRU is now 2
+        demux.lookup(make_tuple(10))  # evicts 2
+        assert make_tuple(2) not in demux.cached_tuples()
+        assert make_tuple(1) in demux.cached_tuples()
+
+    def test_cached_tuples_mru_order(self):
+        demux = MultiCacheDemux(3)
+        for pcb in make_pcbs(10):
+            demux.insert(pcb)
+        for i in (5, 6, 7):
+            demux.lookup(make_tuple(i))
+        assert demux.cached_tuples() == (
+            make_tuple(7), make_tuple(6), make_tuple(5)
+        )
+
+    def test_miss_cost_is_cache_plus_scan(self):
+        demux = MultiCacheDemux(4)
+        for pcb in make_pcbs(10):
+            demux.insert(pcb)
+        for i in (1, 2, 3, 4):
+            demux.lookup(make_tuple(i))
+        # Tuple 9 sits at the list head (inserted last): 4 probes + 1.
+        assert demux.lookup(make_tuple(9)).examined == 5
+
+    def test_remove_purges_cache_entry(self):
+        demux = MultiCacheDemux(4)
+        for pcb in make_pcbs(10):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(3))
+        demux.remove(make_tuple(3))
+        assert make_tuple(3) not in demux.cached_tuples()
+        assert not demux.lookup(make_tuple(3)).found
+
+    def test_k1_cost_equivalent_to_bsd(self, rng):
+        lru = MultiCacheDemux(1)
+        bsd = BSDDemux()
+        for a, b in zip(make_pcbs(25), make_pcbs(25)):
+            lru.insert(a)
+            bsd.insert(b)
+        for _ in range(500):
+            tup = make_tuple(rng.randrange(25))
+            assert lru.lookup(tup).examined == bsd.lookup(tup).examined
+
+    def test_describe(self):
+        assert "k=4" in MultiCacheDemux(4).describe()
+
+
+class TestAnalyticModel:
+    def test_k1_is_eq1(self):
+        for n in (1, 10, 500, 2000):
+            assert a_mc.cost(n, 1) == pytest.approx(a_bsd.cost(n))
+
+    def test_full_cache_is_cache_scan(self):
+        """k=N: every lookup is a hit at average position (N+1)/2 --
+        the cache has just become another linear list."""
+        assert a_mc.cost(2000, 2000) == pytest.approx((2000 + 1) / 2)
+
+    def test_no_k_beats_half_n_under_memoryless_traffic(self):
+        """The punchline: under uniform traffic NO cache size gets the
+        expected cost below (N+1)/2 -- only splitting the list can."""
+        n = 2000
+        floor = (n + 1) / 2
+        for k in (1, 2, 8, 64, 256, 1024, 2000):
+            assert a_mc.cost(n, k) >= floor - 1e-9
+
+    def test_hit_rate(self):
+        assert a_mc.hit_rate(2000, 19) == pytest.approx(19 / 2000)
+        assert a_mc.hit_rate(10, 100) == 1.0
+
+    def test_simulated_cost_matches_model(self, rng):
+        n, k, trials = 100, 8, 8000
+        demux = MultiCacheDemux(k)
+        for pcb in make_pcbs(n):
+            demux.insert(pcb)
+        for _ in range(trials):
+            demux.lookup(make_tuple(rng.randrange(n)))
+        assert demux.stats.mean_examined == pytest.approx(
+            a_mc.cost(n, k), rel=0.05
+        )
+
+    def test_ack_hit_probability_limits(self):
+        # k=1 over a window ~ footnote 4's e^{-2aW(N-1)} shape.
+        import math
+
+        p1 = a_mc.ack_hit_probability(2000, 1, 0.1, 0.201)
+        assert p1 == pytest.approx(math.exp(-2 * 0.1 * 0.201 * 1999))
+        # Large k retains through any realistic window.
+        assert a_mc.ack_hit_probability(2000, 500, 0.1, 0.201) > 0.99
+        # Zero window: always retained.
+        assert a_mc.ack_hit_probability(2000, 1, 0.1, 0.0) == 1.0
+
+    def test_ack_hit_monotone_in_k(self):
+        probs = [
+            a_mc.ack_hit_probability(2000, k, 0.1, 0.2)
+            for k in (1, 10, 80, 200)
+        ]
+        assert probs == sorted(probs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            a_mc.cost(0, 1)
+        with pytest.raises(ValueError):
+            a_mc.cost(10, 0)
+        with pytest.raises(ValueError):
+            a_mc.ack_hit_probability(10, 1, -0.1, 1.0)
+        with pytest.raises(ValueError):
+            a_mc.ack_hit_probability(10, 1, 0.1, -1.0)
+
+
+class TestSequentComparison:
+    def test_chains_beat_any_cache_size(self, rng):
+        """19 chains beat even a 256-entry LRU under OLTP traffic --
+        measured, the heart of the miss-penalty argument."""
+        from repro.core.sequent import SequentDemux
+
+        n, trials = 300, 6000
+        lru = MultiCacheDemux(256)
+        chains = SequentDemux(19)
+        for a, b in zip(make_pcbs(n), make_pcbs(n)):
+            lru.insert(a)
+            chains.insert(b)
+        for _ in range(trials):
+            tup = make_tuple(rng.randrange(n))
+            lru.lookup(tup)
+            chains.lookup(tup)
+        assert chains.stats.mean_examined < lru.stats.mean_examined / 5

@@ -1,0 +1,55 @@
+"""Tests for the PCB value object."""
+
+from repro.core.pcb import PCB
+
+from conftest import make_tuple
+
+
+class TestPCB:
+    def test_identity_is_four_tuple(self):
+        pcb = PCB(make_tuple(0))
+        assert pcb.matches(make_tuple(0))
+        assert not pcb.matches(make_tuple(1))
+
+    def test_distinct_objects_same_tuple(self):
+        a, b = PCB(make_tuple(0)), PCB(make_tuple(0))
+        assert a is not b
+        assert a.four_tuple == b.four_tuple
+
+    def test_default_state(self):
+        assert PCB(make_tuple(0)).state == "ESTABLISHED"
+        assert PCB(make_tuple(0), state="LISTEN").state == "LISTEN"
+
+    def test_counters(self):
+        pcb = PCB(make_tuple(0))
+        pcb.note_receive(100)
+        pcb.note_receive(50)
+        pcb.note_send(20)
+        assert pcb.packets_in == 2
+        assert pcb.bytes_in == 150
+        assert pcb.packets_out == 1
+        assert pcb.bytes_out == 20
+
+    def test_user_data_slot(self):
+        pcb = PCB(make_tuple(0))
+        assert pcb.user_data is None
+        pcb.user_data = object()
+        assert pcb.user_data is not None
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        pcb = PCB(make_tuple(0))
+        try:
+            pcb.not_a_field = 1
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("PCB should use __slots__")
+
+    def test_approx_size_plausible(self):
+        # The memory model depends on this being a few hundred bytes.
+        assert 128 <= PCB.APPROX_SIZE_BYTES <= 2048
+
+    def test_repr_mentions_tuple_and_state(self):
+        text = repr(PCB(make_tuple(0)))
+        assert "ESTABLISHED" in text
+        assert "10.0.0.1" in text

@@ -1,0 +1,97 @@
+"""Tests for the PCBTable (demux algorithm + listener table)."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.pcb import PCB
+from repro.core.stats import PacketKind
+from repro.packet.addresses import IPv4Address
+from repro.tcpstack.pcb_table import PCBTable
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestEstablishedSide:
+    def test_insert_lookup_remove(self):
+        table = PCBTable(BSDDemux())
+        pcb = PCB(make_tuple(0))
+        table.insert(pcb)
+        assert len(table) == 1
+        result = table.lookup(make_tuple(0), PacketKind.DATA)
+        assert result.pcb is pcb
+        assert table.remove(make_tuple(0)) is pcb
+        assert len(table) == 0
+
+    def test_lookup_charges_algorithm_stats(self):
+        algo = BSDDemux()
+        table = PCBTable(algo)
+        for pcb in make_pcbs(3):
+            table.insert(pcb)
+        table.lookup(make_tuple(1), PacketKind.ACK)
+        assert algo.stats.kind(PacketKind.ACK).lookups == 1
+
+    def test_iteration(self):
+        table = PCBTable(BSDDemux())
+        pcbs = make_pcbs(4)
+        for pcb in pcbs:
+            table.insert(pcb)
+        assert {p.four_tuple for p in table} == {p.four_tuple for p in pcbs}
+
+    def test_note_send_forwards(self):
+        from repro.core.sendrecv import SendRecvDemux
+
+        algo = SendRecvDemux()
+        table = PCBTable(algo)
+        pcb = PCB(make_tuple(0))
+        table.insert(pcb)
+        table.note_send(pcb)
+        assert algo.send_cached_pcb is pcb
+
+
+class TestListenerSide:
+    def test_wildcard_listener(self):
+        table = PCBTable(BSDDemux())
+        owner = object()
+        table.add_listener(80, owner)
+        assert table.find_listener(IPv4Address("10.0.0.1"), 80) is owner
+        assert table.find_listener(IPv4Address("10.0.0.99"), 80) is owner
+        assert table.find_listener(IPv4Address("10.0.0.1"), 81) is None
+
+    def test_specific_beats_wildcard(self):
+        table = PCBTable(BSDDemux())
+        wildcard, bound = object(), object()
+        table.add_listener(80, wildcard)
+        table.add_listener(80, bound, IPv4Address("10.0.0.1"))
+        assert table.find_listener(IPv4Address("10.0.0.1"), 80) is bound
+        assert table.find_listener(IPv4Address("10.0.0.2"), 80) is wildcard
+
+    def test_duplicate_listener_rejected(self):
+        table = PCBTable(BSDDemux())
+        table.add_listener(80, object())
+        with pytest.raises(ValueError, match="listening"):
+            table.add_listener(80, object())
+        # Bound listener on the same port is fine.
+        table.add_listener(80, object(), IPv4Address("10.0.0.1"))
+
+    def test_remove_listener(self):
+        table = PCBTable(BSDDemux())
+        owner = object()
+        table.add_listener(80, owner)
+        assert table.remove_listener(80) is owner
+        assert table.find_listener(IPv4Address("10.0.0.1"), 80) is None
+        with pytest.raises(KeyError):
+            table.remove_listener(80)
+
+    def test_listener_count(self):
+        table = PCBTable(BSDDemux())
+        assert table.listener_count == 0
+        table.add_listener(80, object())
+        table.add_listener(443, object())
+        assert table.listener_count == 2
+
+    def test_listener_probe_not_charged_to_demux_stats(self):
+        algo = BSDDemux()
+        table = PCBTable(algo)
+        table.add_listener(80, object())
+        table.find_listener(IPv4Address("10.0.0.1"), 80)
+        assert algo.stats.lookups == 0

@@ -1,0 +1,87 @@
+"""Tests for the algorithm factory registry."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.hashed_mtf import HashedMTFDemux
+from repro.core.registry import available_algorithms, make_algorithm
+from repro.core.sequent import SequentDemux
+from repro.hashing.functions import xor_fold
+
+from conftest import make_pcbs
+
+
+class TestLookupByName:
+    @pytest.mark.parametrize(
+        "name", ["linear", "bsd", "mtf", "multicache", "sendrecv",
+                 "sequent", "hashed_mtf", "connection_id"]
+    )
+    def test_every_registered_name_constructs(self, name):
+        algorithm = make_algorithm(name)
+        assert algorithm.name == name
+        for pcb in make_pcbs(3):
+            algorithm.insert(pcb)
+        assert len(algorithm) == 3
+
+    def test_available_algorithms_sorted(self):
+        names = list(available_algorithms())
+        assert names == sorted(names)
+        assert "sequent" in names
+
+    def test_case_insensitive_name(self):
+        assert isinstance(make_algorithm("BSD"), BSDDemux)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="known:"):
+            make_algorithm("btree")
+
+
+class TestParameterizedSpecs:
+    def test_sequent_chain_count(self):
+        demux = make_algorithm("sequent:h=51")
+        assert isinstance(demux, SequentDemux)
+        assert demux.nchains == 51
+
+    def test_sequent_hash_function(self):
+        demux = make_algorithm("sequent:h=7,hash=xor_fold")
+        assert demux._hash is xor_fold
+
+    def test_sequent_default_chains(self):
+        assert make_algorithm("sequent").nchains == 19
+
+    def test_hashed_mtf_cache_flag(self):
+        on = make_algorithm("hashed_mtf:h=5,cache=yes")
+        off = make_algorithm("hashed_mtf:h=5,cache=no")
+        assert isinstance(on, HashedMTFDemux)
+        assert on._per_chain_cache is True
+        assert off._per_chain_cache is False
+
+    def test_connection_id_max(self):
+        demux = make_algorithm("connection_id:max=17")
+        assert demux.max_connections == 17
+
+    def test_multicache_size(self):
+        demux = make_algorithm("multicache:k=16")
+        assert demux.cache_size == 16
+        assert make_algorithm("multicache").cache_size == 8
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            make_algorithm("bsd:h=19")
+        with pytest.raises(ValueError, match="unknown parameter"):
+            make_algorithm("sequent:chains=19")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            make_algorithm("sequent:h")
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(KeyError, match="known:"):
+            make_algorithm("sequent:hash=sha512")
+
+    def test_fresh_instance_per_call(self):
+        a, b = make_algorithm("bsd"), make_algorithm("bsd")
+        assert a is not b
+        for pcb in make_pcbs(2):
+            a.insert(pcb)
+        assert len(b) == 0

@@ -1,0 +1,74 @@
+"""Tests for the seed-replicated validation (confidence intervals)."""
+
+import pytest
+
+from repro.experiments.simulate import ReplicatedRow, replicate_validation
+
+
+class TestReplicatedRow:
+    def test_mean_and_std_error(self):
+        row = ReplicatedRow("x", 10, predicted=10.0,
+                            replications=(9.0, 10.0, 11.0))
+        assert row.mean == pytest.approx(10.0)
+        assert row.std_error == pytest.approx((1.0 / 3) ** 0.5)
+        assert row.half_width_95 == pytest.approx(1.96 * row.std_error)
+
+    def test_single_replication_zero_error(self):
+        row = ReplicatedRow("x", 10, predicted=10.0, replications=(9.0,))
+        assert row.std_error == 0.0
+
+    def test_prediction_within_interval(self):
+        tight = ReplicatedRow("x", 10, predicted=10.0,
+                              replications=(9.9, 10.0, 10.1))
+        assert tight.prediction_within_interval
+        off = ReplicatedRow("x", 10, predicted=20.0,
+                            replications=(9.9, 10.0, 10.1))
+        assert not off.prediction_within_interval
+
+
+class TestReplicateValidation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return replicate_validation(
+            n_users=150,
+            n_replications=4,
+            duration=60.0,
+            warmup=10.0,
+            algorithms=["bsd", "sequent"],
+            base_seed=11,
+        )
+
+    def test_covers_requested_algorithms(self, rows):
+        assert [row.algorithm for row in rows] == ["bsd", "sequent"]
+        assert all(len(row.replications) == 4 for row in rows)
+
+    def test_replications_differ(self, rows):
+        """Different seeds must give different measurements."""
+        for row in rows:
+            assert len(set(row.replications)) > 1
+
+    def test_predictions_inside_intervals(self, rows):
+        for row in rows:
+            assert row.prediction_within_interval, (
+                row.algorithm, row.mean, row.predicted, row.half_width_95
+            )
+
+    def test_requires_two_replications(self):
+        with pytest.raises(ValueError, match="two replications"):
+            replicate_validation(n_replications=1)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            replicate_validation(algorithms=["btree"], n_replications=2)
+
+    def test_progress_callback(self):
+        messages = []
+        replicate_validation(
+            n_users=40,
+            n_replications=2,
+            duration=20.0,
+            warmup=5.0,
+            algorithms=["linear"],
+            progress=messages.append,
+        )
+        assert any("replication" in m for m in messages)

@@ -1,0 +1,70 @@
+"""Tests for the batch runner and report builder."""
+
+from repro.experiments.report import build_report
+from repro.experiments.runner import run_all
+
+
+class TestRunAll:
+    def test_writes_all_artifacts(self, tmp_path):
+        outdir = run_all(
+            tmp_path / "results",
+            include_simulation=False,  # keep the test fast
+        )
+        names = {p.name for p in outdir.iterdir()}
+        assert {
+            "figure04.txt", "figure04.csv",
+            "figure13.txt", "figure13.csv",
+            "figure14.txt", "figure14.csv",
+            "report.md",
+        } <= names
+        # One table file per claim set.
+        assert any(n.startswith("text_3_1") for n in names)
+        assert any(n.startswith("text_3_5") for n in names)
+
+    def test_csv_files_parse(self, tmp_path):
+        outdir = run_all(tmp_path / "r", include_simulation=False)
+        for csv_name in ("figure13.csv", "figure14.csv"):
+            lines = (outdir / csv_name).read_text().strip().splitlines()
+            header = lines[0].split(",")
+            assert header[0] == "number of TPC/A TCP connections"
+            for line in lines[1:]:
+                values = [float(v) for v in line.split(",")]
+                assert len(values) == len(header)
+
+    def test_progress_reported(self, tmp_path):
+        messages = []
+        run_all(
+            tmp_path / "r", include_simulation=False, progress=messages.append
+        )
+        assert any("figure13" in m for m in messages)
+
+    def test_creates_nested_directories(self, tmp_path):
+        outdir = run_all(
+            tmp_path / "a" / "b" / "c", include_simulation=False
+        )
+        assert outdir.exists()
+
+    def test_simulation_adds_overlay_artifacts(self, tmp_path):
+        outdir = run_all(tmp_path / "s", include_simulation=True,
+                         sim_users=100)
+        names = {p.name for p in outdir.iterdir()}
+        assert "figure14_overlay.txt" in names
+        assert "figure14_overlay.csv" in names
+        overlay_csv = (outdir / "figure14_overlay.csv").read_text()
+        assert overlay_csv.startswith("n_users,")
+
+
+class TestBuildReport:
+    def test_analytic_only_report(self):
+        report = build_report(include_simulation=False, figure_points=11)
+        assert "# Reproduction report" in report
+        assert "Text-3.1" in report and "Text-3.5" in report
+        assert "Figure 13" in report
+        assert "MISMATCH" not in report
+
+    def test_report_with_simulation(self):
+        report = build_report(
+            include_simulation=True, sim_users=150, figure_points=5
+        )
+        assert "Simulation vs. analytic" in report
+        assert "agree" in report

@@ -1,0 +1,111 @@
+"""Tests for the Partridge/Pink last-sent/last-received cache (§3.3)."""
+
+from repro.core.pcb import PCB
+from repro.core.sendrecv import SendRecvDemux
+from repro.core.stats import PacketKind
+
+from conftest import make_pcbs, make_tuple
+
+
+def populated(n=10):
+    demux = SendRecvDemux()
+    pcbs = make_pcbs(n)
+    for pcb in pcbs:
+        demux.insert(pcb)
+    return demux, pcbs
+
+
+class TestCacheSlots:
+    def test_receive_updates_recv_cache(self):
+        demux, pcbs = populated()
+        demux.lookup(make_tuple(3))
+        assert demux.recv_cached_pcb is pcbs[3]
+        assert demux.send_cached_pcb is None
+
+    def test_note_send_updates_send_cache_only(self):
+        demux, pcbs = populated()
+        demux.note_send(pcbs[4])
+        assert demux.send_cached_pcb is pcbs[4]
+        assert demux.recv_cached_pcb is None
+
+    def test_data_packet_probes_recv_cache_first(self):
+        demux, pcbs = populated()
+        demux.lookup(pcbs[3].four_tuple, PacketKind.DATA)  # recv <- 3
+        demux.note_send(pcbs[7])  # send <- 7
+        result = demux.lookup(pcbs[3].four_tuple, PacketKind.DATA)
+        assert result.cache_hit
+        assert result.examined == 1  # recv slot probed first
+
+    def test_ack_packet_probes_send_cache_first(self):
+        demux, pcbs = populated()
+        demux.lookup(pcbs[3].four_tuple, PacketKind.DATA)  # recv <- 3
+        demux.note_send(pcbs[7])  # send <- 7
+        result = demux.lookup(pcbs[7].four_tuple, PacketKind.ACK)
+        assert result.cache_hit
+        assert result.examined == 1  # send slot probed first
+
+    def test_second_slot_hit_costs_two(self):
+        demux, pcbs = populated()
+        demux.lookup(pcbs[3].four_tuple, PacketKind.DATA)  # recv <- 3
+        demux.note_send(pcbs[7])  # send <- 7
+        # A data packet for 7: recv slot (3) misses, send slot (7) hits.
+        result = demux.lookup(pcbs[7].four_tuple, PacketKind.DATA)
+        assert result.cache_hit
+        assert result.examined == 2
+
+    def test_both_slots_same_pcb_hit_costs_one(self):
+        """Paper Section 3.3.1: 'both sides of the cache will hold
+        Stephen's PCB' and only one PCB is examined."""
+        demux, pcbs = populated()
+        demux.lookup(pcbs[5].four_tuple, PacketKind.DATA)
+        demux.note_send(pcbs[5])
+        result = demux.lookup(pcbs[5].four_tuple, PacketKind.ACK)
+        assert result.cache_hit
+        assert result.examined == 1
+
+    def test_full_miss_costs_two_slots_plus_scan(self):
+        demux, pcbs = populated(10)
+        demux.lookup(pcbs[9].four_tuple, PacketKind.DATA)  # recv <- head
+        demux.note_send(pcbs[8])
+        # Target at the tail (position 10 in the 9..0 ordering).
+        result = demux.lookup(pcbs[0].four_tuple, PacketKind.DATA)
+        assert not result.cache_hit
+        assert result.examined == 2 + 10
+
+    def test_hit_via_send_slot_refreshes_recv_slot(self):
+        """Receiving on a connection makes it the last-received."""
+        demux, pcbs = populated()
+        demux.note_send(pcbs[7])
+        demux.lookup(pcbs[7].four_tuple, PacketKind.DATA)
+        assert demux.recv_cached_pcb is pcbs[7]
+
+    def test_remove_invalidates_both_slots(self):
+        demux, pcbs = populated()
+        demux.lookup(pcbs[2].four_tuple)
+        demux.note_send(pcbs[2])
+        demux.remove(pcbs[2].four_tuple)
+        assert demux.recv_cached_pcb is None
+        assert demux.send_cached_pcb is None
+        assert not demux.lookup(pcbs[2].four_tuple).found
+
+
+class TestRequestResponseLocality:
+    def test_response_ack_hits_after_quiet_interval(self):
+        """The mechanism SR exploits: server sends a response, the ack
+        comes straight back, the send cache still holds the PCB."""
+        demux, pcbs = populated(50)
+        demux.lookup(pcbs[10].four_tuple, PacketKind.DATA)  # query in
+        demux.note_send(pcbs[10])  # response out
+        result = demux.lookup(pcbs[10].four_tuple, PacketKind.ACK)
+        assert result.cache_hit and result.examined == 1
+
+    def test_intervening_traffic_flushes(self):
+        """Craig's flush from the paper's Section 3.3.3 figure."""
+        demux, pcbs = populated(50)
+        demux.lookup(pcbs[10].four_tuple, PacketKind.DATA)  # Stephen's query
+        demux.note_send(pcbs[10])  # Stephen's response
+        demux.lookup(pcbs[20].four_tuple, PacketKind.DATA)  # Craig's query
+        demux.note_send(pcbs[20])  # Craig's response
+        result = demux.lookup(pcbs[10].four_tuple, PacketKind.ACK)
+        assert not result.cache_hit
+        assert result.examined > 2

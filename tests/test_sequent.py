@@ -1,0 +1,143 @@
+"""Tests for the Sequent hashed-chain algorithm (Section 3.4)."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.sequent import DEFAULT_HASH_CHAINS, SequentDemux
+from repro.core.stats import PacketKind
+from repro.hashing.functions import remote_port_only
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestConstruction:
+    def test_default_is_paper_installation_default(self):
+        assert DEFAULT_HASH_CHAINS == 19
+        assert SequentDemux().nchains == 19
+
+    def test_rejects_nonpositive_chains(self):
+        with pytest.raises(ValueError):
+            SequentDemux(0)
+
+    def test_chain_lengths_sum_to_population(self):
+        demux = SequentDemux(7)
+        for pcb in make_pcbs(40):
+            demux.insert(pcb)
+        assert sum(demux.chain_lengths()) == 40
+        assert len(demux.chain_lengths()) == 7
+
+    def test_describe_reports_chains(self):
+        demux = SequentDemux(5)
+        assert "H=5" in demux.describe()
+
+
+class TestChainSemantics:
+    def test_pcb_lands_on_hashed_chain(self):
+        demux = SequentDemux(7)
+        pcbs = make_pcbs(20)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        for pcb in pcbs:
+            chain = demux.chain_of(pcb.four_tuple)
+            assert 0 <= chain < 7
+
+    def test_lookup_scans_only_one_chain(self):
+        """The headline property: a miss never scans other chains."""
+        demux = SequentDemux(10)
+        for pcb in make_pcbs(100):
+            demux.insert(pcb)
+        lengths = demux.chain_lengths()
+        # A lookup for an absent tuple examines at most its chain
+        # (plus the chain's cache slot).
+        for i in range(200, 260):
+            tup = make_tuple(i)
+            result = demux.lookup(tup)
+            assert not result.found
+            assert result.examined <= lengths[demux.chain_of(tup)] + 1
+
+    def test_per_chain_cache_hit_costs_one(self):
+        demux = SequentDemux(7)
+        for pcb in make_pcbs(50):
+            demux.insert(pcb)
+        demux.lookup(make_tuple(13))
+        result = demux.lookup(make_tuple(13))
+        assert result.cache_hit and result.examined == 1
+
+    def test_caches_are_independent_per_chain(self):
+        """Traffic on one chain must not flush another chain's cache --
+        the whole reason Eq. 20's survival probability beats BSD's."""
+        demux = SequentDemux(7, hash_function=remote_port_only)
+        # Ports 40000+i mod 7: choose tuples on distinct chains.
+        pcbs = make_pcbs(50)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        a, b = make_tuple(0), make_tuple(1)  # different chains (mod 7)
+        assert demux.chain_of(a) != demux.chain_of(b)
+        demux.lookup(a)
+        # Hammer chain of b.
+        for _ in range(10):
+            demux.lookup(b)
+        # a's chain cache is untouched: still a one-probe hit.
+        assert demux.lookup(a).examined == 1
+
+    def test_remove_invalidates_only_that_chains_cache(self):
+        demux = SequentDemux(7, hash_function=remote_port_only)
+        pcbs = make_pcbs(14)
+        for pcb in pcbs:
+            demux.insert(pcb)
+        a, b = make_tuple(0), make_tuple(1)
+        demux.lookup(a)
+        demux.lookup(b)
+        demux.remove(a)
+        assert not demux.lookup(a).found
+        assert demux.lookup(b).examined == 1  # b's cache survived
+
+
+class TestDegeneracy:
+    def test_h1_behaves_like_bsd(self, rng):
+        """With one chain the structure *is* BSD: identical costs on an
+        identical lookup sequence."""
+        sequent = SequentDemux(1)
+        bsd = BSDDemux()
+        for pcb_s, pcb_b in zip(make_pcbs(30), make_pcbs(30)):
+            sequent.insert(pcb_s)
+            bsd.insert(pcb_b)
+        for _ in range(500):
+            tup = make_tuple(rng.randrange(30))
+            kind = PacketKind.DATA if rng.random() < 0.5 else PacketKind.ACK
+            assert (
+                sequent.lookup(tup, kind).examined
+                == bsd.lookup(tup, kind).examined
+            )
+
+    def test_more_chains_than_pcbs_every_lookup_cheap(self):
+        demux = SequentDemux(64)
+        for pcb in make_pcbs(16):
+            demux.insert(pcb)
+        # Warm each chain cache, then a lookup costs at most its own
+        # chain's length plus the cache probe.
+        for i in range(16):
+            demux.lookup(make_tuple(i))
+        demux.stats.reset()
+        lengths = demux.chain_lengths()
+        for i in range(16):
+            tup = make_tuple(i)
+            bound = lengths[demux.chain_of(tup)] + 1
+            assert demux.lookup(tup).examined <= bound
+        # With 64 chains over 16 PCBs the mean is tiny either way.
+        assert demux.stats.mean_examined < 3.0
+
+
+class TestOLTPBehaviour:
+    def test_mean_cost_scales_inversely_with_chains(self, rng):
+        """Doubling H should roughly halve the mean scan cost."""
+        costs = {}
+        for h in (4, 16):
+            demux = SequentDemux(h)
+            for pcb in make_pcbs(200):
+                demux.insert(pcb)
+            for _ in range(4000):
+                demux.lookup(make_tuple(rng.randrange(200)))
+            costs[h] = demux.stats.mean_examined
+        ratio = costs[4] / costs[16]
+        assert 2.5 < ratio < 5.5  # ideal 4x, hash noise allowed

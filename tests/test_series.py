@@ -1,0 +1,83 @@
+"""Tests for the Figure 13/14 sweep helpers."""
+
+import pytest
+
+from repro.analytic.series import (
+    TPCA_RATE,
+    Series,
+    figure13_series,
+    figure14_series,
+    standard_series,
+    sweep,
+)
+
+
+class TestStandardSeries:
+    def test_default_labels_match_paper_legends(self):
+        labels = [s.label for s in standard_series()]
+        assert labels == ["BSD", "MTF 1.0", "MTF 0.5", "MTF 0.2", "SR 1",
+                          "SEQUENT"]
+
+    def test_sr_label_encodes_milliseconds(self):
+        labels = [s.label for s in standard_series(sr_rtts=(0.001, 0.010))]
+        assert "SR 1" in labels and "SR 10" in labels
+
+    def test_series_evaluate(self):
+        series = Series("const", lambda n: 2.0 * n)
+        assert series.evaluate([1, 2, 3]) == [2.0, 4.0, 6.0]
+
+    def test_closures_bind_their_own_parameters(self):
+        """The classic late-binding bug: each MTF curve must use its
+        own response time."""
+        mtf_curves = [
+            s for s in standard_series() if s.label.startswith("MTF")
+        ]
+        values = {s.label: s.cost(2000) for s in mtf_curves}
+        assert len(set(values.values())) == 3
+        assert values["MTF 0.2"] < values["MTF 0.5"] < values["MTF 1.0"]
+
+
+class TestSweep:
+    def test_shape(self):
+        data = sweep(standard_series(), [100, 2000])
+        assert set(data) == {"BSD", "MTF 1.0", "MTF 0.5", "MTF 0.2", "SR 1",
+                             "SEQUENT"}
+        assert all(len(v) == 2 for v in data.values())
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            sweep(standard_series(), [0, 100])
+
+
+class TestFigureSeries:
+    def test_figure13_range(self):
+        n_values, data = figure13_series(points=11)
+        assert n_values[0] >= 1
+        assert n_values[-1] == 10_000
+        assert "SEQUENT" in data
+
+    def test_figure13_paper_ordering_at_2000(self):
+        """At N=2000 the paper's ordering: SEQUENT << MTF < SR? BSD --
+        concretely Sequent ~53, MTF(0.2) ~549, SR(1ms) ~667, BSD 1001."""
+        n_values, data = figure13_series(points=6)
+        idx = n_values.index(2000)
+        assert data["SEQUENT"][idx] < 60
+        assert data["MTF 0.2"][idx] < data["SR 1"][idx] < data["BSD"][idx]
+
+    def test_figure14_range_and_extra_curve(self):
+        n_values, data = figure14_series(points=11)
+        assert n_values[-1] == 1_000
+        assert "SR 10" in data
+
+    def test_figure14_sr_beats_bsd_at_small_n(self):
+        """The detail figure's story: SR 1 well below BSD at N<=1000."""
+        n_values, data = figure14_series(points=21)
+        idx = n_values.index(1000)
+        assert data["SR 1"][idx] < data["BSD"][idx]
+
+    def test_points_parameter(self):
+        n_values, _ = figure13_series(points=5)
+        assert len(n_values) == 5
+
+    def test_rate_constant(self):
+        assert TPCA_RATE == pytest.approx(0.1)

@@ -1,0 +1,171 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_from_within_event(self):
+        sim = Simulator()
+        hits = []
+
+        def tick():
+            hits.append(sim.now)
+            if len(hits) < 4:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        sim.schedule_at(7.0, lambda: None)
+        sim.run()
+        assert sim.now == 7.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(3.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_event(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, order.append, "nested")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, hits.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert hits == []
+        assert sim.events_run == 0
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, "keep1")
+        doomed = sim.schedule(2.0, hits.append, "doomed")
+        sim.schedule(3.0, hits.append, "keep2")
+        sim.cancel(doomed)
+        sim.run()
+        assert hits == ["keep1", "keep2"]
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        sim.cancel(event)
+        assert sim.pending == 1
+
+
+class TestRunControls:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, "early")
+        sim.schedule(10.0, hits.append, "late")
+        sim.run(until=5.0)
+        assert hits == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_run_until_boundary_inclusive(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5.0, hits.append, "at")
+        sim.run(until=5.0)
+        assert hits == ["at"]
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        sim.run(max_events=50)
+        assert sim.events_run == 50
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+        sim.schedule(4.2, lambda: None)
+        assert sim.run() == 4.2
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_run == 7
+
+    def test_callback_args_passed(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]

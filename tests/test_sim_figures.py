@@ -1,0 +1,64 @@
+"""Tests for the simulated figure-overlay experiment."""
+
+import pytest
+
+from repro.experiments.sim_figures import (
+    FigureOverlay,
+    OverlayPoint,
+    simulate_figure14_overlay,
+)
+
+
+@pytest.fixture(scope="module")
+def small_overlay():
+    # 200 simulated seconds: at N=60 that is ~2,400 lookups, enough to
+    # bring sampling noise inside the assertion bands below.
+    return simulate_figure14_overlay(
+        (60, 120), duration=200.0, warmup=10.0, seed=5
+    )
+
+
+class TestOverlay:
+    def test_covers_all_figure_algorithms(self, small_overlay):
+        assert set(small_overlay.by_algorithm()) == {
+            "BSD", "MTF 0.2", "SR 1", "SEQUENT"
+        }
+
+    def test_one_point_per_cell(self, small_overlay):
+        assert len(small_overlay.points) == 4 * 2
+        for pts in small_overlay.by_algorithm().values():
+            assert [p.n_users for p in pts] == [60, 120]
+
+    def test_points_near_curves(self, small_overlay):
+        for point in small_overlay.points:
+            band = 0.20 if point.algorithm == "SEQUENT" else 0.10
+            assert point.relative_error < band, point
+
+    def test_worst_error_property(self, small_overlay):
+        worst = max(p.relative_error for p in small_overlay.points)
+        assert small_overlay.worst_relative_error == worst
+
+    def test_render(self, small_overlay):
+        text = small_overlay.render()
+        assert "N=60" in text and "SEQUENT" in text
+
+    def test_csv_shape(self, small_overlay):
+        lines = small_overlay.csv().strip().splitlines()
+        assert lines[0].startswith("n_users")
+        assert len(lines) == 3  # header + two N rows
+        assert "SEQUENT_analytic" in lines[0]
+
+    def test_relative_error_zero_analytic(self):
+        point = OverlayPoint("x", 1, analytic=0.0, simulated=0.5)
+        assert point.relative_error == 0.5
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_figure14_overlay((0, 100))
+
+    def test_progress_callback(self):
+        messages = []
+        simulate_figure14_overlay(
+            (30,), duration=10.0, warmup=2.0, progress=messages.append
+        )
+        assert any("BSD" in m for m in messages)

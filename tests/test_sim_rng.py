@@ -1,0 +1,77 @@
+"""Tests for named RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(42).stream("think")
+        b = RngRegistry(42).stream("think")
+        assert [a.random() for _ in range(10)] == [
+            b.random() for _ in range(10)
+        ]
+
+    def test_different_names_different_streams(self):
+        reg = RngRegistry(42)
+        a = [reg.stream("think").random() for _ in range(5)]
+        b = [reg.stream("service").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_different_streams(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_stream_cached_not_reseeded(self):
+        reg = RngRegistry(7)
+        first = reg.stream("x")
+        first.random()
+        assert reg.stream("x") is first
+
+    def test_creation_order_irrelevant(self):
+        """The common-random-numbers guarantee: stream 'b' draws the
+        same values whether or not 'a' was created first."""
+        reg1 = RngRegistry(9)
+        reg1.stream("a").random()
+        b1 = [reg1.stream("b").random() for _ in range(5)]
+        reg2 = RngRegistry(9)
+        b2 = [reg2.stream("b").random() for _ in range(5)]
+        assert b1 == b2
+
+    def test_survives_hash_randomization(self):
+        """Sub-seeds come from SHA-256, not hash(); pin one value so a
+        future change to the derivation is caught."""
+        value = RngRegistry(0).stream("pinned").random()
+        assert value == pytest.approx(0.6201436291943019, abs=1e-12)
+
+
+class TestSpawn:
+    def test_spawned_registry_differs(self):
+        base = RngRegistry(5)
+        child = base.spawn("rep0")
+        assert child.master_seed != base.master_seed
+        assert child.stream("x").random() != base.stream("x").random()
+
+    def test_spawn_deterministic(self):
+        a = RngRegistry(5).spawn("rep0").stream("x").random()
+        b = RngRegistry(5).spawn("rep0").stream("x").random()
+        assert a == b
+
+    def test_distinct_suffixes_distinct_children(self):
+        base = RngRegistry(5)
+        assert (
+            base.spawn("rep0").master_seed != base.spawn("rep1").master_seed
+        )
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("42")
+
+    def test_repr_lists_streams(self):
+        reg = RngRegistry(3)
+        reg.stream("alpha")
+        assert "alpha" in repr(reg)

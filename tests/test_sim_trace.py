@@ -1,0 +1,83 @@
+"""Tests for the tracing facility."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.record(1.0, "demux", "lookup")
+        assert tracer.records == []
+
+    def test_records_when_enabled(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "demux", "lookup", examined=5)
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert record.time == 1.0
+        assert record.category == "demux"
+        assert dict(record.data)["examined"] == 5
+
+    def test_category_filter(self):
+        tracer = Tracer(enabled=True)
+        tracer.restrict("tcp.state")
+        tracer.record(1.0, "demux", "lookup")
+        tracer.record(2.0, "tcp.state", "SYN_SENT")
+        assert [r.category for r in tracer.records] == ["tcp.state"]
+
+    def test_restrict_empty_resets(self):
+        tracer = Tracer(enabled=True)
+        tracer.restrict("a")
+        tracer.restrict()
+        tracer.record(1.0, "b", "msg")
+        assert len(tracer.records) == 1
+
+    def test_max_records_drops(self):
+        tracer = Tracer(enabled=True, max_records=3)
+        for i in range(5):
+            tracer.record(float(i), "c", "m")
+        assert len(tracer.records) == 3
+        assert tracer.dropped == 2
+
+    def test_by_category(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "a", "one")
+        tracer.record(2.0, "b", "two")
+        tracer.record(3.0, "a", "three")
+        grouped = tracer.by_category()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+    def test_matching(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "a", "hit")
+        tracer.record(2.0, "a", "miss")
+        hits = tracer.matching(lambda r: r.message == "hit")
+        assert len(hits) == 1
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True, max_records=1)
+        tracer.record(1.0, "a", "m")
+        tracer.record(2.0, "a", "m")
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.dropped == 0
+
+    def test_dump_format(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.5, "demux", "lookup", examined=3)
+        text = tracer.dump()
+        assert "demux" in text and "examined=3" in text
+
+    def test_dump_limit(self):
+        tracer = Tracer(enabled=True)
+        for i in range(10):
+            tracer.record(float(i), "c", f"m{i}")
+        text = tracer.dump(limit=2)
+        assert "m8" in text and "m9" in text and "m7" not in text
+
+    def test_bad_max_records(self):
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)

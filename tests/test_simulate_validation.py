@@ -1,0 +1,56 @@
+"""Tests for the simulation-vs-analytic validation harness."""
+
+import pytest
+
+from repro.experiments.simulate import validate_against_analytic
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One moderate run shared by the class: N=300 keeps this at
+        # ~1 second while leaving sampling noise well inside tolerance.
+        return validate_against_analytic(
+            n_users=300, duration=90.0, warmup=15.0, seed=13
+        )
+
+    def test_covers_all_algorithms(self, result):
+        assert {row.algorithm for row in result.rows} == {
+            "linear", "bsd", "mtf", "sendrecv", "sequent"
+        }
+
+    def test_every_algorithm_within_tolerance(self, result):
+        failing = [row for row in result.rows if not row.ok]
+        assert not failing, "\n" + result.render()
+
+    def test_relative_ordering_matches_paper(self, result):
+        by_name = {row.algorithm: row.simulated for row in result.rows}
+        assert by_name["sequent"] < by_name["mtf"] < by_name["bsd"]
+        assert by_name["sequent"] < by_name["sendrecv"]
+
+    def test_render_contains_all_rows(self, result):
+        text = result.render()
+        for row in result.rows:
+            assert row.algorithm in text
+        assert "MISMATCH" not in text
+
+    def test_progress_callback(self):
+        messages = []
+        validate_against_analytic(
+            n_users=30,
+            duration=20.0,
+            warmup=5.0,
+            algorithms=["bsd"],
+            progress=messages.append,
+        )
+        assert any("bsd" in m for m in messages)
+
+    def test_algorithm_subset(self):
+        result = validate_against_analytic(
+            n_users=30, duration=20.0, warmup=5.0, algorithms=["linear"]
+        )
+        assert [row.algorithm for row in result.rows] == ["linear"]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            validate_against_analytic(algorithms=["btree"])

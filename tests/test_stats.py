@@ -1,0 +1,104 @@
+"""Tests for lookup statistics accounting."""
+
+import pytest
+
+from repro.core.stats import DemuxStats, KindStats, LookupRecord, PacketKind
+
+
+def rec(examined, *, hit=False, found=True, kind=PacketKind.DATA):
+    return LookupRecord(examined=examined, cache_hit=hit, found=found, kind=kind)
+
+
+class TestKindStats:
+    def test_empty_stats(self):
+        stats = KindStats()
+        assert stats.mean_examined == 0.0
+        assert stats.hit_rate == 0.0
+        assert stats.percentile(0.5) == 0
+
+    def test_counters(self):
+        stats = KindStats()
+        stats.record(rec(3))
+        stats.record(rec(1, hit=True))
+        stats.record(rec(10, found=False))
+        assert stats.lookups == 3
+        assert stats.examined_total == 14
+        assert stats.cache_hits == 1
+        assert stats.not_found == 1
+        assert stats.max_examined == 10
+        assert stats.mean_examined == pytest.approx(14 / 3)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_histogram(self):
+        stats = KindStats()
+        for examined in (1, 1, 2, 5, 5, 5):
+            stats.record(rec(examined))
+        assert stats.histogram == {1: 2, 2: 1, 5: 3}
+
+    def test_percentiles(self):
+        stats = KindStats()
+        for examined in range(1, 101):
+            stats.record(rec(examined))
+        assert stats.percentile(0.5) == 50
+        assert stats.percentile(0.99) == 99
+        assert stats.percentile(1.0) == 100
+        assert stats.percentile(0.0) == 1  # smallest bucket reached first
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            KindStats().percentile(1.5)
+
+    def test_merge(self):
+        a, b = KindStats(), KindStats()
+        a.record(rec(2))
+        a.record(rec(4, hit=True))
+        b.record(rec(6, found=False))
+        a.merge(b)
+        assert a.lookups == 3
+        assert a.examined_total == 12
+        assert a.not_found == 1
+        assert a.max_examined == 6
+        assert a.histogram == {2: 1, 4: 1, 6: 1}
+
+
+class TestDemuxStats:
+    def test_kind_separation(self):
+        stats = DemuxStats()
+        stats.record(rec(10, kind=PacketKind.DATA))
+        stats.record(rec(2, kind=PacketKind.ACK))
+        stats.record(rec(4, kind=PacketKind.ACK))
+        assert stats.kind(PacketKind.DATA).lookups == 1
+        assert stats.kind(PacketKind.ACK).lookups == 2
+        assert stats.kind(PacketKind.ACK).mean_examined == 3.0
+        assert stats.lookups == 3
+        assert stats.mean_examined == pytest.approx(16 / 3)
+
+    def test_combined_merges_kinds(self):
+        stats = DemuxStats()
+        stats.record(rec(10, kind=PacketKind.DATA))
+        stats.record(rec(2, kind=PacketKind.ACK))
+        combined = stats.combined()
+        assert combined.lookups == 2
+        assert combined.examined_total == 12
+
+    def test_reset(self):
+        stats = DemuxStats()
+        stats.record(rec(10))
+        stats.reset()
+        assert stats.lookups == 0
+        assert stats.kind(PacketKind.DATA).histogram == {}
+
+    def test_aggregate_hit_rate(self):
+        stats = DemuxStats()
+        stats.record(rec(1, hit=True, kind=PacketKind.ACK))
+        stats.record(rec(5, kind=PacketKind.DATA))
+        assert stats.hit_rate == 0.5
+        assert stats.cache_hits == 1
+
+    def test_summary_text(self):
+        stats = DemuxStats()
+        stats.record(rec(7))
+        text = stats.summary("bsd")
+        assert "bsd" in text
+        assert "1 lookups" in text
+        assert "7.00" in text

@@ -1,0 +1,73 @@
+"""Tests for the TCP state-transition table."""
+
+import pytest
+
+from repro.tcpstack.states import (
+    SYNCHRONIZED_STATES,
+    TCPState,
+    TCPStateError,
+    can_transition,
+    check_transition,
+)
+
+S = TCPState
+
+
+class TestLegalPaths:
+    def test_active_open_path(self):
+        path = [S.CLOSED, S.SYN_SENT, S.ESTABLISHED, S.FIN_WAIT_1,
+                S.FIN_WAIT_2, S.TIME_WAIT, S.CLOSED]
+        for current, target in zip(path, path[1:]):
+            check_transition(current, target)  # must not raise
+
+    def test_passive_open_path(self):
+        path = [S.CLOSED, S.LISTEN, S.SYN_RCVD, S.ESTABLISHED,
+                S.CLOSE_WAIT, S.LAST_ACK, S.CLOSED]
+        for current, target in zip(path, path[1:]):
+            check_transition(current, target)
+
+    def test_simultaneous_close_path(self):
+        path = [S.ESTABLISHED, S.FIN_WAIT_1, S.CLOSING, S.TIME_WAIT, S.CLOSED]
+        for current, target in zip(path, path[1:]):
+            check_transition(current, target)
+
+    def test_simultaneous_open(self):
+        assert can_transition(S.SYN_SENT, S.SYN_RCVD)
+
+    def test_rst_aborts_synchronized_states(self):
+        for state in SYNCHRONIZED_STATES:
+            assert can_transition(state, S.CLOSED), state
+
+
+class TestIllegalPaths:
+    @pytest.mark.parametrize(
+        "current,target",
+        [
+            (S.CLOSED, S.ESTABLISHED),
+            (S.LISTEN, S.ESTABLISHED),
+            (S.ESTABLISHED, S.SYN_SENT),
+            (S.TIME_WAIT, S.ESTABLISHED),
+            (S.FIN_WAIT_2, S.FIN_WAIT_1),
+            (S.LAST_ACK, S.ESTABLISHED),
+            (S.CLOSE_WAIT, S.ESTABLISHED),
+        ],
+    )
+    def test_rejected(self, current, target):
+        assert not can_transition(current, target)
+        with pytest.raises(TCPStateError):
+            check_transition(current, target)
+
+    def test_self_transition_rejected(self):
+        for state in TCPState:
+            assert not can_transition(state, state)
+
+
+class TestMetadata:
+    def test_synchronized_states_exclude_handshake_only(self):
+        assert S.LISTEN not in SYNCHRONIZED_STATES
+        assert S.SYN_SENT not in SYNCHRONIZED_STATES
+        assert S.CLOSED not in SYNCHRONIZED_STATES
+        assert S.ESTABLISHED in SYNCHRONIZED_STATES
+
+    def test_str(self):
+        assert str(S.ESTABLISHED) == "ESTABLISHED"

@@ -1,0 +1,68 @@
+"""Tests for the in-text claim tables: every paper number must check out."""
+
+import pytest
+
+from repro.experiments.text_results import (
+    Row,
+    all_text_results,
+    bsd_results,
+    combination_results,
+    crowcroft_results,
+    sendrecv_results,
+    sequent_results,
+)
+
+
+class TestRow:
+    def test_relative_error(self):
+        row = Row("x", paper=100.0, ours=101.0)
+        assert row.relative_error == pytest.approx(0.01)
+        assert not row.ok  # default tolerance 0.5%
+
+    def test_ok_within_tolerance(self):
+        assert Row("x", paper=100.0, ours=100.4).ok
+
+    def test_zero_paper_value(self):
+        assert Row("x", paper=0.0, ours=0.0).ok
+
+
+@pytest.mark.parametrize(
+    "table_fn",
+    [
+        bsd_results,
+        crowcroft_results,
+        sendrecv_results,
+        sequent_results,
+        combination_results,
+    ],
+)
+class TestEveryClaimReproduces:
+    def test_all_rows_ok(self, table_fn):
+        table = table_fn()
+        bad = [row for row in table.rows if not row.ok]
+        assert not bad, "\n" + "\n".join(
+            f"{row.label}: paper={row.paper} ours={row.ours}"
+            f" err={row.relative_error:.2%}"
+            for row in bad
+        )
+
+    def test_render_contains_every_claim(self, table_fn):
+        table = table_fn()
+        text = table.render()
+        for row in table.rows:
+            assert row.label in text
+        assert "MISMATCH" not in text
+
+
+class TestSuite:
+    def test_all_text_results_covers_each_section(self):
+        ids = [table.table_id for table in all_text_results()]
+        assert ids == [
+            "Text-3.1", "Text-3.2", "Text-3.3", "Text-3.4", "Text-3.5"
+        ]
+
+    def test_total_claim_count(self):
+        """The paper makes 30+ checkable numeric claims; keep count so
+        dropping one is noticed."""
+        total = sum(len(t.rows) for t in all_text_results())
+        assert total >= 30

@@ -1,0 +1,70 @@
+"""Tests for think-time models."""
+
+import pytest
+
+from repro.workload.thinktime import (
+    DeterministicThink,
+    ExponentialThink,
+    TruncatedExponentialThink,
+    make_think_model,
+)
+
+
+class TestExponentialThink:
+    def test_mean_property(self):
+        assert ExponentialThink(10.0).mean == 10.0
+
+    def test_sample_mean(self, rng):
+        model = ExponentialThink(10.0)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ExponentialThink(0.0)
+
+
+class TestTruncatedExponentialThink:
+    def test_tpca_minimum_cutoff_enforced(self):
+        with pytest.raises(ValueError, match="10x"):
+            TruncatedExponentialThink(10.0, cutoff_multiple=5.0)
+
+    def test_samples_bounded(self, rng):
+        model = TruncatedExponentialThink(10.0)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert max(samples) <= 100.0
+
+    def test_mean_close_to_untruncated(self):
+        model = TruncatedExponentialThink(10.0)
+        assert model.mean == pytest.approx(10.0, rel=0.001)
+        assert model.mean < 10.0
+
+
+class TestDeterministicThink:
+    def test_sample_is_constant(self, rng):
+        model = DeterministicThink(10.0)
+        assert {model.sample(rng) for _ in range(10)} == {10.0}
+        assert model.mean == 10.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicThink(-1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("exponential", ExponentialThink),
+            ("truncated", TruncatedExponentialThink),
+            ("deterministic", DeterministicThink),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        model = make_think_model(name, 12.0)
+        assert isinstance(model, cls)
+        assert model.mean == pytest.approx(12.0, rel=0.01)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="known:"):
+            make_think_model("pareto")

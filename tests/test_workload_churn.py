@@ -1,0 +1,96 @@
+"""Tests for the connection-churn workload."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.connection_id import ConnectionIdDemux
+from repro.core.sequent import SequentDemux
+from repro.workload.churn import ChurnConfig, ChurnWorkload
+
+
+def run(algorithm, **overrides):
+    defaults = dict(
+        n_users=100,
+        transactions_per_session=10.0,
+        reconnect_delay=0.5,
+        duration=80.0,
+        warmup=15.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    workload = ChurnWorkload(ChurnConfig(**defaults), algorithm)
+    return workload, workload.run()
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_users=0),
+            dict(transactions_per_session=0.5),
+            dict(reconnect_delay=-1.0),
+            dict(duration=0.0),
+            dict(warmup=-1.0),
+            dict(response_time=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurnConfig(**kwargs)
+
+
+class TestChurnBehaviour:
+    def test_sessions_actually_cycle(self):
+        workload, result = run(SequentDemux(19))
+        assert workload.sessions_completed > 10
+        assert workload.transactions_completed > workload.sessions_completed
+
+    def test_population_stays_bounded(self):
+        workload, result = run(SequentDemux(19))
+        # At most n_users connections at any time; after the run the
+        # structure holds at most that many (some users mid-reconnect).
+        assert len(workload.algorithm) <= 100
+
+    def test_no_lookup_failures(self):
+        """Reconnects must never leave dangling lookups: every packet
+        event checks its user is still connected."""
+        workload, result = run(BSDDemux())
+        assert workload.algorithm.stats.combined().not_found == 0
+
+    def test_reconnected_users_get_fresh_ports(self):
+        workload, _ = run(SequentDemux(19), duration=40.0)
+        # Generations advanced somewhere.
+        assert any(g > 0 for g in workload._generation)
+
+    def test_cost_comparable_to_stable_population(self):
+        """Churn must not inflate BSD's cost beyond the fixed-population
+        prediction (reconnects insert at the head, which mildly helps)."""
+        from repro.analytic import bsd as a_bsd
+
+        _, result = run(BSDDemux(), n_users=150, duration=120.0)
+        assert result.mean_examined <= a_bsd.cost(150) * 1.05
+
+    def test_sequent_advantage_survives_churn(self):
+        _, bsd_result = run(BSDDemux())
+        _, seq_result = run(SequentDemux(19))
+        assert seq_result.mean_examined < bsd_result.mean_examined / 4
+
+    def test_connection_id_recycles_under_churn(self):
+        """The direct-index structure's free list must keep the ID
+        space dense through hundreds of reconnects."""
+        demux = ConnectionIdDemux(max_connections=120)
+        workload, result = run(demux, duration=100.0)
+        assert workload.sessions_completed > 50  # plenty of recycling
+        assert result.mean_examined == 1.0
+
+    def test_deterministic_given_seed(self):
+        _, a = run(SequentDemux(19), seed=9)
+        _, b = run(SequentDemux(19), seed=9)
+        assert a.mean_examined == b.mean_examined
+
+    def test_faster_churn_more_sessions(self):
+        fast_workload, _ = run(SequentDemux(19), transactions_per_session=3.0)
+        slow_workload, _ = run(SequentDemux(19), transactions_per_session=30.0)
+        assert (
+            fast_workload.sessions_completed > slow_workload.sessions_completed
+        )

@@ -1,0 +1,86 @@
+"""Tests for the mixed OLTP + bulk workload."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.sequent import SequentDemux
+from repro.workload.mixed import MixedConfig, MixedWorkload
+
+
+def run(algorithm, **overrides):
+    # bulk_rate is kept low enough that OLTP packets are a meaningful
+    # share of the mix; at the default 500 seg/s the trains drown out
+    # the 0.1-txn/s users entirely.
+    defaults = dict(
+        n_oltp_users=200,
+        n_bulk_connections=2,
+        bulk_rate=50.0,
+        duration=40.0,
+        warmup=10.0,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return MixedWorkload(MixedConfig(**defaults), algorithm).run()
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_oltp_users=0),
+            dict(n_bulk_connections=-1),
+            dict(mean_think=0.0),
+            dict(bulk_rate=0.0),
+            dict(train_length=0),
+            dict(duration=-1.0),
+            dict(warmup=-1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MixedConfig(**kwargs)
+
+
+class TestMixedBehaviour:
+    def test_both_traffic_classes_flow(self):
+        workload = MixedWorkload(
+            MixedConfig(n_oltp_users=100, duration=40.0, warmup=10.0),
+            SequentDemux(19),
+        )
+        workload.run()
+        assert workload.oltp_transactions > 0
+        assert workload.bulk_segments > 0
+
+    def test_connection_count_includes_both(self):
+        result = run(SequentDemux(19), n_oltp_users=100, n_bulk_connections=3)
+        assert result.n_connections == 103
+
+    def test_sequent_beats_bsd_on_the_mix(self):
+        """The mixed regime is the paper's overall pitch: hashing wins
+        OLTP without giving back the train win, so the blend favors it."""
+        bsd = run(BSDDemux())
+        sequent = run(SequentDemux(19))
+        assert sequent.mean_examined < bsd.mean_examined / 3
+
+    def test_bulk_traffic_rescues_bsd_hit_rate(self):
+        """BSD's hit rate on the mix is dominated by the trains -- but
+        its mean cost is still dominated by the OLTP misses (the
+        hit-ratio pitfall again)."""
+        mixed = run(BSDDemux())
+        oltp_only = run(BSDDemux(), n_bulk_connections=0)
+        assert mixed.cache_hit_rate > oltp_only.cache_hit_rate
+        assert mixed.mean_examined > 10  # still expensive
+
+    def test_deterministic_given_seed(self):
+        a = run(SequentDemux(19), seed=4)
+        b = run(SequentDemux(19), seed=4)
+        assert a.mean_examined == b.mean_examined
+
+    def test_no_bulk_connections_is_pure_oltp(self):
+        result = run(BSDDemux(), n_bulk_connections=0)
+        assert result.n_connections == 200
+        from repro.analytic import bsd as a_bsd
+
+        assert result.mean_examined == pytest.approx(
+            a_bsd.cost(200), rel=0.1
+        )

@@ -1,0 +1,64 @@
+"""Tests for the round-robin polling workload (MTF's worst case)."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.mtf import MoveToFrontDemux
+from repro.core.sequent import SequentDemux
+from repro.workload.polling import PollingConfig, PollingWorkload
+
+
+def run(algorithm, **overrides):
+    defaults = dict(n_terminals=50, n_cycles=20)
+    defaults.update(overrides)
+    return PollingWorkload(PollingConfig(**defaults), algorithm).run()
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [dict(n_terminals=0), dict(n_cycles=0)]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PollingConfig(**kwargs)
+
+
+class TestPollingBehaviour:
+    def test_mtf_degenerates_to_full_scan(self):
+        """Section 3.2: deterministic polling makes MTF scan all N
+        on every data packet."""
+        n = 50
+        result = run(MoveToFrontDemux(), n_terminals=n, with_acks=False)
+        # After the first priming cycle every lookup scans all N.
+        assert result.data_mean_examined > 0.9 * n
+
+    def test_mtf_worse_than_bsd_under_polling(self):
+        mtf = run(MoveToFrontDemux(), with_acks=False)
+        bsd = run(BSDDemux(), with_acks=False)
+        assert mtf.data_mean_examined > bsd.data_mean_examined
+
+    def test_acks_are_cheap_for_mtf(self):
+        """The ack immediately follows its terminal's data packet, so
+        the PCB is at the head."""
+        result = run(MoveToFrontDemux(), with_acks=True)
+        assert result.ack_mean_examined == pytest.approx(1.0)
+
+    def test_sequent_scales_with_chain_length_not_n(self):
+        n = 100
+        result = run(SequentDemux(20), n_terminals=n)
+        # Mean scan bounded by ~ chain length (n/h = 5) + cache probe.
+        assert result.data_mean_examined < 10
+
+    def test_bsd_cost_near_half_list(self):
+        """Round-robin over N with a one-entry cache: the cache only
+        helps the ack; data packets scan ~(N+1)/2 on average."""
+        n = 40
+        result = run(BSDDemux(), n_terminals=n, with_acks=False)
+        assert result.data_mean_examined == pytest.approx(
+            1 + (n + 1) / 2, rel=0.15
+        )
+
+    def test_lookup_counts(self):
+        result = run(BSDDemux(), n_terminals=10, n_cycles=5)
+        assert result.data_lookups == 50
+        assert result.ack_lookups == 50

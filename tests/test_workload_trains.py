@@ -1,0 +1,81 @@
+"""Tests for the packet-train workload."""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.linear import LinearDemux
+from repro.core.sequent import SequentDemux
+from repro.workload.trains import PacketTrainWorkload, TrainConfig
+
+
+def run(algorithm, **overrides):
+    defaults = dict(
+        n_connections=16, mean_train_length=32, n_trains=200, seed=5
+    )
+    defaults.update(overrides)
+    return PacketTrainWorkload(TrainConfig(**defaults), algorithm).run()
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_connections=0),
+            dict(mean_train_length=0),
+            dict(n_trains=0),
+            dict(ack_every=0),
+            dict(popularity_skew=-1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainConfig(**kwargs)
+
+
+class TestTrainBehaviour:
+    def test_bsd_cache_shines(self):
+        """The paper's opening premise: trains give BSD's one-entry
+        cache a very high hit rate."""
+        result = run(BSDDemux())
+        assert result.cache_hit_rate > 0.9
+        assert result.mean_examined < 3.0
+
+    def test_bsd_beats_uncached_linear_on_trains(self):
+        bsd = run(BSDDemux())
+        linear = run(LinearDemux())
+        assert bsd.mean_examined < linear.mean_examined / 2
+
+    def test_sequent_maintains_train_performance(self):
+        """The paper's requirement: hashing must not lose the
+        packet-train win ('while still maintaining good performance
+        for packet-train traffic')."""
+        bsd = run(BSDDemux())
+        sequent = run(SequentDemux(19))
+        assert sequent.mean_examined <= bsd.mean_examined * 1.2
+        assert sequent.cache_hit_rate > 0.9
+
+    def test_hit_rate_tracks_train_length(self):
+        short = run(BSDDemux(), mean_train_length=2, n_trains=500)
+        long = run(BSDDemux(), mean_train_length=64, n_trains=500)
+        assert long.cache_hit_rate > short.cache_hit_rate
+
+    def test_single_connection_always_hits_after_first(self):
+        result = run(BSDDemux(), n_connections=1, n_trains=50)
+        assert result.cache_hit_rate > 0.99
+
+    def test_acks_interleaved(self):
+        result = run(BSDDemux(), ack_every=2)
+        assert result.ack_lookups > 0
+        assert result.ack_lookups < result.data_lookups
+
+    def test_deterministic_given_seed(self):
+        a = run(BSDDemux(), seed=7)
+        b = run(BSDDemux(), seed=7)
+        assert a.mean_examined == b.mean_examined
+
+    def test_popularity_skew_changes_mix(self):
+        uniform = run(BSDDemux(), popularity_skew=0.0, seed=3)
+        skewed = run(BSDDemux(), popularity_skew=2.0, seed=3)
+        # Heavy skew -> consecutive trains more often share a
+        # connection -> even the train-boundary packets hit.
+        assert skewed.cache_hit_rate >= uniform.cache_hit_rate
