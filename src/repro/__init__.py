@@ -3,6 +3,9 @@ Incoming TCP Packets" (SIGCOMM 1992).
 
 Layers, bottom to top:
 
+* :mod:`repro.obs` -- observability substrate: event tracing, metrics
+  registries with JSON/Prometheus export, sampled profiling (pure
+  stdlib; everything above may emit into it).
 * :mod:`repro.packet` -- TCP/IP packet substrate (headers, checksums,
   the 96-bit demux key).
 * :mod:`repro.hashing` -- hash functions over protocol addresses.
@@ -25,6 +28,7 @@ Quick start::
 """
 
 from ._version import __version__
+from . import obs
 from .core import (
     BSDDemux,
     ConnectionIdDemux,
@@ -61,4 +65,5 @@ __all__ = [
     "__version__",
     "available_algorithms",
     "make_algorithm",
+    "obs",
 ]

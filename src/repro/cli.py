@@ -83,6 +83,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("exponential", "truncated", "deterministic"),
         default="exponential",
     )
+    simulate.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a JSONL event trace (lookups, inserts, sim dispatch)",
+    )
+    simulate.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help=(
+            "write run metrics: JSON registry snapshot, or Prometheus"
+            " text format if PATH ends in .prom"
+        ),
+    )
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="sampled perf_counter timing of the lookup hot path",
+    )
+    simulate.add_argument(
+        "--profile-sample-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="time one lookup in N (default 64; implies --profile)",
+    )
 
     compare = sub.add_parser(
         "compare", help="algorithm matrix over one workload"
@@ -168,6 +193,10 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from .obs.metrics import DemuxStatsExporter, MetricsRegistry
+    from .obs.profile import LookupProfiler
+    from .obs.trace import JsonlSink, Tracer
+
     algorithm = make_algorithm(args.algorithm)
     config = TPCAConfig(
         n_users=args.users,
@@ -177,10 +206,59 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         think_model=make_think_model(args.think_model),
     )
-    result = TPCADemuxSimulation(config, algorithm).run()
+    simulation = TPCADemuxSimulation(config, algorithm)
+
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(JsonlSink(args.trace_out))
+        algorithm.tracer = tracer
+        tracer.attach_simulator(simulation.sim)
+
+    profiler = None
+    if args.profile or args.profile_sample_every is not None:
+        if args.profile_sample_every is not None:
+            profiler = LookupProfiler(args.profile_sample_every)
+        else:
+            profiler = LookupProfiler()
+        profiler.attach(algorithm)
+
+    result = simulation.run()
     print(result.summary())
     print(f"  max examined: {result.max_examined}")
     print(f"  structure: {algorithm.describe()}")
+
+    if profiler is not None:
+        print(f"  profile: {profiler.report().render()}")
+    if tracer is not None:
+        tracer.close()
+        print(f"  trace written to {args.trace_out}")
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        DemuxStatsExporter(registry, algorithm=algorithm.name).publish(
+            algorithm.stats
+        )
+        sim_gauges = registry.gauge("sim_run", "simulation run facts")
+        sim_gauges.set(simulation.sim.events_run, name="events_run")
+        sim_gauges.set(simulation.transactions_completed, name="transactions")
+        sim_gauges.set(simulation.sim.now, name="virtual_time_seconds")
+        sim_gauges.set(args.users, name="users")
+        sim_gauges.set(args.seed, name="seed")
+        if profiler is not None:
+            report = profiler.report()
+            profile_gauges = registry.gauge(
+                "lookup_wallclock_ns", "sampled lookup latency"
+            )
+            profile_gauges.set(report.mean_ns, stat="mean")
+            profile_gauges.set(report.p50_ns, stat="p50")
+            profile_gauges.set(report.p95_ns, stat="p95")
+            profile_gauges.set(report.samples, stat="samples")
+        if args.metrics_out.endswith(".prom"):
+            text = registry.to_prometheus()
+        else:
+            text = registry.to_json() + "\n"
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"  metrics written to {args.metrics_out}")
     return 0
 
 

@@ -20,17 +20,31 @@ Counting convention (pinned so simulations match the paper's formulas):
 Under this convention BSD's expected miss cost is the paper's
 ``1 + (N+1)/2``, Partridge/Pink's is ``(N+5)/2``, and Sequent's is
 ``1 + (N/H+1)/2``, exactly as in Sections 3.1-3.4.
+
+Observability hooks (see :mod:`repro.obs` and docs/observability.md):
+the public ``lookup``/``insert``/``remove``/``note_send`` methods are
+template methods wrapping the subclass primitives ``_lookup`` /
+``_insert`` / ``_remove`` / ``_note_send``, so statistics recording,
+event tracing (``self.tracer``), and sampled wall-clock profiling
+(attached via ``repro.obs.LookupProfiler``) live in exactly one place.
+With no tracer or profiler attached, each operation pays a single
+``is None`` check -- tracing and profiling never change results,
+statistics, or RNG state.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..packet.addresses import FourTuple
 from .pcb import PCB
 from .stats import DemuxStats, LookupRecord, PacketKind
+
+if TYPE_CHECKING:  # obs never imports core; this edge is type-only
+    from ..obs.profile import LookupProfiler
+    from ..obs.trace import Tracer
 
 __all__ = ["DemuxError", "DuplicateConnectionError", "LookupResult", "DemuxAlgorithm"]
 
@@ -65,9 +79,10 @@ class LookupResult:
 class DemuxAlgorithm(abc.ABC):
     """Abstract PCB container with cost-accounted lookup.
 
-    Subclasses implement ``_lookup``, ``insert``, ``remove``, iteration,
-    and ``__len__``; the public :meth:`lookup` wraps ``_lookup`` with
-    statistics recording.
+    Subclasses implement ``_lookup``, ``_insert``, ``_remove``,
+    iteration, and ``__len__`` (plus ``_note_send`` if the structure
+    reacts to outbound packets); the public template methods wrap the
+    primitives with statistics recording and observability hooks.
     """
 
     #: Short machine-readable name (registry key, figure legend).
@@ -75,6 +90,11 @@ class DemuxAlgorithm(abc.ABC):
 
     def __init__(self) -> None:
         self.stats = DemuxStats()
+        #: Optional :class:`repro.obs.Tracer` receiving per-operation
+        #: events.  ``None`` (the default) keeps the hot path bare.
+        self.tracer: Optional["Tracer"] = None
+        # Set/cleared by LookupProfiler.attach()/detach().
+        self._profiler: Optional["LookupProfiler"] = None
 
     # -- public API ------------------------------------------------------
 
@@ -88,15 +108,12 @@ class DemuxAlgorithm(abc.ABC):
         cache slots in kind-dependent order (paper Section 3.3.3) and
         all algorithms keep kind-separated statistics.
         """
-        result = self._lookup(tup, kind)
-        self.stats.record(
-            LookupRecord(
-                examined=result.examined,
-                cache_hit=result.cache_hit,
-                found=result.found,
-                kind=kind,
-            )
-        )
+        profiler = self._profiler
+        if profiler is None:
+            result = self._lookup(tup, kind)
+        else:
+            result = profiler.call(self._lookup, tup, kind)
+        self._finish_lookup(tup, result)
         return result
 
     def note_send(self, pcb: PCB) -> None:
@@ -106,16 +123,22 @@ class DemuxAlgorithm(abc.ABC):
         the default is a no-op.  Costs nothing: the sender already
         holds the PCB.
         """
+        self._note_send(pcb)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit_note_send(self.name, pcb.four_tuple)
 
-    @abc.abstractmethod
     def insert(self, pcb: PCB) -> None:
         """Add a PCB (connection establishment).
 
         Raises :class:`DuplicateConnectionError` if the four-tuple is
         already present.
         """
+        self._insert(pcb)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit_insert(self.name, pcb.four_tuple)
 
-    @abc.abstractmethod
     def remove(self, tup: FourTuple) -> PCB:
         """Remove and return the PCB for ``tup`` (connection teardown).
 
@@ -123,10 +146,49 @@ class DemuxAlgorithm(abc.ABC):
         removed PCB must be invalidated -- a dangling cache entry would
         resurrect closed connections.
         """
+        pcb = self._remove(tup)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit_remove(self.name, tup)
+        return pcb
+
+    # -- subclass primitives ---------------------------------------------
+
+    @abc.abstractmethod
+    def _insert(self, pcb: PCB) -> None:
+        """Subclass insert (see :meth:`insert` for the contract)."""
+
+    @abc.abstractmethod
+    def _remove(self, tup: FourTuple) -> PCB:
+        """Subclass remove (see :meth:`remove` for the contract)."""
+
+    def _note_send(self, pcb: PCB) -> None:
+        """Subclass reaction to an outbound packet (default: none)."""
 
     @abc.abstractmethod
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
         """Subclass lookup; must fill ``examined`` per the convention."""
+
+    def _finish_lookup(
+        self, tup: Optional[FourTuple], result: LookupResult
+    ) -> None:
+        """Record statistics and trace one completed lookup.
+
+        Shared by :meth:`lookup` and alternative cost-accounted entry
+        points (e.g. ``ConnectionIdDemux.lookup_by_id``, where ``tup``
+        is unknown and passed as ``None``).
+        """
+        self.stats.record(
+            LookupRecord(
+                examined=result.examined,
+                cache_hit=result.cache_hit,
+                found=result.found,
+                kind=result.kind,
+            )
+        )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit_lookup(self.name, tup, result)
 
     @abc.abstractmethod
     def __len__(self) -> int:

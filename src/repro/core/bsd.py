@@ -42,13 +42,13 @@ class BSDDemux(DemuxAlgorithm):
         """The PCB currently in the one-entry cache (for inspection)."""
         return self._cache
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._tuples:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         self._pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:
             raise KeyError(tup)
         for i, pcb in enumerate(self._pcbs):

@@ -23,7 +23,7 @@ from typing import Dict, Iterator, List, Optional
 from ..packet.addresses import FourTuple
 from .base import DemuxAlgorithm, DemuxError, DuplicateConnectionError, LookupResult
 from .pcb import PCB
-from .stats import LookupRecord, PacketKind
+from .stats import PacketKind
 
 __all__ = ["ConnectionIdDemux"]
 
@@ -50,7 +50,7 @@ class ConnectionIdDemux(DemuxAlgorithm):
         """The negotiated ID for ``tup`` (``KeyError`` if absent)."""
         return self._ids[tup]
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._ids:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         if self._free:
@@ -65,7 +65,7 @@ class ConnectionIdDemux(DemuxAlgorithm):
             self._slots.append(pcb)
         self._ids[pcb.four_tuple] = cid
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         cid = self._ids.pop(tup)  # KeyError propagates per the interface
         pcb = self._slots[cid]
         assert pcb is not None
@@ -82,14 +82,7 @@ class ConnectionIdDemux(DemuxAlgorithm):
         else:
             pcb = None
         result = LookupResult(pcb, examined=1, cache_hit=pcb is not None, kind=kind)
-        self.stats.record(
-            LookupRecord(
-                examined=result.examined,
-                cache_hit=result.cache_hit,
-                found=result.found,
-                kind=kind,
-            )
-        )
+        self._finish_lookup(pcb.four_tuple if pcb is not None else None, result)
         return result
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:

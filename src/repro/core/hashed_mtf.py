@@ -64,13 +64,13 @@ class HashedMTFDemux(DemuxAlgorithm):
     def chain_of(self, tup: FourTuple) -> int:
         return self._hash(tup, self._nchains)
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._tuples:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         self._chains[self.chain_of(pcb.four_tuple)].pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:
             raise KeyError(tup)
         chain = self._chains[self.chain_of(tup)]

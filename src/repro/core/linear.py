@@ -33,14 +33,14 @@ class LinearDemux(DemuxAlgorithm):
         self._pcbs: List[PCB] = []
         self._tuples = set()
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._tuples:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         # Historical BSD behaviour: new PCBs go at the head.
         self._pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:
             raise KeyError(tup)
         for i, pcb in enumerate(self._pcbs):

@@ -72,13 +72,13 @@ class MultiCacheDemux(DemuxAlgorithm):
             self._cache.popitem(last=False)
         self._cache[tup] = pcb
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._tuples:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         self._pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:
             raise KeyError(tup)
         self._cache.pop(tup, None)

@@ -49,13 +49,13 @@ class SendRecvDemux(DemuxAlgorithm):
     def send_cached_pcb(self) -> Optional[PCB]:
         return self._send_cache
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._tuples:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         self._pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:
             raise KeyError(tup)
         for i, pcb in enumerate(self._pcbs):
@@ -69,7 +69,7 @@ class SendRecvDemux(DemuxAlgorithm):
                 return pcb
         raise KeyError(tup)
 
-    def note_send(self, pcb: PCB) -> None:
+    def _note_send(self, pcb: PCB) -> None:
         """Update the send-side cache slot; free, per the paper's model."""
         self._send_cache = pcb
 

@@ -77,14 +77,14 @@ class SequentDemux(DemuxAlgorithm):
         """Which chain ``tup`` hashes to."""
         return self._hash(tup, self._nchains)
 
-    def insert(self, pcb: PCB) -> None:
+    def _insert(self, pcb: PCB) -> None:
         if pcb.four_tuple in self._tuples:
             raise DuplicateConnectionError(f"duplicate connection {pcb.four_tuple}")
         chain = self._chains[self.chain_of(pcb.four_tuple)]
         chain.pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
 
-    def remove(self, tup: FourTuple) -> PCB:
+    def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:
             raise KeyError(tup)
         chain = self._chains[self.chain_of(tup)]

@@ -86,6 +86,37 @@ class KindStats:
                 return examined
         return self.max_examined
 
+    def reset(self) -> None:
+        """Zero every counter explicitly.
+
+        Field by field, not ``__init__``-based re-initialization, so
+        the idiom keeps working as fields are added (dataclass defaults
+        are re-evaluated here too -- a shared mutable default would
+        otherwise leak across resets).
+        """
+        self.lookups = 0
+        self.examined_total = 0
+        self.cache_hits = 0
+        self.not_found = 0
+        self.max_examined = 0
+        self.histogram = {}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (histogram keys become strings)."""
+        return {
+            "lookups": self.lookups,
+            "examined_total": self.examined_total,
+            "cache_hits": self.cache_hits,
+            "not_found": self.not_found,
+            "max_examined": self.max_examined,
+            "mean_examined": self.mean_examined,
+            "hit_rate": self.hit_rate,
+            "histogram": {
+                str(examined): count
+                for examined, count in sorted(self.histogram.items())
+            },
+        }
+
     def merge(self, other: "KindStats") -> None:
         """Fold ``other``'s counters into this one."""
         self.lookups += other.lookups
@@ -111,7 +142,7 @@ class DemuxStats:
     def reset(self) -> None:
         """Zero all counters (e.g. after a warm-up phase)."""
         for stats in self.by_kind.values():
-            stats.__init__()
+            stats.reset()
 
     # -- aggregate views -----------------------------------------------
 
@@ -144,6 +175,26 @@ class DemuxStats:
         for stats in self.by_kind.values():
             merged.merge(stats)
         return merged
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot, per kind plus the aggregate view.
+
+        This (together with :class:`repro.obs.DemuxStatsExporter`,
+        which publishes the same counters into a metrics registry) is
+        the supported way to export statistics -- the counting
+        convention itself stays pinned in :mod:`repro.core.base`.
+        """
+        return {
+            "lookups": self.lookups,
+            "examined_total": self.examined_total,
+            "cache_hits": self.cache_hits,
+            "mean_examined": self.mean_examined,
+            "hit_rate": self.hit_rate,
+            "by_kind": {
+                kind.value: stats.as_dict()
+                for kind, stats in self.by_kind.items()
+            },
+        }
 
     def summary(self, label: Optional[str] = None) -> str:
         """One-line human-readable summary."""

@@ -2,9 +2,12 @@
 
 ``run_all(outdir)`` writes, for each figure, a ``.txt`` ASCII rendering
 and a ``.csv`` of the raw series; for each in-text claim set, a
-``.txt`` comparison table; plus the combined ``report.md``.  This is
-what ``repro-demux run-all`` invokes and what a user replicating the
-paper should reach for first.
+``.txt`` comparison table; plus the combined ``report.md`` and a
+machine-readable ``metrics.json`` describing the whole run (one
+:class:`repro.obs.MetricsRegistry` snapshot: per-figure series ranges,
+artifact counts, run parameters), so successive runs can be diffed
+without parsing ASCII art.  This is what ``repro-demux run-all``
+invokes and what a user replicating the paper should reach for first.
 """
 
 from __future__ import annotations
@@ -12,12 +15,30 @@ from __future__ import annotations
 import pathlib
 from typing import Callable, Optional, Union
 
+from ..obs.metrics import MetricsRegistry
 from .figures import figure4, figure13, figure14
 from .report import build_report
 from .sim_figures import simulate_figure14_overlay
 from .text_results import all_text_results
 
 __all__ = ["run_all"]
+
+
+def _publish_figure(registry: MetricsRegistry, stem: str, figure) -> None:
+    """Record one figure's shape (points, per-series range) as metrics."""
+    registry.gauge(
+        "figure_points", "x-axis points in a generated figure"
+    ).set(len(figure.x_values), figure=stem)
+    series_min = registry.gauge(
+        "figure_series_min", "minimum value of a figure series"
+    )
+    series_max = registry.gauge(
+        "figure_series_max", "maximum value of a figure series"
+    )
+    for name, values in figure.series.items():
+        if values:
+            series_min.set(min(values), figure=stem, series=name)
+            series_max.set(max(values), figure=stem, series=name)
 
 
 def run_all(
@@ -32,6 +53,15 @@ def run_all(
     outdir = pathlib.Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
 
+    registry = MetricsRegistry()
+    artifacts = registry.counter(
+        "artifacts_written_total", "files written by run_all"
+    )
+    params = registry.gauge("run_parameter", "run_all configuration values")
+    params.set(sim_users, name="sim_users")
+    params.set(seed, name="seed")
+    params.set(int(include_simulation), name="include_simulation")
+
     def note(message: str) -> None:
         if progress:
             progress(message)
@@ -44,11 +74,17 @@ def run_all(
         note(f"writing {stem}")
         (outdir / f"{stem}.txt").write_text(figure.render())
         (outdir / f"{stem}.csv").write_text(figure.csv())
+        artifacts.inc(2, kind="figure")
+        _publish_figure(registry, stem, figure)
 
     for table in all_text_results():
         stem = table.table_id.lower().replace(".", "_").replace("-", "_")
         note(f"writing {stem}")
         (outdir / f"{stem}.txt").write_text(table.render() + "\n")
+        artifacts.inc(1, kind="table")
+        registry.gauge(
+            "table_claims_ok", "1 if every claim in the table matched"
+        ).set(int(table.all_ok), table=stem)
 
     if include_simulation:
         note("simulating figure 14 overlay")
@@ -57,6 +93,7 @@ def run_all(
         )
         (outdir / "figure14_overlay.txt").write_text(overlay.render() + "\n")
         (outdir / "figure14_overlay.csv").write_text(overlay.csv())
+        artifacts.inc(2, kind="overlay")
 
     note("building combined report")
     report = build_report(
@@ -66,4 +103,9 @@ def run_all(
         progress=progress,
     )
     (outdir / "report.md").write_text(report)
+    artifacts.inc(1, kind="report")
+
+    note("writing metrics.json")
+    artifacts.inc(1, kind="metrics")
+    (outdir / "metrics.json").write_text(registry.to_json() + "\n")
     return outdir

@@ -21,7 +21,6 @@ from typing import Callable, List, Optional, Sequence
 from ..analytic import bsd as a_bsd
 from ..analytic import crowcroft as a_mtf
 from ..analytic import sendrecv as a_sr
-from ..analytic import sequent as a_seq
 from ..core.base import DemuxAlgorithm
 from ..core.bsd import BSDDemux
 from ..core.linear import LinearDemux

@@ -26,7 +26,7 @@ runs and processes (no per-process seeding), so simulations reproduce.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 from ..packet.addresses import FourTuple
 from .crc import crc16_ccitt, crc32c

@@ -1,0 +1,63 @@
+"""Observability layer: tracing, metrics export, and profiling hooks.
+
+This package is the *bottom* layer of the stack -- it imports nothing
+from the rest of :mod:`repro` (pure stdlib), so :mod:`repro.core` can
+emit into it without circular dependencies.  Three concerns, three
+modules:
+
+* :mod:`repro.obs.trace` -- per-event tracing (lookups, inserts,
+  removes, simulator dispatch) through pluggable sinks: in-memory ring
+  buffer, JSONL file, callback.
+* :mod:`repro.obs.metrics` -- named counters/gauges/histograms with
+  JSON and Prometheus-text export, plus the adapter that publishes
+  ``DemuxStats`` into a registry.
+* :mod:`repro.obs.profile` -- sampled ``perf_counter_ns`` timing of
+  the lookup hot path and a ``tracemalloc`` memory probe.
+
+See ``docs/observability.md`` for the probe API, sink protocol, export
+formats, and the overhead budget.
+"""
+
+from .metrics import (
+    Counter,
+    DemuxStatsExporter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profile import (
+    DEFAULT_SAMPLE_EVERY,
+    LookupProfiler,
+    MemoryProbe,
+    ProfileReport,
+    measure_build,
+)
+from .trace import (
+    CallbackSink,
+    JsonlSink,
+    RingBufferSink,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "CallbackSink",
+    "Counter",
+    "DEFAULT_SAMPLE_EVERY",
+    "DemuxStatsExporter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LookupProfiler",
+    "MemoryProbe",
+    "MetricsRegistry",
+    "ProfileReport",
+    "RingBufferSink",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "measure_build",
+    "read_jsonl",
+]

@@ -1,0 +1,369 @@
+"""Named metrics with JSON and Prometheus-text export.
+
+A :class:`MetricsRegistry` holds counters, gauges, and histograms,
+each optionally labelled (``registry.counter("demux_lookups_total")
+.inc(1, algorithm="bsd", kind="data")``).  ``snapshot()`` renders the
+whole registry as plain dicts, ``to_json()`` as a JSON document, and
+``to_prometheus()`` as the Prometheus text exposition format, so a run
+can publish its statistics to a file, a scrape endpoint, or a CI
+artifact without bespoke formatting code.
+
+Histograms record *exact* integer-valued observations (a dict from
+value to count) rather than pre-binned buckets: probe-length
+distributions are small integers and the paper's argument lives in
+their tails, so no precision is given away.  The Prometheus rendering
+synthesizes the cumulative ``_bucket{le=...}`` series from the exact
+counts.
+
+:class:`DemuxStatsExporter` adapts the existing
+:class:`~repro.core.stats.DemuxStats` counters into a registry by
+*delta publishing*: repeated ``publish()`` calls add only what changed
+since the last call, so counters stay monotonic while the stats object
+keeps its counting convention untouched.  (The exporter duck-types the
+stats object -- this module imports nothing from :mod:`repro.core`,
+preserving the obs-at-the-bottom layering.)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DemuxStatsExporter",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Canonical form of one label set: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Common name/help/samples bookkeeping for all metric types."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    # Subclasses provide: samples() -> iterable used by the exporters,
+    # snapshot() -> JSON-ready dict, prometheus_lines() -> List[str].
+
+    def _header_lines(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.metric_type}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labelled."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+    def prometheus_lines(self) -> List[str]:
+        lines = self._header_lines()
+        for key, value in sorted(self._values.items()):
+            lines.append(f"{self.name}{_render_labels(key)} {value:g}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (table sizes, maxima, config)."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+    def prometheus_lines(self) -> List[str]:
+        lines = self._header_lines()
+        for key, value in sorted(self._values.items()):
+            lines.append(f"{self.name}{_render_labels(key)} {value:g}")
+        return lines
+
+
+class Histogram(_Metric):
+    """Distribution of integer-valued observations, exact counts.
+
+    ``observe(value)`` increments the count for that exact value;
+    ``observe_bulk`` folds in a pre-counted ``{value: count}`` mapping
+    (how :class:`DemuxStatsExporter` publishes search-length
+    histograms).
+    """
+
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._counts: Dict[LabelKey, Dict[int, int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: int, count: int = 1, **labels: Any) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        key = _label_key(labels)
+        bucket = self._counts.setdefault(key, {})
+        bucket[value] = bucket.get(value, 0) + count
+        self._sums[key] = self._sums.get(key, 0) + value * count
+
+    def observe_bulk(self, counts: Dict[int, int], **labels: Any) -> None:
+        for value, count in counts.items():
+            self.observe(value, count, **labels)
+
+    def counts(self, **labels: Any) -> Dict[int, int]:
+        """Exact value -> count mapping for one label set (a copy)."""
+        return dict(self._counts.get(_label_key(labels), {}))
+
+    def count(self, **labels: Any) -> int:
+        return sum(self._counts.get(_label_key(labels), {}).values())
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(_label_key(labels), 0)
+
+    def mean(self, **labels: Any) -> float:
+        total = self.count(**labels)
+        return self.sum(**labels) / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        samples = []
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            samples.append(
+                {
+                    "labels": dict(key),
+                    "count": sum(counts.values()),
+                    "sum": self._sums.get(key, 0),
+                    "counts": {str(v): c for v, c in sorted(counts.items())},
+                }
+            )
+        return {"type": self.metric_type, "help": self.help, "samples": samples}
+
+    def prometheus_lines(self) -> List[str]:
+        lines = self._header_lines()
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            cumulative = 0
+            for value in sorted(counts):
+                cumulative += counts[value]
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, ('le', str(value)))} {cumulative}"
+                )
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_render_labels(key, ('le', '+Inf'))} {cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {self._sums.get(key, 0):g}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with whole-registry export."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as"
+                    f" {existing.metric_type}, not {cls.metric_type}"
+                )
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as plain dicts (insertion order)."""
+        return {name: metric.snapshot() for name, metric in self._metrics.items()}
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _KindSnapshot:
+    """What the exporter remembers about one kind between publishes."""
+
+    __slots__ = ("lookups", "examined_total", "cache_hits", "not_found",
+                 "histogram")
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.examined_total = 0
+        self.cache_hits = 0
+        self.not_found = 0
+        self.histogram: Dict[int, int] = {}
+
+
+class DemuxStatsExporter:
+    """Publishes a ``DemuxStats`` object into a :class:`MetricsRegistry`.
+
+    Creates the ``demux_*`` metric family (labelled by algorithm and
+    packet kind) and, on each :meth:`publish`, adds the *delta* since
+    the previous publish -- so counters remain monotonic across
+    repeated publishes while the stats object itself is read-only to
+    the exporter.  A stats reset (counters going backwards, e.g. after
+    a warm-up) is detected and treated as starting from zero.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *, algorithm: str = ""):
+        self.algorithm = algorithm
+        self._lookups = registry.counter(
+            "demux_lookups_total", "PCB lookups performed"
+        )
+        self._examined = registry.counter(
+            "demux_examined_total",
+            "PCBs examined across all lookups (the paper's cost)",
+        )
+        self._cache_hits = registry.counter(
+            "demux_cache_hits_total", "lookups satisfied by a cache slot"
+        )
+        self._not_found = registry.counter(
+            "demux_not_found_total", "lookups that matched no PCB"
+        )
+        self._max_examined = registry.gauge(
+            "demux_examined_max", "worst single-lookup search length"
+        )
+        self._search_lengths = registry.histogram(
+            "demux_examined", "per-lookup PCBs-examined distribution"
+        )
+        self._last: Dict[str, _KindSnapshot] = {}
+
+    def publish(self, stats) -> None:
+        """Fold ``stats`` (a ``DemuxStats``) into the registry."""
+        for kind, ks in stats.by_kind.items():
+            kind_label = kind.value
+            labels = {"kind": kind_label}
+            if self.algorithm:
+                labels["algorithm"] = self.algorithm
+            prev = self._last.get(kind_label)
+            if prev is None or ks.lookups < prev.lookups:
+                prev = _KindSnapshot()  # first publish, or stats were reset
+            self._lookups.inc(ks.lookups - prev.lookups, **labels)
+            self._examined.inc(
+                ks.examined_total - prev.examined_total, **labels
+            )
+            self._cache_hits.inc(ks.cache_hits - prev.cache_hits, **labels)
+            self._not_found.inc(ks.not_found - prev.not_found, **labels)
+            self._max_examined.set(ks.max_examined, **labels)
+            for examined, count in ks.histogram.items():
+                delta = count - prev.histogram.get(examined, 0)
+                if delta:
+                    self._search_lengths.observe(examined, delta, **labels)
+            snap = _KindSnapshot()
+            snap.lookups = ks.lookups
+            snap.examined_total = ks.examined_total
+            snap.cache_hits = ks.cache_hits
+            snap.not_found = ks.not_found
+            snap.histogram = dict(ks.histogram)
+            self._last[kind_label] = snap

@@ -1,0 +1,311 @@
+"""Event tracing for the demultiplexing hot path.
+
+A :class:`Tracer` is an observer the rest of the stack emits
+:class:`TraceEvent` records into -- one per lookup, insert, remove,
+send-note, or simulator event dispatch.  Events fan out to pluggable
+*sinks*: a bounded :class:`RingBufferSink` for keeping the last K
+events in memory, a :class:`JsonlSink` for machine-readable traces on
+disk, or a :class:`CallbackSink` for ad-hoc wiring.  With the JSONL
+sink attached, any figure run can be replayed or diffed lookup by
+lookup (``read_jsonl`` loads a trace back as dictionaries).
+
+Overhead contract: a structure with no tracer attached pays one
+``is None`` check per operation; a disabled tracer pays one extra
+attribute load.  Event construction happens only when a tracer is
+attached *and* enabled.  This module deliberately imports nothing from
+the rest of :mod:`repro`, so it sits at the bottom of the layer stack
+(``core`` depends on ``obs``, never the reverse).
+
+Virtual time: the tracer stamps events via its ``clock`` -- any
+zero-argument callable returning seconds.  Workloads bind it to their
+simulator (``tracer.clock = lambda: sim.now``), which
+:meth:`Tracer.attach_simulator` does for you along with installing a
+dispatch probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "CallbackSink",
+    "Tracer",
+    "read_jsonl",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence on the demux hot path.
+
+    ``kind`` is the event class: ``"lookup"``, ``"insert"``,
+    ``"remove"``, ``"note_send"``, or ``"sim.event"``.  Lookup events
+    carry the cost fields the paper measures (``examined``,
+    ``cache_hit``, ``found``); structural events carry the four-tuple
+    only; simulator events carry the dispatched callback's name in
+    ``detail``.
+    """
+
+    #: Virtual time in seconds (0.0 when no clock is bound).
+    time: float
+    #: Event class (see class docstring).
+    kind: str
+    #: ``DemuxAlgorithm.name`` of the emitting structure, if any.
+    algorithm: str = ""
+    #: The 96-bit demux key involved, as a 4-tuple
+    #: ``(local_addr, local_port, remote_addr, remote_port)``.
+    four_tuple: Optional[Tuple[Any, int, Any, int]] = None
+    #: ``"data"`` or ``"ack"`` for lookup events.
+    packet_kind: Optional[str] = None
+    #: PCBs examined (lookup events; the paper's figure of merit).
+    examined: int = 0
+    cache_hit: bool = False
+    found: bool = False
+    #: Free-form annotation (simulator callback name, etc.).
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dict, omitting empty optional fields."""
+        record: Dict[str, Any] = {"time": self.time, "kind": self.kind}
+        if self.algorithm:
+            record["algorithm"] = self.algorithm
+        if self.four_tuple is not None:
+            la, lp, ra, rp = self.four_tuple
+            record["four_tuple"] = [str(la), lp, str(ra), rp]
+        if self.packet_kind is not None:
+            record["packet_kind"] = self.packet_kind
+        if self.kind == "lookup":
+            record["examined"] = self.examined
+            record["cache_hit"] = self.cache_hit
+            record["found"] = self.found
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+
+class TraceSink:
+    """Where trace events go.  Subclasses override :meth:`emit`."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory.
+
+    When full, the oldest event is silently overwritten (classic
+    flight-recorder semantics); ``dropped`` counts the overwrites so a
+    consumer knows the window is partial.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self.total_emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.total_emitted += 1
+        self._buffer.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by wraparound."""
+        return self.total_emitted - len(self._buffer)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered window, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.total_emitted = 0
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per line to ``path`` (or an open file)."""
+
+    def __init__(self, path: Union[str, pathlib.Path, IO[str]]):
+        if hasattr(path, "write"):
+            self._file: IO[str] = path  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(path, "w", encoding="utf-8")
+            self._owns_file = True
+        self.lines_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._file.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CallbackSink(TraceSink):
+    """Forwards every event to ``callback`` (tests, ad-hoc plumbing)."""
+
+    def __init__(self, callback: Callable[[TraceEvent], None]):
+        self._callback = callback
+
+    def emit(self, event: TraceEvent) -> None:
+        self._callback(event)
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back as a list of dicts (for replay/diff)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class Tracer:
+    """Fans trace events out to attached sinks.
+
+    ``clock`` is any zero-argument callable returning the current time
+    in seconds; unbound tracers stamp 0.0.  ``enabled`` is the master
+    switch hot paths check before constructing events.
+    """
+
+    def __init__(
+        self,
+        *sinks: TraceSink,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+    ):
+        self._sinks: List[TraceSink] = list(sinks)
+        self.clock = clock
+        self.enabled = enabled
+
+    # -- sink management -------------------------------------------------
+
+    @property
+    def sinks(self) -> List[TraceSink]:
+        return list(self._sinks)
+
+    def attach(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TraceSink) -> None:
+        self._sinks.remove(sink)
+
+    def close(self) -> None:
+        """Close every sink (flushes JSONL files)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- emission --------------------------------------------------------
+
+    def now(self) -> float:
+        clock = self.clock
+        return clock() if clock is not None else 0.0
+
+    def emit(self, event: TraceEvent) -> None:
+        if not self.enabled:
+            return
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def emit_lookup(self, algorithm: str, four_tuple, result) -> None:
+        """Trace one cost-accounted lookup (``result`` is a LookupResult)."""
+        self.emit(
+            TraceEvent(
+                time=self.now(),
+                kind="lookup",
+                algorithm=algorithm,
+                four_tuple=four_tuple,
+                packet_kind=result.kind.value,
+                examined=result.examined,
+                cache_hit=result.cache_hit,
+                found=result.found,
+            )
+        )
+
+    def emit_insert(self, algorithm: str, four_tuple) -> None:
+        self.emit(
+            TraceEvent(
+                time=self.now(), kind="insert",
+                algorithm=algorithm, four_tuple=four_tuple,
+            )
+        )
+
+    def emit_remove(self, algorithm: str, four_tuple) -> None:
+        self.emit(
+            TraceEvent(
+                time=self.now(), kind="remove",
+                algorithm=algorithm, four_tuple=four_tuple,
+            )
+        )
+
+    def emit_note_send(self, algorithm: str, four_tuple) -> None:
+        self.emit(
+            TraceEvent(
+                time=self.now(), kind="note_send",
+                algorithm=algorithm, four_tuple=four_tuple,
+            )
+        )
+
+    # -- simulator integration -------------------------------------------
+
+    def attach_simulator(self, sim) -> None:
+        """Bind this tracer's clock to ``sim`` and trace event dispatch.
+
+        Installs a dispatch probe (see ``Simulator.probe``) that emits
+        a ``sim.event`` record, carrying the callback's name, for every
+        event the simulator runs.
+        """
+        if self.clock is None:
+            self.clock = lambda: sim.now
+
+        def probe(event) -> None:
+            if self.enabled:
+                name = getattr(event.callback, "__name__", repr(event.callback))
+                self.emit(
+                    TraceEvent(time=event.time, kind="sim.event", detail=name)
+                )
+
+        sim.probe = probe

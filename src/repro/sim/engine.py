@@ -46,16 +46,36 @@ class Event:
 class Simulator:
     """Event loop with a virtual clock starting at 0.0 seconds."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, probe: Optional[Callable[[Event], None]] = None
+    ) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_run = 0
+        self._probe = probe
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def probe(self) -> Optional[Callable[[Event], None]]:
+        """Observer called with each event as it is dispatched.
+
+        Fires after the clock has advanced to the event's time and
+        before its callback runs, so the probe sees exactly the
+        dispatch order (a :class:`repro.obs.Tracer` installs itself
+        here via ``attach_simulator``).  Probes must not mutate the
+        event; scheduling new events from a probe is allowed.  ``None``
+        (the default) keeps dispatch on the bare path.
+        """
+        return self._probe
+
+    @probe.setter
+    def probe(self, callback: Optional[Callable[[Event], None]]) -> None:
+        self._probe = callback
 
     @property
     def events_run(self) -> int:
@@ -95,6 +115,9 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_run += 1
+            probe = self._probe
+            if probe is not None:
+                probe(event)
             event.callback(*event.args)
             return True
         return False

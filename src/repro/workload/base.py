@@ -12,8 +12,23 @@ import dataclasses
 
 from ..core.base import DemuxAlgorithm
 from ..core.stats import PacketKind
+from ..sim.engine import Simulator
 
-__all__ = ["WorkloadResult"]
+__all__ = ["WorkloadResult", "bind_tracer_clock"]
+
+
+def bind_tracer_clock(algorithm: DemuxAlgorithm, sim: Simulator) -> None:
+    """Stamp the algorithm's trace events with ``sim``'s virtual time.
+
+    Simulation-driven workloads call this right after constructing
+    their :class:`Simulator`, so a tracer attached to the algorithm
+    *before* the workload is built gets virtual timestamps without any
+    caller plumbing.  An already-bound clock is left alone (the caller
+    may have bound something deliberately).
+    """
+    tracer = algorithm.tracer
+    if tracer is not None and tracer.clock is None:
+        tracer.clock = lambda: sim.now
 
 
 @dataclasses.dataclass(frozen=True)

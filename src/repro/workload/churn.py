@@ -27,7 +27,7 @@ from ..core.stats import PacketKind
 from ..packet.addresses import FourTuple
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
-from .base import WorkloadResult
+from .base import WorkloadResult, bind_tracer_clock
 from .thinktime import ExponentialThink, ThinkTimeModel
 from .tpca import TPCAConfig
 
@@ -70,6 +70,7 @@ class ChurnWorkload:
         self.config = config
         self.algorithm = algorithm
         self.sim = Simulator()
+        bind_tracer_clock(algorithm, self.sim)
         rngs = RngRegistry(config.seed)
         self._think_rng = rngs.stream("churn.think")
         self._session_rng = rngs.stream("churn.session")

@@ -19,7 +19,7 @@ from ..core.stats import PacketKind
 from ..packet.addresses import FourTuple, IPv4Address
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
-from .base import WorkloadResult
+from .base import WorkloadResult, bind_tracer_clock
 
 __all__ = ["MixedConfig", "MixedWorkload"]
 
@@ -61,6 +61,7 @@ class MixedWorkload:
         self.config = config
         self.algorithm = algorithm
         self.sim = Simulator()
+        bind_tracer_clock(algorithm, self.sim)
         rngs = RngRegistry(config.seed)
         self._think_rng = rngs.stream("mixed.think")
         self._bulk_rng = rngs.stream("mixed.bulk")

@@ -48,7 +48,7 @@ from ..sim.engine import Simulator
 from ..sim.network import Network
 from ..sim.rng import RngRegistry
 from ..tcpstack.stack import HostStack
-from .base import WorkloadResult
+from .base import WorkloadResult, bind_tracer_clock
 from .thinktime import ExponentialThink, ThinkTimeModel
 
 __all__ = [
@@ -130,6 +130,7 @@ class TPCADemuxSimulation:
         self.config = config
         self.algorithm = algorithm
         self.sim = Simulator()
+        bind_tracer_clock(algorithm, self.sim)
         self._rng = RngRegistry(config.seed).stream("tpca.think")
         self._pcbs: List[PCB] = []
         self.transactions_completed = 0
@@ -219,6 +220,7 @@ class TPCAFullStackSimulation:
         self.config = config
         self.algorithm = algorithm
         self.sim = Simulator()
+        bind_tracer_clock(algorithm, self.sim)
         self.network = Network(self.sim, default_delay=config.round_trip / 2.0)
         self._rngs = RngRegistry(config.seed)
         self._client_factory = client_algorithm_factory or BSDDemux

@@ -1,7 +1,6 @@
 """Tests for the BSD algorithm's exact cost semantics (Section 3.1)."""
 
 from repro.core.bsd import BSDDemux
-from repro.core.pcb import PCB
 from repro.core.stats import PacketKind
 
 from conftest import make_pcbs, make_tuple

@@ -4,7 +4,6 @@ import pytest
 
 from repro.packet.addresses import FourTuple, IPv4Address
 from repro.packet.builder import (
-    Packet,
     build_packet,
     make_ack,
     make_data,

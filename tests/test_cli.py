@@ -134,3 +134,72 @@ class TestCommands:
         PcapWriter(path).close()
         assert main(["pcap", str(path)]) == 0
         assert "empty capture" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_simulate_trace_out(self, tmp_path, capsys):
+        from repro.obs.trace import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["simulate", "--algorithm", "sequent:h=7", "--users", "20",
+             "--duration", "10", "--trace-out", str(path)]
+        )
+        assert code == 0
+        assert f"trace written to {path}" in capsys.readouterr().out
+        records = read_jsonl(path)
+        kinds = {record["kind"] for record in records}
+        assert "insert" in kinds and "lookup" in kinds
+        assert "sim.event" in kinds
+        lookups = [r for r in records if r["kind"] == "lookup"]
+        assert all("examined" in r and "time" in r for r in lookups)
+
+    def test_simulate_metrics_out_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "20",
+             "--duration", "10", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        snapshot = json.loads(path.read_text())
+        assert "demux_lookups_total" in snapshot
+        assert "sim_run" in snapshot
+        samples = snapshot["demux_lookups_total"]["samples"]
+        assert any(s["value"] > 0 for s in samples)
+
+    def test_simulate_metrics_out_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "20",
+             "--duration", "10", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE demux_lookups_total counter" in text
+        assert 'demux_lookups_total{algorithm="bsd",kind="data"}' in text
+        assert "demux_examined_bucket" in text
+
+    def test_simulate_profile(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "20",
+             "--duration", "10", "--profile",
+             "--profile-sample-every", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "(1/8)" in out
+
+    def test_trace_does_not_change_results(self, tmp_path, capsys):
+        base_args = ["simulate", "--algorithm", "sequent:h=7",
+                     "--users", "30", "--duration", "15", "--seed", "3"]
+        assert main(base_args) == 0
+        bare = capsys.readouterr().out.splitlines()[0]
+        assert main(
+            base_args + ["--trace-out", str(tmp_path / "t.jsonl"),
+                         "--profile"]
+        ) == 0
+        instrumented = capsys.readouterr().out.splitlines()[0]
+        assert instrumented == bare

@@ -1,0 +1,252 @@
+"""Tests for repro.obs.metrics: registry, export formats, and the
+DemuxStats adapter (delta publishing, convention preservation)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.sequent import SequentDemux
+from repro.core.stats import PacketKind
+from repro.experiments.runner import run_all
+from repro.obs.metrics import DemuxStatsExporter, MetricsRegistry
+
+from conftest import make_pcbs, make_tuple
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("requests_total")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("lookups_total")
+        counter.inc(2, kind="data")
+        counter.inc(3, kind="ack")
+        assert counter.value(kind="data") == 2
+        assert counter.value(kind="ack") == 3
+        assert counter.value(kind="other") == 0
+
+    def test_label_order_is_canonical(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(1, a="1", b="2")
+        assert counter.value(b="2", a="1") == 1
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok").inc(1, **{"0bad": "x"})
+
+
+class TestGauge:
+    def test_set_and_move(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7.5)
+        assert gauge.value() == 7.5
+        gauge.set(2.0)
+        assert gauge.value() == 2.0
+        gauge.inc()
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_observe_exact_counts(self):
+        histogram = MetricsRegistry().histogram("lengths")
+        for value in (1, 1, 3, 7):
+            histogram.observe(value)
+        assert histogram.counts() == {1: 2, 3: 1, 7: 1}
+        assert histogram.count() == 4
+        assert histogram.sum() == 12
+        assert histogram.mean() == 3.0
+
+    def test_observe_bulk(self):
+        histogram = MetricsRegistry().histogram("lengths")
+        histogram.observe_bulk({2: 5, 9: 1}, kind="data")
+        assert histogram.count(kind="data") == 6
+        assert histogram.sum(kind="data") == 19
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert "a" in registry and "b" in registry and "c" not in registry
+        assert len(registry) == 2
+
+
+class TestJsonExport:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "cache hits").inc(3, kind="data")
+        registry.gauge("table_size").set(42)
+        registry.histogram("lengths").observe(2, 5)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["hits_total"]["type"] == "counter"
+        assert snapshot["hits_total"]["help"] == "cache hits"
+        assert snapshot["hits_total"]["samples"] == [
+            {"labels": {"kind": "data"}, "value": 3}
+        ]
+        assert snapshot["table_size"]["samples"][0]["value"] == 42
+        histogram = snapshot["lengths"]["samples"][0]
+        assert histogram["count"] == 5
+        assert histogram["sum"] == 10
+        assert histogram["counts"] == {"2": 5}
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "cache hits").inc(3, kind="data")
+        registry.gauge("depth").set(1.5)
+        text = registry.to_prometheus()
+        assert "# HELP hits_total cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{kind="data"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lengths", "search lengths")
+        histogram.observe(1, 2)
+        histogram.observe(3, 1)
+        lines = registry.to_prometheus().splitlines()
+        assert 'lengths_bucket{le="1"} 2' in lines
+        assert 'lengths_bucket{le="3"} 3' in lines
+        assert 'lengths_bucket{le="+Inf"} 3' in lines
+        assert "lengths_sum 5" in lines
+        assert "lengths_count 3" in lines
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, path='a"b\\c')
+        text = registry.to_prometheus()
+        assert r'c{path="a\"b\\c"} 1' in text
+
+
+class TestDemuxStatsExporter:
+    def _populated_algorithm(self):
+        algorithm = SequentDemux(7)
+        for pcb in make_pcbs(20):
+            algorithm.insert(pcb)
+        for i in range(20):
+            algorithm.lookup(make_tuple(i), PacketKind.DATA)
+        for i in range(10):
+            algorithm.lookup(make_tuple(i), PacketKind.ACK)
+        return algorithm
+
+    def test_publish_matches_stats(self):
+        algorithm = self._populated_algorithm()
+        registry = MetricsRegistry()
+        exporter = DemuxStatsExporter(registry, algorithm=algorithm.name)
+        exporter.publish(algorithm.stats)
+        counter = registry.counter("demux_lookups_total")
+        data = algorithm.stats.kind(PacketKind.DATA)
+        ack = algorithm.stats.kind(PacketKind.ACK)
+        assert counter.value(algorithm="sequent", kind="data") == data.lookups
+        assert counter.value(algorithm="sequent", kind="ack") == ack.lookups
+        examined = registry.counter("demux_examined_total")
+        assert (
+            examined.value(algorithm="sequent", kind="data")
+            == data.examined_total
+        )
+        histogram = registry.histogram("demux_examined")
+        assert (
+            histogram.counts(algorithm="sequent", kind="data")
+            == data.histogram
+        )
+        assert registry.gauge("demux_examined_max").value(
+            algorithm="sequent", kind="data"
+        ) == data.max_examined
+
+    def test_repeated_publish_adds_only_deltas(self):
+        algorithm = self._populated_algorithm()
+        registry = MetricsRegistry()
+        exporter = DemuxStatsExporter(registry, algorithm=algorithm.name)
+        exporter.publish(algorithm.stats)
+        exporter.publish(algorithm.stats)  # no new lookups: no change
+        counter = registry.counter("demux_lookups_total")
+        assert counter.value(algorithm="sequent", kind="data") == 20
+        algorithm.lookup(make_tuple(0), PacketKind.DATA)
+        exporter.publish(algorithm.stats)
+        assert counter.value(algorithm="sequent", kind="data") == 21
+        histogram = registry.histogram("demux_examined")
+        assert (
+            histogram.count(algorithm="sequent", kind="data")
+            == algorithm.stats.kind(PacketKind.DATA).lookups
+        )
+
+    def test_stats_reset_detected(self):
+        algorithm = self._populated_algorithm()
+        registry = MetricsRegistry()
+        exporter = DemuxStatsExporter(registry, algorithm=algorithm.name)
+        exporter.publish(algorithm.stats)
+        algorithm.stats.reset()
+        algorithm.lookup(make_tuple(3), PacketKind.DATA)
+        exporter.publish(algorithm.stats)  # counters must not go backwards
+        counter = registry.counter("demux_lookups_total")
+        assert counter.value(algorithm="sequent", kind="data") == 21
+
+    def test_publish_does_not_mutate_stats(self):
+        algorithm = self._populated_algorithm()
+        before = copy.deepcopy(algorithm.stats.as_dict())
+        DemuxStatsExporter(
+            MetricsRegistry(), algorithm=algorithm.name
+        ).publish(algorithm.stats)
+        assert algorithm.stats.as_dict() == before
+
+
+class TestStatsAsDict:
+    def test_shape(self):
+        algorithm = SequentDemux(7)
+        pcb, = make_pcbs(1)
+        algorithm.insert(pcb)
+        algorithm.lookup(pcb.four_tuple, PacketKind.DATA)
+        snapshot = algorithm.stats.as_dict()
+        assert snapshot["lookups"] == 1
+        assert snapshot["by_kind"]["data"]["histogram"] == {"1": 1}
+        assert snapshot["by_kind"]["ack"]["lookups"] == 0
+        json.dumps(snapshot)  # must be JSON-ready
+
+
+class TestRunnerMetricsArtifact:
+    def test_run_all_writes_metrics_json(self, tmp_path):
+        outdir = run_all(tmp_path / "out", include_simulation=False)
+        path = outdir / "metrics.json"
+        assert path.exists()
+        snapshot = json.loads(path.read_text())
+        assert "artifacts_written_total" in snapshot
+        assert "figure_points" in snapshot
+        kinds = {
+            sample["labels"]["kind"]: sample["value"]
+            for sample in snapshot["artifacts_written_total"]["samples"]
+        }
+        assert kinds["figure"] == 6  # three figures, .txt + .csv each
+        assert kinds["report"] == 1
+        figures = {
+            sample["labels"]["figure"]
+            for sample in snapshot["figure_points"]["samples"]
+        }
+        assert figures == {"figure04", "figure13", "figure14"}

@@ -1,6 +1,5 @@
 """Tests for the Partridge/Pink last-sent/last-received cache (§3.3)."""
 
-from repro.core.pcb import PCB
 from repro.core.sendrecv import SendRecvDemux
 from repro.core.stats import PacketKind
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.sim_figures import (
-    FigureOverlay,
     OverlayPoint,
     simulate_figure14_overlay,
 )
