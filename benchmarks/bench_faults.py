@@ -1,0 +1,129 @@
+"""Degradation curves: demux cost and goodput under rising fault load.
+
+The robustness contract (docs/fault_injection.md): under any fault mix
+the stack never raises out of the dispatch loop and never leaks PCBs,
+and goodput degrades *gracefully* -- transactions slow down as
+retransmission timeouts absorb the loss, rather than collapsing.  This
+benchmark sweeps Gilbert-Elliott bursty loss from 0% to 20% (plus the
+acceptance mix: ~10% GE loss with reordering and duplication) over the
+three algorithm families the paper compares, and records each point's
+mean PCBs examined and completed transactions.
+
+Results are written to ``BENCH_faults.json`` at the repository root.
+Asserted per cell: no escaped exception, clean post-run PCB audit.
+Asserted per curve: the clean point completes at least as many
+transactions as the lossiest point, and every user finishes at least
+one transaction at the acceptance mix.
+"""
+
+import json
+from pathlib import Path
+
+from repro.faults.matrix import run_fault_cell
+
+from conftest import emit
+
+ALGORITHMS = ("bsd", "sendrecv", "sequent:h=19")
+
+#: (label, stationary loss, spec).  GE stationary loss is
+#: p_enter/(p_enter+p_exit) with the default bad_loss=1.0.
+LOSS_SWEEP = (
+    ("clean", 0.00, ""),
+    ("ge2", 0.02, "ge=0.01:0.49"),
+    ("ge5", 0.05, "ge=0.025:0.475"),
+    ("ge10", 0.10, "ge=0.05:0.45"),
+    ("ge20", 0.20, "ge=0.1:0.4"),
+    ("ge10mix", 0.10, "ge=0.05:0.45,reorder=0.02:0.005,dup=0.02"),
+)
+
+N_USERS = 12
+DURATION = 20.0
+SEED = 7
+
+_RESULTS = {}  # algorithm -> [point dicts], dumped by the last test
+
+
+def _run_curve(algorithm_spec):
+    points = []
+    for label, loss, spec in LOSS_SWEEP:
+        cell = run_fault_cell(
+            algorithm_spec,
+            label,
+            spec,
+            SEED,
+            n_users=N_USERS,
+            duration=DURATION,
+            think_mean=2.0,
+        )
+        assert cell.error == "", (
+            f"{algorithm_spec}/{label}: exception escaped: {cell.error}"
+        )
+        assert not cell.audit_violations, (
+            f"{algorithm_spec}/{label}: {cell.audit_violations}"
+        )
+        points.append(
+            {
+                "mix": label,
+                "stationary_loss": loss,
+                "spec": spec,
+                "transactions": cell.transactions,
+                "users_completed": cell.users_completed,
+                "n_users": cell.n_users,
+                "completion_rate": cell.completion_rate,
+                "mean_examined": round(cell.mean_examined, 3),
+                "faults_injected": cell.faults_injected,
+            }
+        )
+    _RESULTS[algorithm_spec] = points
+    width = max(len(p["mix"]) for p in points)
+    lines = [
+        f"  {p['mix']:<{width}}  loss={p['stationary_loss']:.0%}"
+        f"  txns={p['transactions']:>4}"
+        f"  users={p['users_completed']}/{p['n_users']}"
+        f"  mean_examined={p['mean_examined']:.2f}"
+        for p in points
+    ]
+    emit(f"fault degradation: {algorithm_spec}", "\n".join(lines))
+    return points
+
+
+def _assert_graceful(points):
+    by_mix = {p["mix"]: p for p in points}
+    # More loss means fewer completed transactions, never a collapse
+    # to zero: goodput bends, the stack does not break.
+    assert by_mix["clean"]["transactions"] >= by_mix["ge20"]["transactions"]
+    assert by_mix["ge20"]["transactions"] > 0
+    # The acceptance mix: every non-blackholed user gets through.
+    assert by_mix["ge10mix"]["completion_rate"] == 1.0
+
+
+def test_bsd_degradation_curve():
+    _assert_graceful(_run_curve("bsd"))
+
+
+def test_sendrecv_degradation_curve():
+    _assert_graceful(_run_curve("sendrecv"))
+
+
+def test_sequent_degradation_curve():
+    _assert_graceful(_run_curve("sequent:h=19"))
+
+
+def test_write_bench_json():
+    """Dump the curves next to the other benchmark artifacts."""
+    assert set(_RESULTS) == set(ALGORITHMS)
+    payload = {
+        "benchmark": "bench_faults",
+        "n_users": N_USERS,
+        "duration": DURATION,
+        "seed": SEED,
+        "sweep": [
+            {"mix": label, "stationary_loss": loss, "spec": spec}
+            for label, loss, spec in LOSS_SWEEP
+        ],
+        "curves": _RESULTS,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("fault degradation: artifact", f"  wrote {path}")
+    assert json.loads(path.read_text())["curves"]

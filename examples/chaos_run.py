@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Chaos tour: fault injection, a SYN flood, and the PCB-leak audit.
+
+Three acts:
+
+1. The TPC/A full-stack workload under a hostile mix -- ~10% bursty
+   (Gilbert-Elliott) loss plus reordering, duplication, and bit
+   corruption -- showing goodput bending while the audit stays clean,
+   and that the same seed replays the identical fault schedule.
+2. A SYN flood against a bounded PCB table, under both overflow
+   policies, showing why evicting embryonic connections protects
+   legitimate clients where reject-new starves them.
+3. A malformed byte stream straight into the inbound path: every frame
+   parses or is counted as a ``corrupt`` drop, and the server still
+   accepts a real connection afterwards.
+
+Run:  python examples/chaos_run.py
+"""
+
+from repro.core import BSDDemux, SequentDemux
+from repro.faults import audit_stack, describe_models, parse_fault_spec
+from repro.workload import (
+    MalformedStreamWorkload,
+    SynFloodWorkload,
+    TPCAConfig,
+    TPCAFullStackSimulation,
+)
+
+CHAOS = "ge=0.05:0.45,reorder=0.02:0.005,dup=0.02,corrupt=0.005"
+
+
+def act_one_chaos_under_load() -> None:
+    print("=== act 1: TPC/A under chaos " + "=" * 40)
+    config = TPCAConfig(n_users=20, duration=30.0, warmup=5.0, seed=11)
+
+    digests = []
+    for attempt in ("first", "replay"):
+        models = parse_fault_spec(CHAOS)
+        simulation = TPCAFullStackSimulation(
+            config, SequentDemux(19), fault_models=models
+        )
+        simulation.run()
+        digests.append(simulation.injector.schedule_digest())
+        if attempt == "first":
+            print(f"fault pipeline: {describe_models(models)}")
+            print(f"  {simulation.injector.summary()}")
+            print(f"  transactions: {simulation.transactions_completed},"
+                  f" users completed:"
+                  f" {simulation.users_completed}/{config.n_users}")
+            drops = {k: v for k, v in simulation.server.drops.items() if v}
+            print(f"  server drops: {drops or 'none'}")
+            audit = audit_stack(simulation.server)
+            print(f"  {audit.describe()}")
+            assert audit.ok, "chaos must never leak PCBs"
+
+    print(f"  schedule digest: {digests[0][:16]}...")
+    assert digests[0] == digests[1], "same seed must replay the same chaos"
+    print("  replay with the same seed: identical digest, as promised")
+
+
+def act_two_syn_flood() -> None:
+    print("\n=== act 2: SYN flood vs. overflow policy " + "=" * 28)
+    for policy in ("reject-new", "evict-oldest-embryonic"):
+        result = SynFloodWorkload(
+            algorithm=BSDDemux(),
+            syn_rate=150.0,
+            duration=5.0,
+            legit_clients=5,
+            max_connections=16,
+            overflow_policy=policy,
+            seed=4,
+        ).run()
+        print(f"{policy:>24}: {result.summary()}")
+    print("  eviction recycles half-open slots; real handshakes finish in"
+          " milliseconds and slip through the flood")
+
+
+def act_three_malformed_stream() -> None:
+    print("\n=== act 3: malformed byte stream " + "=" * 36)
+    # Build a bare server the same way the SYN flood workload does.
+    flood = SynFloodWorkload(algorithm=BSDDemux(), seed=9)
+    server = flood.server
+    result = MalformedStreamWorkload(server, frames=400, seed=9).run()
+    print(f"  {result.summary()}")
+    assert result.corrupt_drops + result.parsed_ok == result.delivered
+    # The inbound path is not wedged: a real client can still connect.
+    server.listen(80)
+    from repro.tcpstack import HostStack
+
+    client = HostStack(flood.sim, flood.network, "10.0.1.200", BSDDemux())
+    established = []
+    client.connect(str(server.address), 80,
+                   on_establish=established.append)
+    flood.sim.run(until=flood.sim.now + 1.0)
+    print(f"  post-stream handshake: "
+          f"{'ESTABLISHED' if established else 'FAILED'}")
+    assert established
+
+
+def main() -> None:
+    act_one_chaos_under_load()
+    act_two_syn_flood()
+    act_three_malformed_stream()
+    print("\nall three acts ended with the stack intact: nothing raised,"
+          " nothing leaked")
+
+
+if __name__ == "__main__":
+    main()

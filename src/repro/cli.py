@@ -7,6 +7,7 @@ Subcommands::
     validate              run the simulation-vs-analytic check
     simulate              one workload run against one algorithm
     compare               algorithm matrix over one workload
+    fault-matrix          robustness campaign: algorithms x faults x seeds
     hash-balance          chain-balance comparison of the hash functions
     pcap                  summarize a capture written by the simulator
     run-all               write every artifact into an output directory
@@ -84,6 +85,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="exponential",
     )
     simulate.add_argument(
+        "--full-stack",
+        action="store_true",
+        help="run real TCP stacks over the simulated network",
+    )
+    simulate.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "fault-injection spec, e.g."
+            " 'ge=0.05:0.45,reorder=0.02:0.005,dup=0.02'"
+            " (implies --full-stack)"
+        ),
+    )
+    simulate.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="bound the server's PCB table (full-stack only)",
+    )
+    simulate.add_argument(
+        "--overflow-policy",
+        choices=("reject-new", "evict-oldest-embryonic"),
+        default="reject-new",
+        help="what a full bounded table does with new SYNs",
+    )
+    simulate.add_argument(
         "--trace-out",
         metavar="PATH",
         help="write a JSONL event trace (lookups, inserts, sim dispatch)",
@@ -125,6 +152,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--users", type=int, default=300)
     compare.add_argument("--seed", type=int, default=1)
+
+    matrix = sub.add_parser(
+        "fault-matrix",
+        help="robustness campaign: algorithms x fault mixes x seeds",
+    )
+    matrix.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help="algorithm specs (default: bsd sendrecv sequent:h=19)",
+    )
+    matrix.add_argument(
+        "--mixes",
+        nargs="+",
+        default=None,
+        help=(
+            "standard mix names (clean iid5 ge10 chaos) or custom"
+            " name=SPEC entries"
+        ),
+    )
+    matrix.add_argument("--seeds", nargs="+", type=int, default=[1])
+    matrix.add_argument("--users", type=int, default=20)
+    matrix.add_argument("--duration", type=float, default=30.0)
+    matrix.add_argument("--max-connections", type=int, default=None)
+    matrix.add_argument(
+        "--overflow-policy",
+        choices=("reject-new", "evict-oldest-embryonic"),
+        default="reject-new",
+    )
+    matrix.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write fault_matrix.txt and fault_matrix.json into DIR",
+    )
 
     balance = sub.add_parser(
         "hash-balance", help="hash function balance comparison"
@@ -206,7 +268,20 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         think_model=make_think_model(args.think_model),
     )
-    simulation = TPCADemuxSimulation(config, algorithm)
+    full_stack = args.full_stack or bool(args.faults)
+    if full_stack:
+        from .faults.config import parse_fault_spec
+        from .workload.tpca import TPCAFullStackSimulation
+
+        simulation = TPCAFullStackSimulation(
+            config,
+            algorithm,
+            fault_models=parse_fault_spec(args.faults or ""),
+            max_connections=args.max_connections,
+            overflow_policy=args.overflow_policy,
+        )
+    else:
+        simulation = TPCADemuxSimulation(config, algorithm)
 
     tracer = None
     if args.trace_out:
@@ -226,6 +301,23 @@ def _cmd_simulate(args) -> int:
     print(result.summary())
     print(f"  max examined: {result.max_examined}")
     print(f"  structure: {algorithm.describe()}")
+    if full_stack:
+        from .faults.audit import audit_stack
+
+        server = simulation.server
+        print(
+            f"  transactions: {simulation.transactions_completed},"
+            f" users completed: {simulation.users_completed}/{args.users}"
+        )
+        drops = ", ".join(f"{k}={v}" for k, v in server.drops.items())
+        print(f"  drops: {drops}")
+        if simulation.injector is not None:
+            print(f"  {simulation.injector.summary()}")
+            print(f"  fault digest: {simulation.injector.schedule_digest()}")
+        audit = audit_stack(server)
+        print(f"  {audit.describe()}")
+        if not audit.ok:
+            return 1
 
     if profiler is not None:
         print(f"  profile: {profiler.report().render()}")
@@ -243,6 +335,16 @@ def _cmd_simulate(args) -> int:
         sim_gauges.set(simulation.sim.now, name="virtual_time_seconds")
         sim_gauges.set(args.users, name="users")
         sim_gauges.set(args.seed, name="seed")
+        if full_stack:
+            from .faults.metrics import publish_injector, publish_stack
+
+            publish_stack(
+                registry,
+                simulation.server,
+                host=str(simulation.server.address),
+            )
+            if simulation.injector is not None:
+                publish_injector(registry, simulation.injector)
         if profiler is not None:
             report = profiler.report()
             profile_gauges = registry.gauge(
@@ -309,6 +411,57 @@ def _cmd_compare(args) -> int:
             f" {result.cache_hit_rate:>9.2%}"
         )
     return 0
+
+
+def _cmd_fault_matrix(args) -> int:
+    import os
+
+    from .faults.config import STANDARD_MIXES, FaultSpecError
+    from .faults.matrix import DEFAULT_ALGORITHMS, run_fault_matrix
+
+    standard = dict(STANDARD_MIXES)
+    if args.mixes:
+        mixes = []
+        for entry in args.mixes:
+            if entry in standard:
+                mixes.append((entry, standard[entry]))
+            elif "=" in entry:
+                name, _, spec = entry.partition("=")
+                mixes.append((name, spec))
+            else:
+                known = ", ".join(standard)
+                raise FaultSpecError(
+                    f"unknown mix {entry!r}; known: {known} (or name=SPEC)"
+                )
+    else:
+        mixes = list(STANDARD_MIXES)
+
+    result = run_fault_matrix(
+        algorithms=args.algorithms or DEFAULT_ALGORITHMS,
+        mixes=mixes,
+        seeds=args.seeds,
+        n_users=args.users,
+        duration=args.duration,
+        max_connections=args.max_connections,
+        overflow_policy=args.overflow_policy,
+        progress=lambda cell: print(
+            f"  ... {cell.algorithm} / {cell.mix} / seed {cell.seed}:"
+            f" {'ok' if cell.ok else 'FAIL'}",
+            file=sys.stderr,
+        ),
+    )
+    text = result.render_text()
+    print(text)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        txt_path = os.path.join(args.out, "fault_matrix.txt")
+        json_path = os.path.join(args.out, "fault_matrix.json")
+        with open(txt_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"report written to {txt_path} and {json_path}")
+    return 0 if result.ok else 1
 
 
 def _cmd_hash_balance(args) -> int:
@@ -395,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": lambda: _cmd_validate(args),
         "simulate": lambda: _cmd_simulate(args),
         "compare": lambda: _cmd_compare(args),
+        "fault-matrix": lambda: _cmd_fault_matrix(args),
         "hash-balance": lambda: _cmd_hash_balance(args),
         "pcap": lambda: _cmd_pcap(args),
         "run-all": lambda: _cmd_run_all(args),

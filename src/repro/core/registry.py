@@ -82,6 +82,8 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
             nchains = int(params.pop("h"))
         if "hash" in params:
             kwargs["hash_function"] = get_hash_function(params.pop("hash"))
+        if name == "sequent" and "overload" in params:
+            kwargs["overload_threshold"] = int(params.pop("overload"))
         if name == "hashed_mtf" and "cache" in params:
             kwargs["per_chain_cache"] = params.pop("cache").lower() in (
                 "1",

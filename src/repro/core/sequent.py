@@ -55,23 +55,50 @@ class SequentDemux(DemuxAlgorithm):
         self,
         nchains: int = DEFAULT_HASH_CHAINS,
         hash_function: HashFunction = default_hash,
+        *,
+        overload_threshold: Optional[int] = None,
     ):
         super().__init__()
         if nchains <= 0:
             raise ValueError(f"nchains must be positive, got {nchains}")
+        if overload_threshold is not None and overload_threshold < 1:
+            raise ValueError(
+                f"overload_threshold must be >= 1, got {overload_threshold}"
+            )
         self._nchains = nchains
         self._hash = hash_function
         self._chains = [_Chain() for _ in range(nchains)]
         self._tuples = set()
+        #: Chain population beyond which an insert counts as an
+        #: overload event -- the adversarial-load signal (a skewed or
+        #: attacked key distribution piling PCBs onto few chains).
+        #: ``None`` disables detection.
+        self._overload_threshold = overload_threshold
+        #: Inserts that left a chain above the threshold.
+        self.chain_overload_events = 0
 
     @property
     def nchains(self) -> int:
         """H, the number of hash chains."""
         return self._nchains
 
+    @property
+    def overload_threshold(self) -> Optional[int]:
+        return self._overload_threshold
+
     def chain_lengths(self) -> Sequence[int]:
         """Current per-chain PCB counts (for balance reporting)."""
         return tuple(len(chain.pcbs) for chain in self._chains)
+
+    def overloaded_chains(self) -> Sequence[int]:
+        """Indices of chains currently above the overload threshold."""
+        if self._overload_threshold is None:
+            return ()
+        return tuple(
+            index
+            for index, chain in enumerate(self._chains)
+            if len(chain.pcbs) > self._overload_threshold
+        )
 
     def chain_of(self, tup: FourTuple) -> int:
         """Which chain ``tup`` hashes to."""
@@ -83,6 +110,11 @@ class SequentDemux(DemuxAlgorithm):
         chain = self._chains[self.chain_of(pcb.four_tuple)]
         chain.pcbs.insert(0, pcb)
         self._tuples.add(pcb.four_tuple)
+        if (
+            self._overload_threshold is not None
+            and len(chain.pcbs) > self._overload_threshold
+        ):
+            self.chain_overload_events += 1
 
     def _remove(self, tup: FourTuple) -> PCB:
         if tup not in self._tuples:

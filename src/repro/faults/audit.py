@@ -1,0 +1,88 @@
+"""Post-run invariant audits: did the stack survive *cleanly*?
+
+Fault campaigns are only meaningful if the absence of a crash implies
+the absence of damage.  :func:`audit_stack` checks the structural
+invariants a :class:`~repro.tcpstack.stack.HostStack` must uphold no
+matter what the network did to it:
+
+* the demux structure's ``__len__`` agrees with iteration (no
+  algorithm-internal bookkeeping drift);
+* no four-tuple appears twice (duplicate PCBs shadow each other and
+  corrupt lookup statistics);
+* no PCB belongs to a CLOSED endpoint (a leak: teardown ran but the
+  table entry survived);
+* with a bounded table, occupancy never exceeds ``max_connections``.
+
+The result is a :class:`PCBAudit` report rather than an assertion so
+the fault matrix can aggregate violations across a whole campaign and
+the chaos CI job can print every failure before exiting nonzero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..tcpstack.endpoint import TCPEndpoint
+from ..tcpstack.stack import HostStack
+from ..tcpstack.states import TCPState
+
+__all__ = ["PCBAudit", "audit_stack"]
+
+
+@dataclasses.dataclass
+class PCBAudit:
+    """Outcome of one post-run table audit."""
+
+    host: str
+    table_len: int
+    iterated: int
+    violations: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        lines = [f"audit {self.host}: {self.table_len} PCBs, {status}"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def audit_stack(stack: HostStack, *, expect_empty: bool = False) -> PCBAudit:
+    """Audit one host's PCB table; see the module docstring for checks.
+
+    ``expect_empty=True`` additionally flags any surviving PCB -- the
+    right setting after a run whose every connection was closed.
+    """
+    pcbs = list(stack.table)
+    audit = PCBAudit(
+        host=str(stack.address),
+        table_len=len(stack.table),
+        iterated=len(pcbs),
+    )
+    if audit.table_len != audit.iterated:
+        audit.violations.append(
+            f"__len__ says {audit.table_len} but iteration"
+            f" yields {audit.iterated}"
+        )
+    seen = set()
+    for pcb in pcbs:
+        tup = pcb.four_tuple
+        if tup in seen:
+            audit.violations.append(f"duplicate PCB for {tup}")
+        seen.add(tup)
+        endpoint = pcb.user_data
+        if isinstance(endpoint, TCPEndpoint) and endpoint.state is TCPState.CLOSED:
+            audit.violations.append(f"leaked PCB for CLOSED endpoint {tup}")
+    limit = stack.table.max_connections
+    if limit is not None and audit.iterated > limit:
+        audit.violations.append(
+            f"table over capacity: {audit.iterated} > {limit}"
+        )
+    if expect_empty and pcbs:
+        audit.violations.append(
+            f"expected empty table, found {len(pcbs)} PCB(s)"
+        )
+    return audit

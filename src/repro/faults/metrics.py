@@ -1,0 +1,143 @@
+"""Fault and drop counters exported through :mod:`repro.obs`.
+
+Two delta-publishing exporters in the style of
+:class:`repro.obs.metrics.DemuxStatsExporter`:
+
+* :class:`StackFaultExporter` publishes a host's inbound-drop taxonomy
+  (``packet_drops_total{reason="corrupt"|...}``) plus its bounded-table
+  counters and current occupancy;
+* :class:`InjectorExporter` publishes what the fault pipeline *did*
+  (``faults_injected_total{fault=...,action=...}``) and folds injected
+  losses into the same ``packet_drops_total`` family under
+  ``reason="injected-loss"`` so one metric answers "where did my
+  packets go?".
+
+Repeated ``publish()`` calls add only the delta since the previous
+call, keeping counters monotonic.  The :func:`publish_stack` and
+:func:`publish_injector` helpers cover the common end-of-run,
+publish-once case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "StackFaultExporter",
+    "InjectorExporter",
+    "publish_stack",
+    "publish_injector",
+]
+
+#: Metric family shared by stack drops and injected losses.
+DROPS_METRIC = "packet_drops_total"
+FAULTS_METRIC = "faults_injected_total"
+
+
+class StackFaultExporter:
+    """Publishes a ``HostStack``'s drop taxonomy and table pressure."""
+
+    def __init__(self, registry: MetricsRegistry, *, host: str = ""):
+        self.host = host
+        self._drops = registry.counter(
+            DROPS_METRIC, "inbound packets dropped, by taxonomy reason"
+        )
+        self._rejections = registry.counter(
+            "pcb_overflow_rejections_total",
+            "connection attempts refused by a full bounded PCB table",
+        )
+        self._evictions = registry.counter(
+            "pcb_embryonic_evictions_total",
+            "embryonic connections evicted to admit new ones",
+        )
+        self._table_size = registry.gauge(
+            "pcb_table_size", "current established-connection PCB count"
+        )
+        self._last_drops: Dict[str, int] = {}
+        self._last_rejections = 0
+        self._last_evictions = 0
+
+    def _labels(self, **extra: str) -> Dict[str, str]:
+        labels = dict(extra)
+        if self.host:
+            labels["host"] = self.host
+        return labels
+
+    def publish(self, stack) -> None:
+        for reason, count in stack.drops.items():
+            prev = self._last_drops.get(reason, 0)
+            if count < prev:
+                prev = 0  # counters were reset
+            self._drops.inc(count - prev, **self._labels(reason=reason))
+            self._last_drops[reason] = count
+        table = stack.table
+        rejections = table.overflow_rejections
+        evictions = table.embryonic_evictions
+        if rejections < self._last_rejections:
+            self._last_rejections = 0
+        if evictions < self._last_evictions:
+            self._last_evictions = 0
+        self._rejections.inc(rejections - self._last_rejections, **self._labels())
+        self._evictions.inc(evictions - self._last_evictions, **self._labels())
+        self._last_rejections = rejections
+        self._last_evictions = evictions
+        self._table_size.set(len(table), **self._labels())
+
+
+class InjectorExporter:
+    """Publishes a ``FaultInjector``'s per-model action counts."""
+
+    def __init__(self, registry: MetricsRegistry, *, host: str = ""):
+        self.host = host
+        self._faults = registry.counter(
+            FAULTS_METRIC, "fault-pipeline actions, by model and action"
+        )
+        self._drops = registry.counter(
+            DROPS_METRIC, "inbound packets dropped, by taxonomy reason"
+        )
+        self._seen = registry.counter(
+            "fault_packets_seen_total", "packets judged by the fault pipeline"
+        )
+        self._last_counts: Dict[Tuple[str, str], int] = {}
+        self._last_dropped = 0
+        self._last_seen = 0
+
+    def _labels(self, **extra: str) -> Dict[str, str]:
+        labels = dict(extra)
+        if self.host:
+            labels["host"] = self.host
+        return labels
+
+    def publish(self, injector) -> None:
+        for (model, action), count in injector.counts.items():
+            prev = self._last_counts.get((model, action), 0)
+            if count < prev:
+                prev = 0
+            self._faults.inc(
+                count - prev, **self._labels(fault=model, action=action)
+            )
+            self._last_counts[(model, action)] = count
+        dropped = injector.packets_dropped
+        seen = injector.packets_seen
+        if dropped < self._last_dropped:
+            self._last_dropped = 0
+        if seen < self._last_seen:
+            self._last_seen = 0
+        self._drops.inc(
+            dropped - self._last_dropped, **self._labels(reason="injected-loss")
+        )
+        self._seen.inc(seen - self._last_seen, **self._labels())
+        self._last_dropped = dropped
+        self._last_seen = seen
+
+
+def publish_stack(registry: MetricsRegistry, stack, *, host: str = "") -> None:
+    """One-shot export of a stack's drop/table counters (end of run)."""
+    StackFaultExporter(registry, host=host).publish(stack)
+
+
+def publish_injector(registry: MetricsRegistry, injector, *, host: str = "") -> None:
+    """One-shot export of an injector's fault counts (end of run)."""
+    InjectorExporter(registry, host=host).publish(injector)

@@ -34,7 +34,12 @@ class Host(Protocol):
 
 
 class Link:
-    """A point-to-point link with one-way delay and FIFO ordering."""
+    """A point-to-point link with one-way delay and FIFO ordering.
+
+    ``loss_rate == 1.0`` is a blackhole: every packet is counted and
+    dropped, and no rng is required (total loss needs no dice).  Rates
+    strictly between 0 and 1 draw from ``rng`` per packet.
+    """
 
     def __init__(
         self,
@@ -49,9 +54,9 @@ class Link:
             raise ValueError(f"delay must be non-negative, got {delay}")
         if jitter < 0:
             raise ValueError(f"jitter must be non-negative, got {jitter}")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
-        if (jitter > 0.0 or loss_rate > 0.0) and rng is None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
+        if (jitter > 0.0 or 0.0 < loss_rate < 1.0) and rng is None:
             raise ValueError("jitter/loss need an rng stream")
         self._sim = sim
         self._delay = delay
@@ -66,20 +71,45 @@ class Link:
     def delay(self) -> float:
         return self._delay
 
-    def transmit(self, packet: Packet, deliver: Callable[[Packet], None]) -> None:
-        """Schedule delivery of ``packet`` after the link delay."""
-        self.packets_sent += 1
-        if self._loss_rate and self._rng.random() < self._loss_rate:
-            self.packets_dropped += 1
-            return
-        latency = self._delay
+    def _drops_packet(self) -> bool:
+        """Per-packet link-level loss decision."""
+        if not self._loss_rate:
+            return False
+        if self._loss_rate >= 1.0:  # blackhole
+            return True
+        return self._rng.random() < self._loss_rate
+
+    def _schedule_delivery(
+        self,
+        packet,
+        deliver: Callable[[Packet], None],
+        *,
+        extra_delay: float = 0.0,
+        fifo: bool = True,
+    ) -> None:
+        """Schedule one delivery after the link latency (plus jitter).
+
+        ``fifo=False`` exempts this delivery from the FIFO clamp -- the
+        fault injector uses it for delay-spike reordering, where a held
+        packet is meant to be overtaken by its successors.
+        """
+        latency = self._delay + extra_delay
         if self._jitter:
             latency += self._rng.uniform(0.0, self._jitter)
         arrival = self._sim.now + latency
-        # FIFO: a jittered packet never overtakes its predecessor.
-        arrival = max(arrival, self._last_arrival)
-        self._last_arrival = arrival
+        if fifo:
+            # FIFO: a jittered packet never overtakes its predecessor.
+            arrival = max(arrival, self._last_arrival)
+            self._last_arrival = arrival
         self._sim.schedule_at(arrival, deliver, packet)
+
+    def transmit(self, packet: Packet, deliver: Callable[[Packet], None]) -> None:
+        """Schedule delivery of ``packet`` after the link delay."""
+        self.packets_sent += 1
+        if self._drops_packet():
+            self.packets_dropped += 1
+            return
+        self._schedule_delivery(packet, deliver)
 
 
 class Network:
@@ -87,11 +117,21 @@ class Network:
 
     ``default_delay`` is the one-way latency used for hosts attached
     without an explicit link, i.e. D/2 for the paper's round-trip D.
+    ``link_factory(sim, delay)``, when given, builds those default
+    links instead -- the hook the fault injector uses to put a
+    :class:`~repro.faults.injector.FaultyLink` in front of every host.
     """
 
-    def __init__(self, sim: Simulator, *, default_delay: float = 0.0005):
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        default_delay: float = 0.0005,
+        link_factory: Optional[Callable[[Simulator, float], Link]] = None,
+    ):
         self._sim = sim
         self._default_delay = default_delay
+        self._link_factory = link_factory
         self._hosts: Dict[IPv4Address, Host] = {}
         self._links: Dict[IPv4Address, Link] = {}
         self.packets_delivered = 0
@@ -103,7 +143,12 @@ class Network:
         if addr in self._hosts:
             raise ValueError(f"address {addr} already attached")
         self._hosts[addr] = host
-        self._links[addr] = link or Link(self._sim, self._default_delay)
+        if link is None:
+            if self._link_factory is not None:
+                link = self._link_factory(self._sim, self._default_delay)
+            else:
+                link = Link(self._sim, self._default_delay)
+        self._links[addr] = link
 
     def detach(self, address: Union[str, IPv4Address]) -> None:
         address = IPv4Address(address)

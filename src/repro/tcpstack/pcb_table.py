@@ -13,29 +13,78 @@ wildcard-matched during the one scan; separating the tables keeps the
 measured algorithms exactly as the paper models them (exact 96-bit
 match), and the listener probe is not charged to the demux statistics.
 DESIGN.md records this choice.
+
+The table can be *bounded* (``max_connections``), which a production
+demultiplexer needs to survive connection storms: a full table either
+rejects new connections (``overflow_policy="reject-new"``) or makes
+room by evicting the oldest *embryonic* connection -- one still in
+handshake, the SYN-flood signature -- via
+``overflow_policy="evict-oldest-embryonic"``.  Established connections
+are never evicted.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterator, Optional, Tuple
 
-from ..core.base import DemuxAlgorithm, LookupResult
+from ..core.base import DemuxAlgorithm, DemuxError, LookupResult
 from ..core.pcb import PCB
 from ..core.stats import PacketKind
 from ..packet.addresses import FourTuple, IPv4Address
 
-__all__ = ["ListenerKey", "PCBTable"]
+__all__ = [
+    "EMBRYONIC_STATES",
+    "ListenerKey",
+    "OVERFLOW_POLICIES",
+    "PCBTable",
+    "TableFullError",
+]
 
 #: (local address or None for wildcard, local port)
 ListenerKey = Tuple[Optional[IPv4Address], int]
+
+#: Connection states that have not completed a handshake; these are the
+#: only eviction candidates under ``evict-oldest-embryonic``.
+EMBRYONIC_STATES = frozenset({"LISTEN", "SYN_SENT", "SYN_RCVD"})
+
+OVERFLOW_POLICIES = ("reject-new", "evict-oldest-embryonic")
+
+
+class TableFullError(DemuxError):
+    """Raised when inserting into a bounded table at capacity."""
 
 
 class PCBTable:
     """Established-connection demux + listener lookup for one host."""
 
-    def __init__(self, algorithm: DemuxAlgorithm):
+    def __init__(
+        self,
+        algorithm: DemuxAlgorithm,
+        *,
+        max_connections: Optional[int] = None,
+        overflow_policy: str = "reject-new",
+    ):
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow_policy!r};"
+                f" known: {', '.join(OVERFLOW_POLICIES)}"
+            )
         self._algorithm = algorithm
         self._listeners: Dict[ListenerKey, object] = {}
+        self.max_connections = max_connections
+        self.overflow_policy = overflow_policy
+        #: Inserts refused because the table was full (reject-new, or
+        #: evict policy with no embryonic victim available).
+        self.overflow_rejections = 0
+        #: Embryonic connections evicted to admit new ones.
+        self.embryonic_evictions = 0
+        self._insert_seq = itertools.count()
+        self._order: Dict[FourTuple, int] = {}
 
     @property
     def algorithm(self) -> DemuxAlgorithm:
@@ -44,11 +93,48 @@ class PCBTable:
 
     # -- established connections -----------------------------------------
 
+    @property
+    def is_full(self) -> bool:
+        return (
+            self.max_connections is not None
+            and len(self._algorithm) >= self.max_connections
+        )
+
+    def embryonic_victim(self) -> Optional[PCB]:
+        """The oldest-inserted embryonic PCB, or ``None``.
+
+        O(N) scan; only runs when a bounded table is full, where
+        shedding work dominates the scan cost anyway.
+        """
+        victim: Optional[PCB] = None
+        victim_seq = 0
+        for pcb in self._algorithm:
+            if pcb.state not in EMBRYONIC_STATES:
+                continue
+            seq = self._order.get(pcb.four_tuple, -1)
+            if victim is None or seq < victim_seq:
+                victim, victim_seq = pcb, seq
+        return victim
+
     def insert(self, pcb: PCB) -> None:
+        """Install a PCB; raises :class:`TableFullError` at capacity.
+
+        Callers wanting the eviction policy (the stack's SYN path)
+        check :attr:`is_full` and evict *before* inserting -- the
+        table itself never tears down live endpoints.
+        """
+        if self.is_full:
+            self.overflow_rejections += 1
+            raise TableFullError(
+                f"PCB table full ({self.max_connections} connections)"
+            )
         self._algorithm.insert(pcb)
+        self._order[pcb.four_tuple] = next(self._insert_seq)
 
     def remove(self, tup: FourTuple) -> PCB:
-        return self._algorithm.remove(tup)
+        pcb = self._algorithm.remove(tup)
+        self._order.pop(tup, None)
+        return pcb
 
     def lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
         """The cost-accounted lookup the paper studies."""

@@ -13,6 +13,13 @@ path the whole reproduction is about:
 Outbound packets update the algorithm's send-side knowledge
 (:meth:`~repro.core.base.DemuxAlgorithm.note_send`), which is what the
 Partridge/Pink cache keys on.
+
+Robustness contract (exercised by :mod:`repro.faults`): ``deliver``
+never lets a parsing error escape into the simulator event loop.  Raw
+bytes that fail IP/TCP parsing or checksum verification are counted
+and dropped, and every drop is classified into a small taxonomy
+(:data:`DROP_REASONS`) that :func:`repro.faults.metrics.publish_stack`
+exports through the observability registry.
 """
 
 from __future__ import annotations
@@ -24,8 +31,8 @@ from ..core.base import DemuxAlgorithm
 from ..core.pcb import PCB
 from ..core.stats import PacketKind
 from ..packet.addresses import FourTuple, IPv4Address
-from ..packet.builder import Packet
-from ..packet.ip import IPv4Header
+from ..packet.builder import Packet, parse_packet
+from ..packet.ip import IPv4Header, PacketError
 from ..packet.tcp import TCPFlags, TCPSegment
 from ..sim.engine import Simulator
 from ..sim.network import Network
@@ -35,9 +42,15 @@ from .listener import Listener
 from .pcb_table import PCBTable
 from .states import TCPState
 
-__all__ = ["HostStack"]
+__all__ = ["DROP_REASONS", "HostStack"]
 
 _EPHEMERAL_BASE = 49152
+
+#: The inbound drop taxonomy.  "corrupt": bytes that failed parsing or
+#: checksum; "no-listener": SYN with no (or refusing) listener;
+#: "table-full": SYN shed because the bounded PCB table was at
+#: capacity; "bad-state": non-SYN segment matching no connection.
+DROP_REASONS = ("corrupt", "no-listener", "table-full", "bad-state")
 
 
 class HostStack:
@@ -53,11 +66,17 @@ class HostStack:
         mss: int = 536,
         tracer: Optional[Tracer] = None,
         delayed_ack: bool = False,
+        max_connections: Optional[int] = None,
+        overflow_policy: str = "reject-new",
     ):
         self.sim = sim
         self.network = network
         self._address = IPv4Address(address)
-        self.table = PCBTable(algorithm)
+        self.table = PCBTable(
+            algorithm,
+            max_connections=max_connections,
+            overflow_policy=overflow_policy,
+        )
         self._tracer = tracer or Tracer(enabled=False)
         self._mss = mss
         self._delayed_ack = delayed_ack
@@ -70,6 +89,8 @@ class HostStack:
         self.demux_drops = 0
         self.resets_sent = 0
         self.out_of_order = 0
+        #: Inbound drops classified by :data:`DROP_REASONS`.
+        self.drops = {reason: 0 for reason in DROP_REASONS}
         network.attach(self)
 
     # -- Host protocol ------------------------------------------------------
@@ -83,9 +104,29 @@ class HostStack:
         """The pluggable PCB-lookup algorithm under study."""
         return self.table.algorithm
 
-    def deliver(self, packet: Packet) -> None:
-        """The inbound path: demultiplex, then run the state machine."""
+    def drop(self, reason: str, detail: str = "") -> None:
+        """Count one inbound drop under the given taxonomy reason."""
+        if reason not in self.drops:
+            raise ValueError(f"unknown drop reason {reason!r}")
+        self.drops[reason] += 1
+        self.trace("drop", detail or reason, reason=reason)
+
+    def deliver(self, packet: Union[Packet, bytes, bytearray, memoryview]) -> None:
+        """The inbound path: demultiplex, then run the state machine.
+
+        Accepts either an in-memory :class:`Packet` (the fast path the
+        simulations use) or raw bytes off the wire, which are parsed
+        with full checksum verification.  Malformed or corrupted bytes
+        are counted (``drops["corrupt"]``) and dropped -- a
+        ``PacketError`` never propagates into the simulator event loop.
+        """
         self.packets_received += 1
+        if isinstance(packet, (bytes, bytearray, memoryview)):
+            try:
+                packet = parse_packet(bytes(packet))
+            except PacketError as exc:
+                self.drop("corrupt", f"unparseable inbound bytes: {exc}")
+                return
         segment = packet.tcp
         kind = PacketKind.ACK if segment.is_pure_ack else PacketKind.DATA
         tup = packet.four_tuple
@@ -104,6 +145,7 @@ class HostStack:
             self._handle_listener_syn(packet, tup)
             return
         self.demux_drops += 1
+        self.drop("bad-state", f"stray segment {tup}")
         if not segment.is_rst:
             self._send_reset(packet)
 
@@ -111,8 +153,20 @@ class HostStack:
 
     def _handle_listener_syn(self, packet: Packet, tup: FourTuple) -> None:
         listener = self.table.find_listener(tup.local_addr, tup.local_port)
-        if listener is None or not listener.admit():
+        if listener is None:
             self.demux_drops += 1
+            self.drop("no-listener", f"SYN for {tup}")
+            self._send_reset(packet)
+            return
+        if self.table.is_full and not self._make_room():
+            # Shed the SYN silently (no RST): under a SYN flood an
+            # answer per refused SYN would double the attack's cost.
+            self.demux_drops += 1
+            self.drop("table-full", f"SYN for {tup}")
+            return
+        if not listener.admit():
+            self.demux_drops += 1
+            self.drop("no-listener", f"SYN refused (backlog) for {tup}")
             self._send_reset(packet)
             return
         self.demux_misses_to_listener += 1
@@ -141,6 +195,28 @@ class HostStack:
     def _close_callback(listener: Listener, endpoint: TCPEndpoint) -> None:
         if listener.on_close:
             listener.on_close(endpoint)
+
+    def _make_room(self) -> bool:
+        """Try to free one table slot for a new connection.
+
+        Under ``evict-oldest-embryonic``, the oldest handshake-phase
+        connection is aborted (RST to its peer, timers cancelled, PCB
+        removed via the normal teardown path).  Established connections
+        are never evicted.  Returns True if a slot is now free.
+        """
+        if self.table.overflow_policy != "evict-oldest-embryonic":
+            return False
+        victim = self.table.embryonic_victim()
+        if victim is None:
+            return False
+        self.table.embryonic_evictions += 1
+        self.trace("evict", f"{victim.four_tuple}", state=victim.state)
+        endpoint = victim.user_data
+        if isinstance(endpoint, TCPEndpoint):
+            endpoint.abort()  # teardown removes the PCB via forget()
+        else:
+            self.table.remove(victim.four_tuple)
+        return not self.table.is_full
 
     def listen(
         self,

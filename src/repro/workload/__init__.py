@@ -6,6 +6,14 @@ paper's 2,000 users) or through the full TCP stack -- and returns a
 :class:`WorkloadResult` snapshot of the lookup statistics.
 """
 
+from .adversarial import (
+    ChurnStormResult,
+    ChurnStormWorkload,
+    MalformedStreamResult,
+    MalformedStreamWorkload,
+    SynFloodResult,
+    SynFloodWorkload,
+)
 from .base import WorkloadResult
 from .churn import ChurnConfig, ChurnWorkload
 from .mixed import MixedConfig, MixedWorkload
@@ -28,8 +36,14 @@ from .trains import PacketTrainWorkload, TrainConfig
 
 __all__ = [
     "ChurnConfig",
+    "ChurnStormResult",
+    "ChurnStormWorkload",
     "ChurnWorkload",
     "DeterministicThink",
+    "MalformedStreamResult",
+    "MalformedStreamWorkload",
+    "SynFloodResult",
+    "SynFloodWorkload",
     "ExponentialThink",
     "MixedConfig",
     "MixedWorkload",

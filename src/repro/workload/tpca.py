@@ -214,6 +214,9 @@ class TPCAFullStackSimulation:
         algorithm: DemuxAlgorithm,
         *,
         client_algorithm_factory=None,
+        fault_models=None,
+        max_connections=None,
+        overflow_policy: str = "reject-new",
     ):
         from ..core.bsd import BSDDemux
 
@@ -221,12 +224,41 @@ class TPCAFullStackSimulation:
         self.algorithm = algorithm
         self.sim = Simulator()
         bind_tracer_clock(algorithm, self.sim)
-        self.network = Network(self.sim, default_delay=config.round_trip / 2.0)
         self._rngs = RngRegistry(config.seed)
+        #: Fault pipeline, when the run is adversarial.  Imported
+        #: lazily so the base workload keeps its import graph clean.
+        self.injector = None
+        link_factory = None
+        if fault_models:
+            from ..faults.injector import FaultInjector, FaultyLink
+
+            injector = FaultInjector(
+                self.sim, fault_models, rng_registry=self._rngs.spawn("faults")
+            )
+            self.injector = injector
+
+            def link_factory(sim, delay):
+                return FaultyLink(sim, delay, injector=injector)
+
+        self.network = Network(
+            self.sim,
+            default_delay=config.round_trip / 2.0,
+            link_factory=link_factory,
+        )
         self._client_factory = client_algorithm_factory or BSDDemux
-        self.server = HostStack(self.sim, self.network, SERVER_ADDRESS, algorithm)
+        self.server = HostStack(
+            self.sim,
+            self.network,
+            SERVER_ADDRESS,
+            algorithm,
+            max_connections=max_connections,
+            overflow_policy=overflow_policy,
+        )
         self.clients: List[HostStack] = []
         self.transactions_completed = 0
+        #: Completed transactions per user index -- the fault matrix's
+        #: goodput signal ("did every non-blackholed user get through?").
+        self.transactions_by_user: List[int] = [0] * config.n_users
         self._connected = 0
         #: User-perceived response times (query sent -> response
         #: received), for the TPC/A validity rule: at least 90% of
@@ -247,10 +279,12 @@ class TPCAFullStackSimulation:
             # server's listener is not hit by N simultaneous SYNs.
             start = index * (1.0 / max(cfg.n_users, 1))
             self.sim.schedule(
-                start, self._connect_user, client, tup, think_rng
+                start, self._connect_user, index, client, tup, think_rng
             )
 
-    def _connect_user(self, client: HostStack, tup: FourTuple, think_rng) -> None:
+    def _connect_user(
+        self, index: int, client: HostStack, tup: FourTuple, think_rng
+    ) -> None:
         # Per-endpoint timestamp of the in-flight query, for response
         # time measurement (one outstanding transaction per user).
         pending = {"sent_at": None}
@@ -264,6 +298,7 @@ class TPCAFullStackSimulation:
         def on_data(endpoint, data: bytes) -> None:
             # Response received: think, then enter the next transaction.
             self.transactions_completed += 1
+            self.transactions_by_user[index] += 1
             if pending["sent_at"] is not None:
                 self.response_times.append(self.sim.now - pending["sent_at"])
                 pending["sent_at"] = None
@@ -301,6 +336,11 @@ class TPCAFullStackSimulation:
         """TPC/A validity: >= 90% of transactions within two seconds."""
         return self.response_time_percentile(0.90) <= 2.0
 
+    @property
+    def users_completed(self) -> int:
+        """Users with at least one measured completed transaction."""
+        return sum(1 for count in self.transactions_by_user if count > 0)
+
     def _server_on_data(self, endpoint, data: bytes) -> None:
         # "Database processing" takes R; then the response goes out.
         self.sim.schedule(
@@ -322,6 +362,7 @@ class TPCAFullStackSimulation:
         self.sim.run(until=settle)
         self.algorithm.stats.reset()
         self.transactions_completed = 0
+        self.transactions_by_user = [0] * cfg.n_users
         self.response_times.clear()
         self.sim.run(until=settle + cfg.duration)
         return WorkloadResult.from_algorithm(

@@ -1,0 +1,109 @@
+"""Satellite (c): RTO backoff, clamping, and post-recovery reset.
+
+The blackhole is simulated by detaching the server from the network:
+every packet toward it is counted ``packets_to_nowhere`` and dropped,
+so the client's retransmission timer is the only thing still running.
+"""
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.tcpstack.stack import HostStack
+from repro.tcpstack.states import TCPState
+
+_MIN_RTO = 0.2
+_MAX_RTO = 60.0
+
+
+def establish():
+    """Server + client with one established connection, endpoint returned."""
+    sim = Simulator()
+    net = Network(sim, default_delay=0.0005)
+    server = HostStack(sim, net, "10.0.0.1", BSDDemux())
+    server.listen(80)
+    client = HostStack(sim, net, "10.0.1.1", BSDDemux())
+    endpoint = client.connect("10.0.0.1", 80)
+    sim.run(until=1.0)
+    assert endpoint.state is TCPState.ESTABLISHED
+    return sim, net, server, client, endpoint
+
+
+class TestBackoff:
+    def test_rto_starts_at_floor_on_fast_lan(self):
+        sim, net, server, client, ep = establish()
+        # Handshake RTT ~1 ms: Jacobson's estimate clamps to the floor.
+        assert ep.pcb.rto == pytest.approx(_MIN_RTO)
+
+    def test_backoff_doubles_per_fire(self):
+        sim, net, server, client, ep = establish()
+        net.detach("10.0.0.1")
+        base = ep.pcb.rto
+        ep.send(b"hello?")
+        observed = []
+        t = sim.now
+        for _ in range(4):
+            t += ep.pcb.rto  # current rto is the wait until the next fire
+            sim.run(until=t + 1e-6)
+            observed.append(ep.pcb.rto)
+        assert observed == pytest.approx(
+            [base * 2, base * 4, base * 8, base * 16]
+        )
+
+    def test_backoff_clamps_at_max_rto(self):
+        sim, net, server, client, ep = establish()
+        net.detach("10.0.0.1")
+        # Natural doubling from 0.2 s would exhaust retries before the
+        # clamp matters; preset the timer near the ceiling instead.
+        ep.pcb.rto = 40.0
+        ep.send(b"x")
+        sim.run(until=sim.now + 40.0 + 1e-6)
+        assert ep.pcb.rto == _MAX_RTO  # min(80, 60)
+        sim.run(until=sim.now + 60.0 + 1e-6)
+        assert ep.pcb.rto == _MAX_RTO  # stays pinned
+
+    def test_aborts_after_max_retries(self):
+        sim, net, server, client, ep = establish()
+        net.detach("10.0.0.1")
+        ep.send(b"doomed")
+        # 9 fires at waits 0.2*2^0 .. 0.2*2^8 sum to ~102 s.
+        sim.run(until=sim.now + 150.0)
+        assert ep.aborted
+        assert ep.state is TCPState.CLOSED
+        # The dead connection was reaped from the client's table.
+        assert len(client.table) == 0
+
+
+class TestRecovery:
+    def test_rto_resets_from_srtt_after_recovery(self):
+        sim, net, server, client, ep = establish()
+        net.detach("10.0.0.1")
+        ep.send(b"retry me")
+        sim.run(until=sim.now + 2.0)  # a few backoffs: rto is inflated
+        inflated = ep.pcb.rto
+        assert inflated > _MIN_RTO
+
+        net.attach(server)  # fresh default link: the outage is over
+        sim.run(until=sim.now + inflated + 1.0)
+        # The retransmission got through and was acked, but Karn's rule
+        # means its ack carries no RTT sample: rto is still inflated.
+        assert not ep._unacked
+        assert ep._retries == 0
+
+        ep.send(b"fresh sample")
+        sim.run(until=sim.now + 1.0)
+        # First clean (non-retransmitted) sample re-runs Jacobson and
+        # collapses the timer back to the floor for this fast LAN.
+        assert ep.pcb.rto == pytest.approx(_MIN_RTO)
+
+    def test_connection_survives_transient_blackhole(self):
+        sim, net, server, client, ep = establish()
+        net.detach("10.0.0.1")
+        ep.send(b"persistent")
+        sim.run(until=sim.now + 1.5)
+        net.attach(server)
+        sim.run(until=sim.now + 5.0)
+        assert ep.state is TCPState.ESTABLISHED
+        assert not ep.aborted
+        assert not ep._unacked  # the data was eventually acknowledged

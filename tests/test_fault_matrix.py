@@ -1,0 +1,162 @@
+"""Tests for the fault matrix runner and the faults CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.config import STANDARD_MIXES, FaultSpecError, parse_fault_spec
+from repro.faults.matrix import (
+    FaultMatrixResult,
+    run_fault_cell,
+    run_fault_matrix,
+)
+
+# Small-but-real dimensions: one algorithm per family would be slow for
+# every test, so most use a single cell and one test runs a 2x2 grid.
+FAST = dict(n_users=6, duration=8.0, think_mean=1.0)
+
+
+class TestFaultSpec:
+    def test_standard_mixes_parse(self):
+        for name, spec in STANDARD_MIXES:
+            parse_fault_spec(spec)  # must not raise
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec("gremlins=0.5")
+
+    def test_empty_spec_is_clean(self):
+        assert parse_fault_spec("") == []
+
+
+class TestRunFaultCell:
+    def test_clean_cell_completes(self):
+        cell = run_fault_cell("bsd", "clean", "", 1, **FAST)
+        assert cell.ok, cell.error or cell.audit_violations
+        assert cell.transactions > 0
+        assert cell.users_completed == cell.n_users == 6
+        assert cell.faults_injected == 0
+
+    def test_lossy_cell_still_passes_audit(self):
+        cell = run_fault_cell("sequent:h=19", "ge10", "ge=0.05:0.45", 1,
+                              **FAST)
+        assert cell.ok, cell.error or cell.audit_violations
+        assert cell.faults_injected > 0
+        assert cell.drops.get("injected", 0) >= 0
+
+    def test_cell_dict_round_trips_to_json(self):
+        cell = run_fault_cell("bsd", "ge10", "ge=0.05:0.45", 2, **FAST)
+        payload = json.loads(json.dumps(cell.to_dict()))
+        assert payload["algorithm"] == "bsd"
+        assert payload["ok"] is True
+        assert payload["fault_digest"]  # non-empty: faults were scheduled
+
+    def test_determinism_identical_cells(self):
+        """Same seed + same fault config => byte-identical schedule."""
+        spec = "ge=0.05:0.45,reorder=0.02:0.005,dup=0.02"
+        a = run_fault_cell("bsd", "mix", spec, 7, **FAST)
+        b = run_fault_cell("bsd", "mix", spec, 7, **FAST)
+        assert a.fault_digest == b.fault_digest
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        spec = "ge=0.05:0.45"
+        a = run_fault_cell("bsd", "ge10", spec, 1, **FAST)
+        b = run_fault_cell("bsd", "ge10", spec, 2, **FAST)
+        assert a.fault_digest != b.fault_digest
+
+
+class TestRunFaultMatrix:
+    def test_grid_shape_and_verdict(self):
+        result = run_fault_matrix(
+            algorithms=("bsd", "sequent:h=19"),
+            mixes=(("clean", ""), ("ge5", "ge=0.025:0.475")),
+            seeds=(1,),
+            **FAST,
+        )
+        assert isinstance(result, FaultMatrixResult)
+        assert len(result.cells) == 4
+        assert result.ok, [c.error for c in result.failures]
+        text = result.render_text()
+        assert "verdict: PASS" in text
+        assert "bsd" in text and "sequent:h=19" in text
+        payload = json.loads(result.to_json())
+        assert len(payload["cells"]) == 4
+
+    def test_progress_callback_fires(self):
+        seen = []
+        run_fault_matrix(
+            algorithms=("bsd",),
+            mixes=(("clean", ""),),
+            seeds=(1,),
+            progress=seen.append,
+            **FAST,
+        )
+        assert seen  # one line per cell
+
+
+class TestFaultsCLI:
+    def test_simulate_with_faults(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "6",
+             "--duration", "8", "--faults", "ge=0.025:0.475,dup=0.02",
+             "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fault digest:" in out
+        assert "audit 10.0.0.1" in out and "OK" in out
+
+    def test_simulate_full_stack_no_faults(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "6",
+             "--duration", "8", "--full-stack"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "users completed" in out
+
+    def test_simulate_faults_metrics_export(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "6",
+             "--duration", "8", "--faults", "ge=0.05:0.45",
+             "--metrics-out", str(path)]
+        )
+        assert code == 0
+        snapshot = json.loads(path.read_text())
+        assert "packet_drops_total" in snapshot
+        assert "faults_injected_total" in snapshot
+        reasons = {
+            sample["labels"].get("reason")
+            for sample in snapshot["packet_drops_total"]["samples"]
+        }
+        assert "injected-loss" in reasons
+
+    def test_fault_matrix_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(
+            ["fault-matrix", "--algorithms", "bsd",
+             "--mixes", "clean", "ge10", "--seeds", "1",
+             "--users", "6", "--duration", "8", "--out", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verdict: PASS" in out
+        assert (out_dir / "fault_matrix.txt").exists()
+        payload = json.loads((out_dir / "fault_matrix.json").read_text())
+        assert payload["ok"] is True
+        assert len(payload["cells"]) == 2
+
+    def test_fault_matrix_inline_mix_spec(self, capsys):
+        code = main(
+            ["fault-matrix", "--algorithms", "bsd",
+             "--mixes", "custom=loss=0.02", "--seeds", "1",
+             "--users", "6", "--duration", "8"]
+        )
+        assert code == 0, capsys.readouterr().out
+
+    def test_fault_matrix_unknown_mix(self):
+        with pytest.raises(FaultSpecError):
+            main(["fault-matrix", "--mixes", "nonsense"])

@@ -1,0 +1,203 @@
+"""Tests for the composable fault models."""
+
+import random
+
+import pytest
+
+from repro.faults.models import (
+    Blackhole,
+    Corrupt,
+    Duplicate,
+    FaultPlan,
+    GilbertElliottLoss,
+    IIDLoss,
+    LinkFlap,
+    Reorder,
+    describe_models,
+)
+from repro.sim.engine import Simulator
+
+
+def bound(model, seed=1, sim=None):
+    model.bind(random.Random(seed), sim or Simulator())
+    return model
+
+
+def judge_many(model, n=10000):
+    dropped = 0
+    for _ in range(n):
+        plan = FaultPlan()
+        model.apply(plan, object())
+        if plan.drop:
+            dropped += 1
+    return dropped
+
+
+class TestFaultPlan:
+    def test_fresh_plan_is_unfaulted(self):
+        plan = FaultPlan()
+        assert not plan.faulted
+        assert plan.signature() == "d=0:-,r=0.000000000,u=0,c=0"
+
+    def test_any_touch_marks_faulted(self):
+        for attr, value in (
+            ("drop", True),
+            ("extra_delay", 0.01),
+            ("duplicates", 1),
+            ("corrupt_bits", 2),
+        ):
+            plan = FaultPlan()
+            setattr(plan, attr, value)
+            assert plan.faulted
+
+    def test_signatures_distinguish_plans(self):
+        a, b = FaultPlan(), FaultPlan()
+        a.duplicates = 1
+        b.corrupt_bits = 1
+        assert a.signature() != b.signature()
+
+
+class TestIIDLoss:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            IIDLoss(1.5)
+        with pytest.raises(ValueError):
+            IIDLoss(-0.1)
+
+    def test_zero_rate_never_drops(self):
+        assert judge_many(bound(IIDLoss(0.0))) == 0
+
+    def test_full_rate_always_drops(self):
+        assert judge_many(bound(IIDLoss(1.0)), 100) == 100
+
+    def test_empirical_rate_near_nominal(self):
+        dropped = judge_many(bound(IIDLoss(0.1)))
+        assert 800 <= dropped <= 1200  # 10% of 10,000, generous CI
+
+    def test_respects_prior_drop(self):
+        model = bound(IIDLoss(1.0))
+        plan = FaultPlan()
+        plan.drop = True
+        plan.drop_by = "upstream"
+        model.apply(plan, object())
+        assert plan.drop_by == "upstream"
+
+
+class TestGilbertElliott:
+    def test_stationary_rate_formula(self):
+        model = GilbertElliottLoss(0.05, 0.45)
+        assert model.stationary_loss_rate == pytest.approx(0.1)
+        partial = GilbertElliottLoss(0.05, 0.45, bad_loss=0.5)
+        assert partial.stationary_loss_rate == pytest.approx(0.05)
+
+    def test_empirical_rate_near_stationary(self):
+        model = bound(GilbertElliottLoss(0.05, 0.45))
+        dropped = judge_many(model, 20000)
+        assert 0.07 <= dropped / 20000 <= 0.13
+
+    def test_losses_are_bursty(self):
+        """Consecutive drops far exceed what i.i.d. loss would produce."""
+        model = bound(GilbertElliottLoss(0.02, 0.25))
+        runs, current = [], 0
+        for _ in range(20000):
+            plan = FaultPlan()
+            model.apply(plan, object())
+            if plan.drop:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        # Mean burst length ~ 1/p_exit = 4; i.i.d. would give ~1.08.
+        assert sum(runs) / len(runs) > 2.0
+
+    def test_chain_advances_even_when_already_dropped(self):
+        model = bound(GilbertElliottLoss(0.5, 0.1))
+        for _ in range(200):
+            plan = FaultPlan()
+            plan.drop = True
+            model.apply(plan, object())
+        assert model.bad_packets > 0
+
+
+class TestReorderDuplicateCorrupt:
+    def test_reorder_adds_spike(self):
+        model = bound(Reorder(1.0, spike=0.02))
+        plan = FaultPlan()
+        model.apply(plan, object())
+        assert plan.extra_delay == pytest.approx(0.02)
+        assert not plan.drop
+
+    def test_reorder_spike_validation(self):
+        with pytest.raises(ValueError):
+            Reorder(0.1, spike=0.0)
+
+    def test_duplicate_accumulates_copies(self):
+        model = bound(Duplicate(1.0, copies=2))
+        plan = FaultPlan()
+        model.apply(plan, object())
+        model.apply(plan, object())
+        assert plan.duplicates == 4
+
+    def test_corrupt_sets_bits(self):
+        model = bound(Corrupt(1.0, bits=3))
+        plan = FaultPlan()
+        model.apply(plan, object())
+        assert plan.corrupt_bits == 3
+
+    def test_dropped_packets_not_touched(self):
+        plan = FaultPlan()
+        plan.drop = True
+        for model in (
+            bound(Reorder(1.0)),
+            bound(Duplicate(1.0)),
+            bound(Corrupt(1.0)),
+        ):
+            model.apply(plan, object())
+        assert plan.extra_delay == 0.0
+        assert plan.duplicates == 0
+        assert plan.corrupt_bits == 0
+
+
+class TestWindowedModels:
+    def test_blackhole_window(self):
+        sim = Simulator()
+        model = bound(Blackhole(5.0, 10.0), sim=sim)
+        sim.schedule(6.0, lambda: None)
+        sim.run(until=6.0)
+        plan = FaultPlan()
+        model.apply(plan, object())
+        assert plan.drop and plan.drop_by == "blackhole"
+
+    def test_blackhole_outside_window(self):
+        sim = Simulator()
+        model = bound(Blackhole(5.0, 10.0), sim=sim)
+        plan = FaultPlan()
+        model.apply(plan, object())  # t=0, before the window
+        assert not plan.drop
+
+    def test_blackhole_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Blackhole(5.0, 5.0)
+
+    def test_flap_phase(self):
+        sim = Simulator()
+        model = bound(LinkFlap(4.0, 0.25), sim=sim)
+        assert not model.active  # t=0: up (first 75% of period)
+        sim.schedule(3.5, lambda: None)
+        sim.run(until=3.5)
+        assert model.active  # last 25% of the 4 s period
+
+    def test_flap_validation(self):
+        with pytest.raises(ValueError):
+            LinkFlap(0.0, 0.5)
+        with pytest.raises(ValueError):
+            LinkFlap(4.0, 1.5)
+
+
+class TestDescribe:
+    def test_pipeline_description(self):
+        text = describe_models([IIDLoss(0.1), Duplicate(0.05)])
+        assert "loss" in text and "dup" in text and "->" in text
+
+    def test_empty_pipeline(self):
+        assert describe_models([]) == "(none)"

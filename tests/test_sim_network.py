@@ -70,11 +70,26 @@ class TestLink:
 
     @pytest.mark.parametrize(
         "kwargs",
-        [dict(delay=-0.1), dict(delay=0.1, loss_rate=1.0)],
+        [
+            dict(delay=-0.1),
+            dict(delay=0.1, loss_rate=1.5),
+            # Partial loss needs randomness; total loss does not.
+            dict(delay=0.1, loss_rate=0.5),
+        ],
     )
     def test_bad_parameters_rejected(self, kwargs):
         with pytest.raises(ValueError):
             Link(Simulator(), **kwargs)
+
+    def test_total_loss_needs_no_rng(self):
+        """loss_rate=1.0 is a deterministic blackhole, no rng required."""
+        sim = Simulator()
+        link = Link(sim, delay=0.1, loss_rate=1.0)
+        delivered = []
+        link.transmit(object(), delivered.append)
+        sim.run()
+        assert delivered == []
+        assert link.packets_dropped == 1
 
 
 class TestNetwork:
