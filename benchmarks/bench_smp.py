@@ -1,0 +1,95 @@
+"""Sharded demultiplexing: does batching + sharding beat the paper's
+single structure?
+
+Runs the ``smp-sweep`` engine at the acceptance scale -- N=1000 TPC/A
+connections, hash steering, shard counts 1..8, coalescing batches of
+64 -- and asserts the SMP contract on the results:
+
+* hash steering keeps the shard-load imbalance factor <= 1.25 at 8
+  shards;
+* mean SMP cost (memory operations per packet, including steering,
+  locking, queueing, and migration) is monotonically non-increasing in
+  shard count;
+* batch-sorted coalescing strictly reduces mean PCBs examined versus
+  unbatched delivery for both BSD and Sequent structures;
+* the combination -- 8 shards + batch 64 -- beats the unsharded,
+  unbatched baseline outright, for both structures, under the *same*
+  cost formula (the baseline is priced as one shard with zero steering
+  cost).
+
+Results are written to ``BENCH_smp.json`` at the repository root.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.smp import SMPSweepConfig, run_smp_sweep
+
+from conftest import emit
+
+ALGORITHMS = ("bsd", "sequent:h=19")
+N_USERS = 1000
+DURATION = 30.0
+SEED = 7
+TOP_SHARDS = 8
+TOP_BATCH = 64
+
+CONFIG = SMPSweepConfig(
+    algorithms=ALGORITHMS,
+    n_connections=N_USERS,
+    duration=DURATION,
+    shard_counts=(1, 2, 4, TOP_SHARDS),
+    steerings=("hash",),
+    batch_sizes=(1, TOP_BATCH),
+    seeds=(SEED,),
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = run_smp_sweep(CONFIG)
+    emit("smp sweep (hash steering)", result.render_text())
+    return result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_batching_plus_sharding_beats_unsharded_baseline(sweep, algorithm):
+    baseline = sweep.cell(algorithm=algorithm, nshards=0, batch_size=1)
+    combined = sweep.cell(
+        algorithm=algorithm,
+        nshards=TOP_SHARDS,
+        steering="hash",
+        batch_size=TOP_BATCH,
+    )
+    assert combined["mean_cost_ops"] < baseline["mean_cost_ops"], (
+        f"{algorithm}: sharding+batching {combined['mean_cost_ops']:.2f}"
+        f" ops/pkt did not beat baseline {baseline['mean_cost_ops']:.2f}"
+    )
+    assert combined["mean_examined"] < baseline["mean_examined"]
+
+
+def test_imbalance_bounded_for_hash_steering(sweep):
+    for check in sweep.criteria()["imbalance_hash_top_shards"]:
+        assert check["ok"], check
+        assert check["imbalance_factor"] <= 1.25
+
+
+def test_cost_monotone_in_shard_count(sweep):
+    for check in sweep.criteria()["cost_monotone_in_shards_hash"]:
+        assert check["ok"], check
+
+
+def test_coalescing_strictly_reduces_examined(sweep):
+    for check in sweep.criteria()["coalescing_strictly_reduces_examined"]:
+        assert check["ok"], check
+
+
+def test_write_bench_json(sweep):
+    """Dump the sweep next to the other benchmark artifacts."""
+    assert sweep.ok
+    path = Path(__file__).resolve().parent.parent / "BENCH_smp.json"
+    path.write_text(sweep.to_json() + "\n")
+    emit("smp sweep: artifact", f"  wrote {path}")
+    assert json.loads(path.read_text())["ok"] is True

@@ -8,6 +8,7 @@ Subcommands::
     simulate              one workload run against one algorithm
     compare               algorithm matrix over one workload
     fault-matrix          robustness campaign: algorithms x faults x seeds
+    smp-sweep             sharded demux: shard count x steering x batch size
     hash-balance          chain-balance comparison of the hash functions
     pcap                  summarize a capture written by the simulator
     run-all               write every artifact into an output directory
@@ -186,6 +187,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write fault_matrix.txt and fault_matrix.json into DIR",
+    )
+
+    smp = sub.add_parser(
+        "smp-sweep",
+        help="sharded demux sweep: shard count x steering x batch size",
+    )
+    smp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help="inner algorithm specs (default: bsd sequent:h=19)",
+    )
+    smp.add_argument("--users", type=int, default=1000)
+    smp.add_argument("--duration", type=float, default=30.0)
+    smp.add_argument(
+        "--shards",
+        nargs="+",
+        type=int,
+        default=None,
+        help="shard counts to sweep (default: 1 2 4 8)",
+    )
+    smp.add_argument(
+        "--steerings",
+        nargs="+",
+        default=None,
+        help="steering policies (default: hash rr sticky)",
+    )
+    smp.add_argument(
+        "--batch-sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="coalescing batch sizes, 1 = unbatched (default: 1 64)",
+    )
+    smp.add_argument("--seeds", nargs="+", type=int, default=[7])
+    smp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are identical for any value)",
+    )
+    smp.add_argument("--utilization", type=float, default=0.6)
+    smp.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write smp_sweep.txt and smp_sweep.json into DIR",
+    )
+    smp.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON payload to PATH (e.g. BENCH_smp.json)",
     )
 
     balance = sub.add_parser(
@@ -464,6 +518,47 @@ def _cmd_fault_matrix(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_smp_sweep(args) -> int:
+    from .smp.sweep import SMPSweepConfig, run_smp_sweep, write_sweep_artifacts
+
+    kwargs = {
+        "n_connections": args.users,
+        "duration": args.duration,
+        "seeds": tuple(args.seeds),
+        "jobs": args.jobs,
+        "utilization": args.utilization,
+    }
+    if args.algorithms:
+        kwargs["algorithms"] = tuple(args.algorithms)
+    if args.shards:
+        kwargs["shard_counts"] = tuple(args.shards)
+    if args.steerings:
+        kwargs["steerings"] = tuple(args.steerings)
+    if args.batch_sizes:
+        kwargs["batch_sizes"] = tuple(args.batch_sizes)
+    config = SMPSweepConfig(**kwargs)
+
+    result = run_smp_sweep(
+        config,
+        progress=lambda name: print(f"  ... {name}", file=sys.stderr),
+    )
+    print(result.render_text())
+    if args.out:
+        outdir = write_sweep_artifacts(
+            result, args.out, bench_path=args.bench_out
+        )
+        written = f"{outdir}/smp_sweep.txt and {outdir}/smp_sweep.json"
+        if args.bench_out:
+            written += f" (bench: {args.bench_out})"
+        print(f"report written to {written}")
+    elif args.bench_out:
+        import pathlib
+
+        pathlib.Path(args.bench_out).write_text(result.to_json() + "\n")
+        print(f"bench payload written to {args.bench_out}")
+    return 0 if result.ok else 1
+
+
 def _cmd_hash_balance(args) -> int:
     config = TPCAConfig(n_users=args.users)
     keys = [config.user_tuple(i) for i in range(args.users)]
@@ -549,6 +644,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": lambda: _cmd_simulate(args),
         "compare": lambda: _cmd_compare(args),
         "fault-matrix": lambda: _cmd_fault_matrix(args),
+        "smp-sweep": lambda: _cmd_smp_sweep(args),
         "hash-balance": lambda: _cmd_hash_balance(args),
         "pcap": lambda: _cmd_pcap(args),
         "run-all": lambda: _cmd_run_all(args),

@@ -65,11 +65,21 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
         make_algorithm("sequent:h=19,hash=xor_fold")
         make_algorithm("hashed_mtf:h=19,cache=no")
         make_algorithm("multicache:k=16")
+        make_algorithm("sharded-sequent:shards=8,steer=hash,h=19")
+
+    A ``sharded-`` prefix wraps any registered algorithm in a
+    :class:`repro.smp.ShardedDemux` of ``shards`` instances (default
+    8) behind a ``steer`` policy (``hash``, ``rr``, ``sticky``;
+    default ``hash``); remaining parameters go to the inner algorithm.
+    Existing CLI paths (``compare``, ``simulate``, ``fault-matrix``)
+    exercise sharded variants with no new plumbing.
 
     Raises ``ValueError`` for unknown names or parameters.
     """
     name, _, param_text = spec.partition(":")
     name = name.strip().lower()
+    if name.startswith("sharded-"):
+        return _make_sharded(name[len("sharded-"):], param_text)
     if name not in ALGORITHMS:
         known = ", ".join(available_algorithms())
         raise ValueError(f"unknown algorithm {name!r}; known: {known}")
@@ -109,6 +119,29 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
 
     _reject_leftovers(name, params)
     return ALGORITHMS[name]()
+
+
+def _make_sharded(inner_name: str, param_text: str) -> DemuxAlgorithm:
+    """Build ``sharded-<algo>``: pop shards/steer, forward the rest.
+
+    Imported lazily: ``repro.smp`` sits above ``repro.core`` in the
+    layering (it imports the base classes from here), so a module-level
+    import would be circular.
+    """
+    from ..smp.sharded import ShardedDemux
+    from ..smp.steering import make_steering
+
+    params = _parse_params(param_text)
+    nshards = int(params.pop("shards", "8"))
+    steering = make_steering(params.pop("steer", "hash"))
+    inner_params = ",".join(f"{key}={value}" for key, value in params.items())
+    inner_spec = f"{inner_name}:{inner_params}" if inner_params else inner_name
+    # Build one inner instance eagerly so a bad inner spec fails here,
+    # not from inside the shard factory.
+    make_algorithm(inner_spec)
+    return ShardedDemux(
+        lambda: make_algorithm(inner_spec), nshards, steering
+    )
 
 
 def _reject_leftovers(name: str, params: Dict[str, str]) -> None:

@@ -118,7 +118,15 @@ class KindStats:
         }
 
     def merge(self, other: "KindStats") -> None:
-        """Fold ``other``'s counters into this one."""
+        """Fold ``other``'s counters into this one.
+
+        Safe for cross-process aggregation: merging with an empty side
+        (in either direction) is an identity on every counter *and*
+        every derived value (mean, hit rate, percentiles), and merging
+        two streams is equivalent to having recorded both into one
+        object -- the histograms add bucket-wise, so percentiles stay
+        exact.  ``other`` is never mutated.
+        """
         self.lookups += other.lookups
         self.examined_total += other.examined_total
         self.cache_hits += other.cache_hits
@@ -126,6 +134,29 @@ class KindStats:
         self.max_examined = max(self.max_examined, other.max_examined)
         for examined, count in other.histogram.items():
             self.histogram[examined] = self.histogram.get(examined, 0) + count
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KindStats":
+        """Rebuild from an :meth:`as_dict` snapshot (JSON round trip).
+
+        Histogram keys come back as *strings* after a JSON round trip;
+        they must be restored to ints here or ``percentile()`` would
+        sort them lexically ("10" < "2") and report garbage quantiles.
+        This is the supported way to ship statistics across process
+        boundaries: workers send ``as_dict()``, the parent rebuilds and
+        :meth:`merge`\\ s.
+        """
+        return cls(
+            lookups=int(data["lookups"]),
+            examined_total=int(data["examined_total"]),
+            cache_hits=int(data["cache_hits"]),
+            not_found=int(data["not_found"]),
+            max_examined=int(data["max_examined"]),
+            histogram={
+                int(examined): int(count)
+                for examined, count in dict(data["histogram"]).items()
+            },
+        )
 
 
 class DemuxStats:
@@ -143,6 +174,27 @@ class DemuxStats:
         """Zero all counters (e.g. after a warm-up phase)."""
         for stats in self.by_kind.values():
             stats.reset()
+
+    def merge(self, other: "DemuxStats") -> None:
+        """Fold ``other`` into this one, kind by kind.
+
+        The cross-shard / cross-process aggregation primitive: shard
+        statistics (or per-worker snapshots rebuilt with
+        :meth:`from_dict`) merge into one object whose means, hit
+        rates, and percentiles equal those of a single combined stream.
+        """
+        for kind, stats in other.by_kind.items():
+            self.by_kind[kind].merge(stats)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DemuxStats":
+        """Rebuild from an :meth:`as_dict` snapshot (JSON round trip)."""
+        stats = cls()
+        by_kind = dict(data["by_kind"])
+        for kind in PacketKind:
+            if kind.value in by_kind:
+                stats.by_kind[kind] = KindStats.from_dict(by_kind[kind.value])
+        return stats
 
     # -- aggregate views -----------------------------------------------
 

@@ -9,7 +9,7 @@ network of fixed-latency links (:class:`Network`), and optional tracing
 from .engine import Event, SimulationError, Simulator
 from .network import Host, Link, Network
 from .pcap import PcapReader, PcapWriter, network_tap
-from .rng import RngRegistry
+from .rng import RngRegistry, derive_seed
 from .trace import TraceRecord, Tracer
 
 __all__ = [
@@ -24,5 +24,6 @@ __all__ = [
     "Simulator",
     "TraceRecord",
     "Tracer",
+    "derive_seed",
     "network_tap",
 ]

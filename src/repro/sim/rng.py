@@ -15,7 +15,22 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Stable 64-bit sub-seed from (master seed, stream name).
+
+    Uses SHA-256 rather than ``hash()`` so sub-seeds survive
+    interpreter restarts and PYTHONHASHSEED -- which also makes this
+    the seed-splitting primitive for *process-parallel* experiment
+    runners (:mod:`repro.smp.parallel`): every worker derives the same
+    per-task seed from the master, in any process, in any order.
+    """
+    if not isinstance(master_seed, int):
+        raise TypeError(f"seed must be an int, got {type(master_seed).__name__}")
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class RngRegistry:
@@ -42,15 +57,8 @@ class RngRegistry:
         return self._streams[name]
 
     def _derive(self, name: str) -> int:
-        """Stable 64-bit sub-seed from (master seed, stream name).
-
-        Uses SHA-256 rather than ``hash()`` so sub-seeds survive
-        interpreter restarts and PYTHONHASHSEED.
-        """
-        digest = hashlib.sha256(
-            f"{self._master_seed}:{name}".encode("utf-8")
-        ).digest()
-        return int.from_bytes(digest[:8], "big")
+        """Stable sub-seed for ``name`` (see :func:`derive_seed`)."""
+        return derive_seed(self._master_seed, name)
 
     def spawn(self, suffix: str) -> "RngRegistry":
         """A registry whose streams are all distinct from this one's.

@@ -1,0 +1,245 @@
+"""Analytic lock/cache-line contention model for sharded demultiplexing.
+
+McKenney & Dove wrote for Sequent's symmetric multiprocessors, where
+the figure of merit -- PCBs examined -- is a surrogate for *memory
+traffic*.  On an SMP the surrogate needs two more terms: the lock that
+serializes access to a shared structure, and the cache-line transfers
+that happen when a connection's PCB is touched by more than one CPU.
+This module generalizes "PCBs examined" to "memory operations on an
+SMP" with an explicit, tunable model:
+
+    per-packet ops  =  steer + lock + examined + wait + migrate
+
+* **steer** -- the steering function's own cost
+  (:attr:`~repro.smp.steering.SteeringFunction.cost_ops`).
+* **lock** -- :attr:`ContentionModel.lock_ops`: the uncontended
+  acquire/release of the shard's lock (two interlocked operations on
+  one cache line).
+* **examined** -- the paper's count, measured on the shard's
+  structure.
+* **wait** -- queueing/contention delay.  Each shard is modelled as an
+  M/M/1 server: if the system-wide offered load is a fraction ``u`` of
+  aggregate capacity and shard ``i`` receives a fraction ``f_i`` of
+  the packets, the shard's utilization is ``rho_i = u * S * f_i`` (a
+  perfectly balanced shard sits exactly at ``u``), and the expected
+  wait, expressed in the same memory-op units as the service itself,
+  is ``rho_i / (1 - rho_i)`` service times.  This is how imbalance
+  becomes cost: a hot shard's ``rho`` climbs toward 1 and its queue --
+  Sequent's lock convoy -- dominates.
+* **migrate** -- :attr:`ContentionModel.migration_ops` per flow
+  migration: when steering sends a flow's packet to a different shard
+  than the one holding its PCB, the PCB's cache lines (and the
+  structure bookkeeping around them) must transfer between CPUs.
+  Flow-stable steering never pays it; round-robin pays it almost every
+  packet.
+
+The model is deliberately coarse -- it prices *relative* choices
+(steering policies, shard counts, batch sizes) in one unit, it does not
+predict nanoseconds.  Pair it with :mod:`repro.core.costmodel` to turn
+memory operations into time estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "ContentionModel",
+    "ShardCost",
+    "SMPCostReport",
+    "DEFAULT_CONTENTION",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ContentionModel:
+    """Tunable constants of the SMP memory-operation model."""
+
+    #: Memory ops to acquire + release an uncontended shard lock.
+    lock_ops: float = 2.0
+    #: Memory ops charged when a flow's PCB must move between shards
+    #: (cache-line transfers plus the remove/re-insert bookkeeping).
+    migration_ops: float = 12.0
+    #: System-wide offered load as a fraction of aggregate capacity;
+    #: a perfectly balanced shard runs at exactly this utilization.
+    utilization: float = 0.6
+    #: Cap on any single shard's utilization, keeping the M/M/1 wait
+    #: finite when steering is badly skewed.
+    max_utilization: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.lock_ops < 0:
+            raise ValueError("lock_ops must be non-negative")
+        if self.migration_ops < 0:
+            raise ValueError("migration_ops must be non-negative")
+        if not 0.0 <= self.utilization < 1.0:
+            raise ValueError("utilization must be in [0, 1)")
+        if not self.utilization <= self.max_utilization < 1.0:
+            raise ValueError("max_utilization must be in [utilization, 1)")
+
+    def shard_utilization(self, load_fraction: float, nshards: int) -> float:
+        """``rho_i`` for a shard receiving ``load_fraction`` of packets."""
+        if load_fraction < 0:
+            raise ValueError("load_fraction must be non-negative")
+        if nshards <= 0:
+            raise ValueError("nshards must be positive")
+        return min(self.utilization * nshards * load_fraction, self.max_utilization)
+
+    def wait_ops(self, rho: float, service_ops: float) -> float:
+        """Expected M/M/1 queueing delay, in memory-op units."""
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"utilization must be in [0, 1), got {rho}")
+        return (rho / (1.0 - rho)) * service_ops
+
+
+#: The defaults every sweep and benchmark uses unless told otherwise.
+DEFAULT_CONTENTION = ContentionModel()
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardCost:
+    """One shard's contribution to the SMP cost breakdown."""
+
+    shard: int
+    lookups: int
+    load_fraction: float
+    occupancy: int
+    mean_examined: float
+    p99_examined: int
+    utilization: float
+    service_ops: float
+    wait_ops: float
+
+    @property
+    def per_packet_ops(self) -> float:
+        return self.service_ops + self.wait_ops
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "lookups": self.lookups,
+            "load_fraction": round(self.load_fraction, 6),
+            "occupancy": self.occupancy,
+            "mean_examined": round(self.mean_examined, 4),
+            "p99_examined": self.p99_examined,
+            "utilization": round(self.utilization, 4),
+            "service_ops": round(self.service_ops, 4),
+            "wait_ops": round(self.wait_ops, 4),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class SMPCostReport:
+    """The model applied to one measured run of a (sharded) structure.
+
+    ``mean_cost_ops`` is the headline: expected memory operations per
+    packet, the SMP generalization of mean PCBs examined.
+    """
+
+    nshards: int
+    steering: str
+    steer_ops: float
+    lookups: int
+    migrations: int
+    mean_examined: float
+    imbalance_factor: float
+    shards: Sequence[ShardCost]
+    model: ContentionModel
+
+    @property
+    def mean_cost_ops(self) -> float:
+        """Load-weighted expected memory operations per packet."""
+        if not self.lookups:
+            return 0.0
+        per_shard = sum(
+            shard.lookups * (self.steer_ops + shard.per_packet_ops)
+            for shard in self.shards
+        )
+        migration = self.migrations * self.model.migration_ops
+        return (per_shard + migration) / self.lookups
+
+    @property
+    def migration_rate(self) -> float:
+        """Flow migrations per packet (0 for flow-stable steering)."""
+        return self.migrations / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nshards": self.nshards,
+            "steering": self.steering,
+            "steer_ops": self.steer_ops,
+            "lookups": self.lookups,
+            "migrations": self.migrations,
+            "migration_rate": round(self.migration_rate, 6),
+            "mean_examined": round(self.mean_examined, 4),
+            "imbalance_factor": round(self.imbalance_factor, 4),
+            "mean_cost_ops": round(self.mean_cost_ops, 4),
+            "utilization": self.model.utilization,
+            "shards": [shard.as_dict() for shard in self.shards],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"S={self.nshards} steer={self.steering}:"
+            f" {self.mean_cost_ops:.2f} ops/pkt"
+            f" (examined {self.mean_examined:.2f},"
+            f" imbalance {self.imbalance_factor:.2f},"
+            f" migrations {self.migration_rate:.1%})"
+        )
+
+
+def build_report(
+    *,
+    nshards: int,
+    steering: str,
+    steer_ops: float,
+    migrations: int,
+    per_shard_lookups: Sequence[int],
+    per_shard_occupancy: Sequence[int],
+    per_shard_mean_examined: Sequence[float],
+    per_shard_p99: Sequence[int],
+    model: ContentionModel = DEFAULT_CONTENTION,
+) -> SMPCostReport:
+    """Assemble an :class:`SMPCostReport` from per-shard measurements.
+
+    Kept free of any demux-structure type so an unsharded baseline can
+    be priced through the same formula (one shard, no steering cost):
+    the comparison "sharded vs. not" is then internally consistent.
+    """
+    total = sum(per_shard_lookups)
+    shards: List[ShardCost] = []
+    for index, lookups in enumerate(per_shard_lookups):
+        fraction = lookups / total if total else 0.0
+        service = model.lock_ops + per_shard_mean_examined[index]
+        rho = model.shard_utilization(fraction, nshards) if lookups else 0.0
+        shards.append(
+            ShardCost(
+                shard=index,
+                lookups=lookups,
+                load_fraction=fraction,
+                occupancy=per_shard_occupancy[index],
+                mean_examined=per_shard_mean_examined[index],
+                p99_examined=per_shard_p99[index],
+                utilization=rho,
+                service_ops=service,
+                wait_ops=model.wait_ops(rho, service),
+            )
+        )
+    loads = [s.lookups for s in shards]
+    mean_load = total / len(loads) if loads else 0.0
+    imbalance = max(loads) / mean_load if total else 1.0
+    mean_examined = (
+        sum(s.lookups * s.mean_examined for s in shards) / total if total else 0.0
+    )
+    return SMPCostReport(
+        nshards=nshards,
+        steering=steering,
+        steer_ops=steer_ops,
+        lookups=total,
+        migrations=migrations,
+        mean_examined=mean_examined,
+        imbalance_factor=imbalance,
+        shards=tuple(shards),
+        model=model,
+    )

@@ -1,0 +1,65 @@
+"""Shard-level observability, published through :mod:`repro.obs`.
+
+One call exports everything an operator of a sharded demultiplexer
+watches: how full each shard is (occupancy gauge plus an exact
+occupancy histogram), how evenly traffic spreads (per-shard lookup
+loads and the imbalance factor, max/mean), how bad the tail is
+(per-shard p99 PCBs examined), and how often steering forced a PCB to
+migrate between shards.  Metrics follow the registry's labelling
+idiom -- one metric name, a ``shard`` label per sample -- so the
+Prometheus rendering groups naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs.metrics import MetricsRegistry
+from .sharded import ShardedDemux
+
+__all__ = ["publish_sharded"]
+
+
+def publish_sharded(
+    registry: MetricsRegistry,
+    sharded: ShardedDemux,
+    *,
+    algorithm: Optional[str] = None,
+) -> None:
+    """Publish one snapshot of a :class:`ShardedDemux` into ``registry``.
+
+    Gauges are set (last snapshot wins), so repeated publishing is safe
+    for both one-shot exports and periodic scrapes.
+    """
+    label = algorithm or sharded.name
+
+    occupancy = registry.gauge(
+        "smp_shard_occupancy", "PCBs resident per shard"
+    )
+    occupancy_histogram = registry.histogram(
+        "smp_shard_occupancy_distribution",
+        "distribution of per-shard PCB occupancy",
+    )
+    loads = registry.gauge(
+        "smp_shard_lookups", "lookups served per shard"
+    )
+    p99 = registry.gauge(
+        "smp_shard_p99_examined", "p99 PCBs examined per shard"
+    )
+    for index, count in enumerate(sharded.occupancy()):
+        occupancy.set(count, algorithm=label, shard=index)
+        occupancy_histogram.observe(count, algorithm=label)
+    for index, load in enumerate(sharded.shard_loads()):
+        loads.set(load, algorithm=label, shard=index)
+    for index, value in enumerate(sharded.per_shard_p99()):
+        p99.set(value, algorithm=label, shard=index)
+
+    registry.gauge(
+        "smp_imbalance_factor", "max/mean shard load (1.0 = perfect balance)"
+    ).set(sharded.imbalance_factor(), algorithm=label)
+    registry.gauge(
+        "smp_flow_migrations", "PCB moves forced by non-flow-stable steering"
+    ).set(sharded.flow_migrations, algorithm=label)
+    registry.gauge(
+        "smp_shards", "configured shard count"
+    ).set(sharded.nshards, algorithm=label)

@@ -1,0 +1,185 @@
+"""``ShardedDemux``: N independent demux structures behind one facade.
+
+The paper's structures are single instances; a receive-side-scaled host
+runs one instance per CPU and steers packets among them.  This wrapper
+makes that arrangement out of *any* registered algorithm: each shard is
+a private instance built by a factory, a :class:`SteeringFunction`
+names the shard for each packet, and the facade keeps the
+:class:`~repro.core.base.DemuxAlgorithm` contract, so everything that
+drives an algorithm (workloads, the full TCP stack, the fault matrix)
+drives a sharded one unchanged.
+
+Semantics are pinned to the unsharded structure: a lookup finds exactly
+the PCBs an unsharded instance would find.  For flow-stable steering
+this is free -- a flow's packets always reach the shard holding its
+PCB.  For unstable steering (round-robin) the wrapper keeps a home
+table (four-tuple -> shard, the flow-director table real NICs keep in
+hardware) and *migrates* the PCB to the steered shard before looking it
+up, modelling what an SMP actually does: the connection's state follows
+the CPU that processes it, one cache-line convoy at a time.  Migrations
+are counted and priced by :mod:`repro.smp.contention`; ``examined``
+stays a pure count of PCB touches, exactly as in the base convention.
+
+Statistics land in two places: each shard's own ``DemuxStats`` (the
+per-shard view -- occupancy, per-shard p99 -- that
+:func:`repro.smp.metrics.publish_sharded` exports) and the facade's
+aggregate stats, recorded by the base-class template method.
+:meth:`ShardedDemux.aggregated_stats` re-derives the aggregate from the
+shards via :meth:`~repro.core.stats.DemuxStats.merge`, which is also
+the path parallel sweeps use to combine per-process results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..core.base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
+from ..core.pcb import PCB
+from ..core.stats import DemuxStats, PacketKind
+from ..packet.addresses import FourTuple
+from .contention import ContentionModel, DEFAULT_CONTENTION, SMPCostReport, build_report
+from .steering import HashSteering, SteeringFunction, StickyFlowSteering
+
+__all__ = ["ShardedDemux"]
+
+
+class ShardedDemux(DemuxAlgorithm):
+    """N shards of one algorithm behind a steering function."""
+
+    def __init__(
+        self,
+        shard_factory: Callable[[], DemuxAlgorithm],
+        nshards: int,
+        steering: Optional[SteeringFunction] = None,
+    ):
+        super().__init__()
+        if nshards <= 0:
+            raise ValueError(f"nshards must be positive, got {nshards}")
+        self._shards: List[DemuxAlgorithm] = [
+            shard_factory() for _ in range(nshards)
+        ]
+        self.steering = steering if steering is not None else HashSteering()
+        #: Four-tuple -> index of the shard currently holding its PCB.
+        self._home: Dict[FourTuple, int] = {}
+        #: PCB moves forced by non-flow-stable steering.
+        self.flow_migrations = 0
+        self.name = f"sharded-{self._shards[0].name}"
+
+    # -- structure facade --------------------------------------------------
+
+    @property
+    def nshards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> Sequence[DemuxAlgorithm]:
+        """The shard instances (read-only view for inspection/tests)."""
+        return tuple(self._shards)
+
+    def shard_of(self, tup: FourTuple) -> int:
+        """Where ``tup``'s PCB currently lives (KeyError if absent)."""
+        return self._home[tup]
+
+    def _insert(self, pcb: PCB) -> None:
+        tup = pcb.four_tuple
+        if tup in self._home:
+            raise DuplicateConnectionError(f"duplicate connection {tup}")
+        shard = self.steering.shard_of(tup, self.nshards)
+        self._shards[shard].insert(pcb)
+        self._home[tup] = shard
+
+    def _remove(self, tup: FourTuple) -> PCB:
+        shard = self._home.pop(tup)  # KeyError when absent, per contract
+        if isinstance(self.steering, StickyFlowSteering):
+            self.steering.forget(tup)
+        return self._shards[shard].remove(tup)
+
+    def _note_send(self, pcb: PCB) -> None:
+        shard = self._home.get(pcb.four_tuple)
+        if shard is not None:
+            self._shards[shard].note_send(pcb)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        target = self.steering.shard_of(tup, self.nshards)
+        home = self._home.get(tup)
+        if home is not None and home != target:
+            # The steered CPU takes over the flow: its PCB (and cache
+            # lines) migrate.  Examined-count purity is preserved; the
+            # move is priced separately by the contention model.
+            pcb = self._shards[home].remove(tup)
+            self._shards[target].insert(pcb)
+            self._home[tup] = target
+            self.flow_migrations += 1
+        return self._shards[target].lookup(tup, kind)
+
+    def __len__(self) -> int:
+        return len(self._home)
+
+    def __iter__(self) -> Iterator[PCB]:
+        for shard in self._shards:
+            yield from shard
+
+    def __contains__(self, tup: FourTuple) -> bool:
+        return tup in self._home
+
+    # -- per-shard observability ------------------------------------------
+
+    def occupancy(self) -> Sequence[int]:
+        """PCBs resident per shard."""
+        return tuple(len(shard) for shard in self._shards)
+
+    def shard_loads(self) -> Sequence[int]:
+        """Lookups served per shard (includes cross-shard re-lookups)."""
+        return tuple(shard.stats.lookups for shard in self._shards)
+
+    def imbalance_factor(self) -> float:
+        """Max/mean shard load; 1.0 is perfect balance (and no traffic)."""
+        loads = self.shard_loads()
+        total = sum(loads)
+        if not total:
+            return 1.0
+        return max(loads) / (total / len(loads))
+
+    def per_shard_p99(self) -> Sequence[int]:
+        """p99 of each shard's search-length distribution."""
+        return tuple(
+            shard.stats.combined().percentile(0.99) for shard in self._shards
+        )
+
+    def aggregated_stats(self) -> DemuxStats:
+        """All shard statistics merged into one ``DemuxStats``."""
+        merged = DemuxStats()
+        for shard in self._shards:
+            merged.merge(shard.stats)
+        return merged
+
+    def reset_stats(self) -> None:
+        """Zero the facade's and every shard's counters together."""
+        self.stats.reset()
+        for shard in self._shards:
+            shard.stats.reset()
+        self.flow_migrations = 0
+
+    def cost_report(
+        self, model: ContentionModel = DEFAULT_CONTENTION
+    ) -> SMPCostReport:
+        """Price the measured run under the SMP contention model."""
+        return build_report(
+            nshards=self.nshards,
+            steering=self.steering.name,
+            steer_ops=self.steering.cost_ops,
+            migrations=self.flow_migrations,
+            per_shard_lookups=[s.stats.lookups for s in self._shards],
+            per_shard_occupancy=self.occupancy(),
+            per_shard_mean_examined=[
+                s.stats.mean_examined for s in self._shards
+            ],
+            per_shard_p99=self.per_shard_p99(),
+            model=model,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (S={self.nshards}, steer={self.steering.name},"
+            f" {len(self)} PCBs, imbalance {self.imbalance_factor():.2f})"
+        )

@@ -1,0 +1,191 @@
+"""Packet steering: which shard serves which packet.
+
+Receive-side scaling (RSS) on a modern NIC hashes each packet's flow
+key to one of N per-CPU queues; Sequent's SMPs faced the same decision
+in software.  A steering function is the policy seam: given a packet's
+four-tuple and the shard count, it names a shard.  Three policies span
+the design space the literature argues about:
+
+* :class:`HashSteering` -- RSS proper: a deterministic hash of the
+  96-bit key.  Flow-stable (every packet of a connection lands on the
+  same shard), so PCB cache lines never migrate between CPUs; balance
+  is as good as the hash.
+* :class:`RoundRobinSteering` -- perfect packet-level balance, zero
+  flow stability.  Every packet of a flow can land on a different
+  shard, so the PCB's cache lines bounce between CPUs -- the
+  pathological case the contention model (:mod:`repro.smp.contention`)
+  prices as a migration per steering miss.
+* :class:`StickyFlowSteering` -- a flow director: the first packet of
+  a flow is pinned to the currently least-loaded shard and remembered.
+  Flow-stable *and* balanced, at the price of a per-flow table lookup
+  on the hot path (Le Scouarnec's Cuckoo++ line of work is about
+  making exactly this table fast).
+
+Every policy charges a per-packet ``cost_ops`` surcharge -- memory
+operations spent deciding, in the same units as "PCBs examined" -- so
+the SMP cost model can compare them honestly: hashing reads the header
+once (1 op), round-robin reads a counter (0 ops: it stays in a
+register), the flow director probes its table (2 ops).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from ..hashing.functions import HashFunction, default_hash, get_hash_function
+from ..packet.addresses import FourTuple
+
+__all__ = [
+    "SteeringFunction",
+    "HashSteering",
+    "RoundRobinSteering",
+    "StickyFlowSteering",
+    "STEERINGS",
+    "available_steerings",
+    "make_steering",
+]
+
+
+class SteeringFunction(abc.ABC):
+    """Maps a four-tuple to a shard index in ``range(nshards)``."""
+
+    #: Short machine-readable name (registry key, sweep axis label).
+    name: str = "abstract"
+    #: Memory operations charged per steering decision.
+    cost_ops: int = 0
+    #: Whether every packet of a flow is guaranteed the same shard.
+    flow_stable: bool = True
+
+    @abc.abstractmethod
+    def shard_of(self, tup: FourTuple, nshards: int) -> int:
+        """The shard serving ``tup``'s next packet."""
+
+    def reset(self) -> None:
+        """Forget any internal state (counters, flow tables)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def _check_nshards(nshards: int) -> None:
+    if nshards <= 0:
+        raise ValueError(f"nshards must be positive, got {nshards}")
+
+
+class HashSteering(SteeringFunction):
+    """RSS-style steering: hash the 96-bit key, reduce mod N.
+
+    Deterministic per four-tuple across processes and runs (the hash
+    functions in :mod:`repro.hashing` are unseeded), which is what
+    makes sharded sweeps reproducible under ``--jobs K``.
+    """
+
+    name = "hash"
+    cost_ops = 1
+    flow_stable = True
+
+    def __init__(self, hash_function: HashFunction = default_hash):
+        self._hash = hash_function
+
+    def shard_of(self, tup: FourTuple, nshards: int) -> int:
+        _check_nshards(nshards)
+        return self._hash(tup, nshards)
+
+
+class RoundRobinSteering(SteeringFunction):
+    """Deal packets to shards in rotation, ignoring the flow key.
+
+    Packet-level balance is perfect by construction; flow stability is
+    zero, so on an SMP every steering "miss" drags the PCB's cache
+    lines to a new CPU.  Exists to quantify that trade, not to win.
+    """
+
+    name = "rr"
+    cost_ops = 0
+    flow_stable = False
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def shard_of(self, tup: FourTuple, nshards: int) -> int:
+        _check_nshards(nshards)
+        shard = self._next % nshards
+        self._next = (self._next + 1) % nshards
+        return shard
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class StickyFlowSteering(SteeringFunction):
+    """Flow director: pin each new flow to the least-loaded shard.
+
+    Load is counted in *assigned flows*; ties break toward the lowest
+    shard index, so assignment depends only on the order in which new
+    flows first appear -- deterministic for a deterministic packet
+    stream, in any process.
+    """
+
+    name = "sticky"
+    cost_ops = 2
+    flow_stable = True
+
+    def __init__(self) -> None:
+        self._flows: Dict[FourTuple, int] = {}
+        self._assigned: List[int] = []
+
+    def shard_of(self, tup: FourTuple, nshards: int) -> int:
+        _check_nshards(nshards)
+        shard = self._flows.get(tup)
+        if shard is not None and shard < nshards:
+            return shard
+        if len(self._assigned) < nshards:
+            self._assigned.extend(
+                0 for _ in range(nshards - len(self._assigned))
+            )
+        shard = min(range(nshards), key=lambda i: (self._assigned[i], i))
+        self._flows[tup] = shard
+        self._assigned[shard] += 1
+        return shard
+
+    def forget(self, tup: FourTuple) -> None:
+        """Drop a flow's pin (connection teardown) and its load credit."""
+        shard = self._flows.pop(tup, None)
+        if shard is not None and shard < len(self._assigned):
+            self._assigned[shard] -= 1
+
+    def reset(self) -> None:
+        self._flows.clear()
+        self._assigned = []
+
+
+#: Registry used by the sweep CLI and ``sharded-*`` algorithm specs.
+STEERINGS = {
+    "hash": HashSteering,
+    "rr": RoundRobinSteering,
+    "sticky": StickyFlowSteering,
+}
+
+
+def available_steerings():
+    """Registered steering names, sorted."""
+    return sorted(STEERINGS)
+
+
+def make_steering(spec: str) -> SteeringFunction:
+    """Build a steering function from a spec string.
+
+    ``"hash"``, ``"rr"``, ``"sticky"``, or ``"hash=crc16"`` to pick a
+    specific hash function for hash steering.
+    """
+    name, _, param = spec.partition("=")
+    name = name.strip().lower()
+    if name not in STEERINGS:
+        known = ", ".join(available_steerings())
+        raise ValueError(f"unknown steering {name!r}; known: {known}")
+    if param:
+        if name != "hash":
+            raise ValueError(f"steering {name!r} takes no parameter")
+        return HashSteering(get_hash_function(param.strip()))
+    return STEERINGS[name]()

@@ -18,6 +18,7 @@ from .base import WorkloadResult
 from .churn import ChurnConfig, ChurnWorkload
 from .mixed import MixedConfig, MixedWorkload
 from .polling import PollingConfig, PollingWorkload
+from .record import PacketRecorder, RecordedStream, record_tpca_stream
 from .thinktime import (
     DeterministicThink,
     ExponentialThink,
@@ -47,7 +48,10 @@ __all__ = [
     "ExponentialThink",
     "MixedConfig",
     "MixedWorkload",
+    "PacketRecorder",
     "PacketTrainWorkload",
+    "RecordedStream",
+    "record_tpca_stream",
     "PollingConfig",
     "PollingWorkload",
     "SERVER_ADDRESS",

@@ -1,0 +1,119 @@
+"""Record a workload's inbound packet stream for later replay.
+
+The SMP experiments (:mod:`repro.smp`) need the *same* packet sequence
+replayed through many configurations -- sharded vs. not, batched vs.
+not -- so that every comparison is paired: common random numbers, down
+to the individual packet.  :class:`PacketRecorder` is a demux algorithm
+that stores nothing but the arrival sequence; driving the ordinary
+TPC/A simulation with it yields a :class:`RecordedStream` that any
+configuration can replay deterministically, in any process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
+from ..core.pcb import PCB
+from ..core.stats import PacketKind
+from ..packet.addresses import FourTuple
+from .thinktime import ThinkTimeModel
+from .tpca import TPCAConfig, TPCADemuxSimulation
+
+__all__ = ["PacketRecorder", "RecordedStream", "record_tpca_stream"]
+
+
+class PacketRecorder(DemuxAlgorithm):
+    """A demux 'algorithm' that records arrivals instead of searching.
+
+    Lookups are dictionary hits (examined is reported as 0: nothing is
+    scanned, and the recorder's statistics are never the experiment's
+    subject); the payoff is the ``packets`` list -- every
+    ``(four_tuple, kind)`` the workload delivered, in arrival order.
+    """
+
+    name = "recorder"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pcbs: Dict[FourTuple, PCB] = {}
+        self.packets: List[Tuple[FourTuple, PacketKind]] = []
+
+    def _insert(self, pcb: PCB) -> None:
+        if pcb.four_tuple in self._pcbs:
+            raise DuplicateConnectionError(
+                f"duplicate connection {pcb.four_tuple}"
+            )
+        self._pcbs[pcb.four_tuple] = pcb
+
+    def _remove(self, tup: FourTuple) -> PCB:
+        return self._pcbs.pop(tup)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        self.packets.append((tup, kind))
+        return LookupResult(
+            self._pcbs.get(tup), examined=0, cache_hit=False, kind=kind
+        )
+
+    def __len__(self) -> int:
+        return len(self._pcbs)
+
+    def __iter__(self) -> Iterator[PCB]:
+        return iter(self._pcbs.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordedStream:
+    """One workload run, flattened to connections + packet arrivals."""
+
+    #: Server-side four-tuple of every installed connection.
+    tuples: Tuple[FourTuple, ...]
+    #: Inbound packets in arrival order.
+    packets: Tuple[Tuple[FourTuple, PacketKind], ...]
+    n_users: int
+    duration: float
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+def record_tpca_stream(
+    n_users: int,
+    duration: float,
+    seed: int,
+    *,
+    packets_per_exchange: int = 1,
+    think_model: Optional[ThinkTimeModel] = None,
+    max_packets: Optional[int] = None,
+) -> RecordedStream:
+    """Run the demux-level TPC/A workload and keep only its packets.
+
+    No warm-up phase: replays measure whole streams, and dropping a
+    prefix here would only shrink the paired sample.  The result is a
+    pure function of the arguments -- byte-identical in any process.
+    """
+    kwargs = {}
+    if think_model is not None:
+        kwargs["think_model"] = think_model
+    config = TPCAConfig(
+        n_users=n_users,
+        duration=duration,
+        warmup=0.0,
+        seed=seed,
+        packets_per_exchange=packets_per_exchange,
+        **kwargs,
+    )
+    recorder = PacketRecorder()
+    TPCADemuxSimulation(config, recorder).run()
+    packets = recorder.packets
+    if max_packets is not None:
+        packets = packets[:max_packets]
+    return RecordedStream(
+        tuples=tuple(config.user_tuple(i) for i in range(n_users)),
+        packets=tuple(packets),
+        n_users=n_users,
+        duration=duration,
+        seed=seed,
+    )

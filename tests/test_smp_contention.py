@@ -1,0 +1,146 @@
+"""Tests for the analytic SMP contention/cost model."""
+
+import pytest
+
+from repro.smp import ContentionModel, DEFAULT_CONTENTION, build_report
+
+
+class TestContentionModel:
+    def test_defaults_valid(self):
+        assert DEFAULT_CONTENTION.utilization == 0.6
+        assert DEFAULT_CONTENTION.lock_ops == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lock_ops": -1},
+            {"migration_ops": -1},
+            {"utilization": 1.0},
+            {"utilization": -0.1},
+            {"utilization": 0.9, "max_utilization": 0.5},
+            {"max_utilization": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ContentionModel(**kwargs)
+
+    def test_balanced_shard_runs_at_system_utilization(self):
+        model = ContentionModel(utilization=0.5)
+        for nshards in (1, 2, 8):
+            assert model.shard_utilization(1.0 / nshards, nshards) == (
+                pytest.approx(0.5)
+            )
+
+    def test_hot_shard_utilization_is_capped(self):
+        model = ContentionModel(utilization=0.6, max_utilization=0.9)
+        assert model.shard_utilization(1.0, 8) == 0.9
+
+    def test_wait_grows_without_bound_near_saturation(self):
+        model = ContentionModel()
+        assert model.wait_ops(0.0, 10.0) == 0.0
+        assert model.wait_ops(0.5, 10.0) == pytest.approx(10.0)
+        assert model.wait_ops(0.9, 10.0) == pytest.approx(90.0)
+
+    def test_wait_rejects_saturated_rho(self):
+        with pytest.raises(ValueError):
+            ContentionModel().wait_ops(1.0, 1.0)
+
+
+class TestBuildReport:
+    def balanced(self, nshards, lookups_per_shard=100, examined=5.0):
+        return build_report(
+            nshards=nshards,
+            steering="hash",
+            steer_ops=1.0,
+            migrations=0,
+            per_shard_lookups=[lookups_per_shard] * nshards,
+            per_shard_occupancy=[10] * nshards,
+            per_shard_mean_examined=[examined] * nshards,
+            per_shard_p99=[9] * nshards,
+        )
+
+    def test_balanced_report(self):
+        report = self.balanced(4)
+        assert report.lookups == 400
+        assert report.imbalance_factor == 1.0
+        assert report.mean_examined == pytest.approx(5.0)
+        # steer + lock + examined, then the M/M/1 wait at rho=0.6:
+        # (1 + 2 + 5) * (1 + 0.6/0.4) minus the steer outside the wait.
+        service = 2.0 + 5.0
+        expected = 1.0 + service + (0.6 / 0.4) * service
+        assert report.mean_cost_ops == pytest.approx(expected)
+        assert report.migration_rate == 0.0
+
+    def test_migrations_priced_per_packet(self):
+        base = self.balanced(2)
+        with_migrations = build_report(
+            nshards=2,
+            steering="rr",
+            steer_ops=0.0,
+            migrations=50,
+            per_shard_lookups=[100, 100],
+            per_shard_occupancy=[10, 10],
+            per_shard_mean_examined=[5.0, 5.0],
+            per_shard_p99=[9, 9],
+        )
+        surcharge = 50 * DEFAULT_CONTENTION.migration_ops / 200
+        # rr saves the 1-op steer but pays the migration surcharge.
+        assert with_migrations.mean_cost_ops == pytest.approx(
+            base.mean_cost_ops - 1.0 + surcharge
+        )
+        assert with_migrations.migration_rate == pytest.approx(0.25)
+
+    def test_imbalance_raises_cost(self):
+        skewed = build_report(
+            nshards=2,
+            steering="hash",
+            steer_ops=1.0,
+            migrations=0,
+            per_shard_lookups=[150, 50],
+            per_shard_occupancy=[10, 10],
+            per_shard_mean_examined=[5.0, 5.0],
+            per_shard_p99=[9, 9],
+        )
+        assert skewed.imbalance_factor == pytest.approx(1.5)
+        assert skewed.mean_cost_ops > self.balanced(2).mean_cost_ops
+
+    def test_unsharded_baseline_pricing(self):
+        """The formula prices a plain structure: one shard, no steering."""
+        report = build_report(
+            nshards=1,
+            steering="none",
+            steer_ops=0.0,
+            migrations=0,
+            per_shard_lookups=[1000],
+            per_shard_occupancy=[200],
+            per_shard_mean_examined=[100.0],
+            per_shard_p99=[199],
+        )
+        service = 2.0 + 100.0
+        assert report.mean_cost_ops == pytest.approx(
+            service * (1 + 0.6 / 0.4)
+        )
+        assert report.imbalance_factor == 1.0
+
+    def test_empty_report(self):
+        report = build_report(
+            nshards=2,
+            steering="hash",
+            steer_ops=1.0,
+            migrations=0,
+            per_shard_lookups=[0, 0],
+            per_shard_occupancy=[0, 0],
+            per_shard_mean_examined=[0.0, 0.0],
+            per_shard_p99=[0, 0],
+        )
+        assert report.mean_cost_ops == 0.0
+        assert report.imbalance_factor == 1.0
+
+    def test_as_dict_serializes(self):
+        import json
+
+        payload = self.balanced(2).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert len(payload["shards"]) == 2
+        assert payload["shards"][0]["utilization"] == pytest.approx(0.6)

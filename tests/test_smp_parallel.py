@@ -1,0 +1,108 @@
+"""Tests for the deterministic process-parallel task runner."""
+
+import os
+
+import pytest
+
+from repro.sim.rng import derive_seed
+from repro.smp import ParallelTaskError, Task, run_tasks, task_seed
+
+
+# Task callables must be module-level so worker processes can pickle them.
+def _square(value):
+    return value * value
+
+
+def _fail(message):
+    raise RuntimeError(message)
+
+
+def _die():
+    os._exit(17)  # simulate a worker killed mid-task (segfault, OOM)
+
+
+def _seed_echo(master, name):
+    return task_seed(master, name)
+
+
+def tasks_for(values):
+    return [
+        Task(name=f"square-{value}", fn=_square, args=(value,))
+        for value in values
+    ]
+
+
+class TestRunTasks:
+    def test_inline_preserves_order(self):
+        assert run_tasks(tasks_for([3, 1, 2]), jobs=1) == [9, 1, 4]
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_matches_inline(self, jobs):
+        values = list(range(10))
+        assert run_tasks(tasks_for(values), jobs=jobs) == (
+            run_tasks(tasks_for(values), jobs=1)
+        )
+
+    def test_kwargs_forwarded(self):
+        task = Task(name="echo", fn=_seed_echo, args=(5,), kwargs={"name": "x"})
+        assert run_tasks([task], jobs=1) == [task_seed(5, "x")]
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            run_tasks([], jobs=0)
+
+    def test_duplicate_names_rejected(self):
+        tasks = [Task(name="same", fn=_square, args=(i,)) for i in range(2)]
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks(tasks, jobs=1)
+
+    def test_progress_callback(self):
+        seen = []
+        run_tasks(tasks_for([1, 2]), jobs=1, progress=seen.append)
+        assert seen == ["square-1", "square-2"]
+
+    def test_inline_failure_names_task(self):
+        tasks = tasks_for([1]) + [Task(name="boom", fn=_fail, args=("bad",))]
+        with pytest.raises(ParallelTaskError, match="boom.*bad") as err:
+            run_tasks(tasks, jobs=1)
+        assert err.value.task_name == "boom"
+
+    def test_parallel_failure_names_task(self):
+        tasks = tasks_for([1, 2]) + [Task(name="boom", fn=_fail, args=("bad",))]
+        with pytest.raises(ParallelTaskError, match="boom"):
+            run_tasks(tasks, jobs=2)
+
+    def test_worker_crash_surfaces_no_hang(self):
+        """A dying worker process raises a clear error instead of hanging."""
+        tasks = tasks_for([1, 2]) + [Task(name="crash", fn=_die)]
+        with pytest.raises(ParallelTaskError, match="worker process died"):
+            run_tasks(tasks, jobs=2)
+
+
+class TestTaskSeeds:
+    def test_stable_across_calls(self):
+        assert task_seed(7, "cell-a") == task_seed(7, "cell-a")
+
+    def test_distinct_per_task_and_master(self):
+        seeds = {
+            task_seed(master, name)
+            for master in (1, 2)
+            for name in ("a", "b", "c")
+        }
+        assert len(seeds) == 6
+
+    def test_matches_derive_seed_namespace(self):
+        assert task_seed(3, "x") == derive_seed(3, "task:x")
+
+    def test_same_in_worker_process(self):
+        task = Task(name="echo", fn=_seed_echo, args=(42, "cell"))
+        inline = run_tasks([task], jobs=1)
+        # Re-run in a pool: the derived seed must not depend on process.
+        forked = run_tasks(
+            [task, Task(name="pad", fn=_square, args=(0,))], jobs=2
+        )
+        assert forked[0] == inline[0] == task_seed(42, "cell")
+
+    def test_derive_seed_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            derive_seed("7", "x")

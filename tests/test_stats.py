@@ -102,3 +102,92 @@ class TestDemuxStats:
         assert "bsd" in text
         assert "1 lookups" in text
         assert "7.00" in text
+
+
+class TestMergeRegression:
+    """merge()/from_dict() feed cross-process aggregation (repro.smp);
+    these pin the algebra parallel sweeps rely on."""
+
+    def stream(self, examineds, kind=PacketKind.DATA):
+        stats = KindStats()
+        for examined in examineds:
+            stats.record(rec(examined, kind=kind))
+        return stats
+
+    def test_merge_empty_is_identity(self):
+        stats = self.stream([3, 1, 4, 1, 5])
+        before = stats.as_dict()
+        stats.merge(KindStats())
+        assert stats.as_dict() == before
+        empty = KindStats()
+        empty.merge(self.stream([3, 1, 4, 1, 5]))
+        assert empty.as_dict() == before
+
+    def test_merge_is_commutative(self):
+        left_a, left_b = self.stream([1, 2, 9]), self.stream([2, 7])
+        right_a, right_b = self.stream([2, 7]), self.stream([1, 2, 9])
+        left_a.merge(left_b)
+        right_a.merge(right_b)
+        assert left_a.as_dict() == right_a.as_dict()
+
+    def test_merge_never_mutates_other(self):
+        a, b = self.stream([1, 2]), self.stream([5])
+        b_before = b.as_dict()
+        a.merge(b)
+        assert b.as_dict() == b_before
+
+    def test_merged_halves_equal_single_stream(self):
+        examineds = [1, 5, 2, 8, 2, 2, 13, 1]
+        whole = self.stream(examineds)
+        first, second = self.stream(examineds[:4]), self.stream(examineds[4:])
+        first.merge(second)
+        assert first.as_dict() == whole.as_dict()
+        assert first.percentile(0.5) == whole.percentile(0.5)
+
+    def test_kindstats_json_roundtrip_restores_int_keys(self):
+        """JSON turns histogram keys into strings; from_dict must restore
+        ints, or percentile()'s sorted() walks buckets lexically
+        ("10" < "2") and reports garbage."""
+        import json
+
+        stats = self.stream([2, 2, 10, 10, 10])
+        restored = KindStats.from_dict(json.loads(json.dumps(stats.as_dict())))
+        assert restored.histogram == {2: 2, 10: 3}
+        assert all(isinstance(k, int) for k in restored.histogram)
+        assert restored.percentile(0.4) == stats.percentile(0.4) == 2
+        assert restored.as_dict() == stats.as_dict()
+
+    def test_demuxstats_merge_and_roundtrip(self):
+        import json
+
+        a, b = DemuxStats(), DemuxStats()
+        a.record(rec(4, kind=PacketKind.DATA))
+        b.record(rec(2, kind=PacketKind.ACK))
+        b.record(rec(6, hit=True, kind=PacketKind.DATA))
+        a.merge(b)
+        assert a.lookups == 3
+        assert a.kind(PacketKind.ACK).lookups == 1
+        assert a.cache_hits == 1
+        restored = DemuxStats.from_dict(json.loads(json.dumps(a.as_dict())))
+        assert restored.as_dict() == a.as_dict()
+        assert restored.combined().examined_total == 12
+
+    def test_cross_process_worker_aggregation(self):
+        """The exact dance a parallel sweep does: per-worker stats ->
+        as_dict -> JSON -> from_dict -> merge into one total."""
+        import json
+
+        workers = [
+            self.stream([1, 2, 3]),
+            self.stream([4, 5]),
+            self.stream([6]),
+        ]
+        total = KindStats()
+        for worker in workers:
+            total.merge(
+                KindStats.from_dict(json.loads(json.dumps(worker.as_dict())))
+            )
+        assert total.lookups == 6
+        assert total.examined_total == 21
+        assert total.max_examined == 6
+        assert total.histogram == {n: 1 for n in range(1, 7)}
