@@ -9,6 +9,7 @@ Subcommands::
     compare               algorithm matrix over one workload
     fault-matrix          robustness campaign: algorithms x faults x seeds
     smp-sweep             sharded demux: shard count x steering x batch size
+    bench-gate            fast-path throughput sweep + cross-PR regression gate
     hash-balance          chain-balance comparison of the hash functions
     pcap                  summarize a capture written by the simulator
     run-all               write every artifact into an output directory
@@ -242,6 +243,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON payload to PATH (e.g. BENCH_smp.json)",
     )
 
+    gate = sub.add_parser(
+        "bench-gate",
+        help=(
+            "replay recorded TPC/A streams through reference and fast-*"
+            " structures, append packets/sec to the benchmark trajectory,"
+            " fail on >threshold regression"
+        ),
+    )
+    gate.add_argument(
+        "--trajectory",
+        metavar="PATH",
+        default="BENCH_trajectory.json",
+        help="trajectory file to gate against and append to",
+    )
+    gate.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sweep (smaller N, shorter streams; the CI smoke)",
+    )
+    gate.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for jittery shared runners)",
+    )
+    gate.add_argument(
+        "--no-append",
+        action="store_true",
+        help="measure and compare without recording a new entry",
+    )
+    gate.add_argument("--seed", type=int, default=None)
+    gate.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds of TPC/A traffic per stream",
+    )
+    gate.add_argument(
+        "--users",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="connection counts to sweep",
+    )
+    gate.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed replays per cell (best-of-R is recorded)",
+    )
+    gate.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fractional packets/sec drop that fails the gate",
+    )
+
     balance = sub.add_parser(
         "hash-balance", help="hash function balance comparison"
     )
@@ -379,10 +437,13 @@ def _cmd_simulate(args) -> int:
         tracer.close()
         print(f"  trace written to {args.trace_out}")
     if args.metrics_out:
+        from .fastpath.metrics import publish_fastpath
+
         registry = MetricsRegistry()
         DemuxStatsExporter(registry, algorithm=algorithm.name).publish(
             algorithm.stats
         )
+        publish_fastpath(registry, algorithm)
         sim_gauges = registry.gauge("sim_run", "simulation run facts")
         sim_gauges.set(simulation.sim.events_run, name="events_run")
         sim_gauges.set(simulation.transactions_completed, name="transactions")
@@ -559,6 +620,38 @@ def _cmd_smp_sweep(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_bench_gate(args) -> int:
+    import dataclasses
+
+    from .fastpath.gate import GateConfig, QUICK_CONFIG, run_gate
+
+    config = QUICK_CONFIG if args.quick else GateConfig()
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.users is not None:
+        overrides["n_sweep"] = tuple(args.users)
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.threshold is not None:
+        overrides["threshold"] = args.threshold
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    report = run_gate(
+        config,
+        args.trajectory,
+        append=not args.no_append,
+        progress=lambda msg: print(f"  ... {msg}", file=sys.stderr),
+    )
+    print(report.render_text())
+    if not report.ok and args.warn_only:
+        print("warn-only: regression(s) reported but not enforced")
+    return 0 if report.ok or args.warn_only else 1
+
+
 def _cmd_hash_balance(args) -> int:
     config = TPCAConfig(n_users=args.users)
     keys = [config.user_tuple(i) for i in range(args.users)]
@@ -645,6 +738,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": lambda: _cmd_compare(args),
         "fault-matrix": lambda: _cmd_fault_matrix(args),
         "smp-sweep": lambda: _cmd_smp_sweep(args),
+        "bench-gate": lambda: _cmd_bench_gate(args),
         "hash-balance": lambda: _cmd_hash_balance(args),
         "pcap": lambda: _cmd_pcap(args),
         "run-all": lambda: _cmd_run_all(args),

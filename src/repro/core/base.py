@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from ..packet.addresses import FourTuple
 from .pcb import PCB
@@ -115,6 +115,22 @@ class DemuxAlgorithm(abc.ABC):
             result = profiler.call(self._lookup, tup, kind)
         self._finish_lookup(tup, result)
         return result
+
+    def lookup_batch(
+        self, packets: Sequence[Tuple[FourTuple, PacketKind]]
+    ) -> List[LookupResult]:
+        """Look up many ``(four_tuple, kind)`` pairs, in order.
+
+        The batched entry point the interrupt-coalescing path uses
+        (:class:`repro.smp.coalesce.BatchCoalescer`, the sharded
+        facade, the bench-gate replays).  Semantics are pinned to a
+        plain loop over :meth:`lookup` -- same results, same statistics,
+        same hook behaviour -- and that loop *is* the default
+        implementation.  Fast structures override it
+        (:class:`repro.fastpath.batch.BatchLookupMixin`) to amortize
+        the per-call template toll without changing one decision.
+        """
+        return [self.lookup(tup, kind) for tup, kind in packets]
 
     def note_send(self, pcb: PCB) -> None:
         """Tell the structure a packet was *sent* on ``pcb``.

@@ -21,7 +21,12 @@ from .multicache import MultiCacheDemux
 from .sendrecv import SendRecvDemux
 from .sequent import DEFAULT_HASH_CHAINS, SequentDemux
 
-__all__ = ["ALGORITHMS", "available_algorithms", "make_algorithm"]
+__all__ = [
+    "ACCEPTED_OPTIONS",
+    "ALGORITHMS",
+    "available_algorithms",
+    "make_algorithm",
+]
 
 AlgorithmFactory = Callable[..., DemuxAlgorithm]
 
@@ -36,10 +41,35 @@ ALGORITHMS: Dict[str, AlgorithmFactory] = {
     "connection_id": ConnectionIdDemux,
 }
 
+#: Spec options each algorithm family accepts, keyed by the reference
+#: name (``fast-*`` twins accept the same options as their reference).
+#: Unknown options raise a ``ValueError`` naming both the offender and
+#: this list -- a silently ignored typo (``sequent:chains=51``) would
+#: run the wrong experiment.
+ACCEPTED_OPTIONS: Dict[str, tuple] = {
+    "linear": (),
+    "bsd": (),
+    "mtf": (),
+    "multicache": ("k",),
+    "sendrecv": (),
+    "sequent": ("h", "hash", "overload"),
+    "hashed_mtf": ("h", "hash", "cache"),
+    "connection_id": ("max",),
+}
+
+
+#: Reference names with a ``fast-`` twin in :mod:`repro.fastpath`.
+#: Kept as a plain tuple (not an import) to preserve the layering:
+#: ``repro.fastpath`` imports from ``repro.core``, never the reverse
+#: at module scope.
+FAST_VARIANT_NAMES = ("linear", "bsd", "mtf", "sequent", "hashed_mtf")
+
 
 def available_algorithms() -> Iterable[str]:
-    """Registered algorithm names, sorted."""
-    return sorted(ALGORITHMS)
+    """Registered algorithm names (including ``fast-`` twins), sorted."""
+    names = list(ALGORITHMS)
+    names.extend(f"fast-{name}" for name in FAST_VARIANT_NAMES)
+    return sorted(names)
 
 
 def _parse_params(text: str) -> Dict[str, str]:
@@ -65,7 +95,9 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
         make_algorithm("sequent:h=19,hash=xor_fold")
         make_algorithm("hashed_mtf:h=19,cache=no")
         make_algorithm("multicache:k=16")
+        make_algorithm("fast-sequent:h=19,overload=64")
         make_algorithm("sharded-sequent:shards=8,steer=hash,h=19")
+        make_algorithm("sharded-fast-sequent:shards=8,h=19")
 
     A ``sharded-`` prefix wraps any registered algorithm in a
     :class:`repro.smp.ShardedDemux` of ``shards`` instances (default
@@ -74,16 +106,45 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
     Existing CLI paths (``compare``, ``simulate``, ``fault-matrix``)
     exercise sharded variants with no new plumbing.
 
-    Raises ``ValueError`` for unknown names or parameters.
+    A ``fast-`` prefix names the array-backed twin from
+    :mod:`repro.fastpath` -- decision-identical, same options as the
+    reference it mirrors.  The prefixes compose:
+    ``sharded-fast-sequent:shards=8`` shards the fast structure.
+
+    Raises ``ValueError`` for unknown names or parameters; the
+    parameter error names the offending option *and* the options the
+    algorithm accepts.
     """
     name, _, param_text = spec.partition(":")
     name = name.strip().lower()
     if name.startswith("sharded-"):
         return _make_sharded(name[len("sharded-"):], param_text)
+    if name.startswith("fast-"):
+        return _make_fast(name[len("fast-"):], param_text)
     if name not in ALGORITHMS:
         known = ", ".join(available_algorithms())
-        raise ValueError(f"unknown algorithm {name!r}; known: {known}")
-    params = _parse_params(param_text)
+        raise ValueError(
+            f"unknown algorithm {name!r}; known: {known}"
+            f" (plus 'fast-' and 'sharded-' prefixed variants)"
+        )
+    return _construct(name, _parse_params(param_text), ALGORITHMS[name])
+
+
+def _construct(
+    name: str,
+    params: Dict[str, str],
+    factory: AlgorithmFactory,
+    *,
+    display: str = "",
+) -> DemuxAlgorithm:
+    """Apply ``name``'s option conventions to ``factory``.
+
+    ``display`` is the user-facing spec name for error messages (so a
+    bad ``fast-sequent`` option is reported against ``fast-sequent``,
+    not ``sequent``); option vocabulary is always the reference
+    ``name``'s.
+    """
+    display = display or name
 
     if name in ("sequent", "hashed_mtf"):
         kwargs = {}
@@ -100,25 +161,48 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
                 "yes",
                 "true",
             )
-        _reject_leftovers(name, params)
-        return ALGORITHMS[name](nchains, **kwargs)
+        _reject_leftovers(name, params, display=display)
+        return factory(nchains, **kwargs)
 
     if name == "connection_id":
         kwargs = {}
         if "max" in params:
             kwargs["max_connections"] = int(params.pop("max"))
-        _reject_leftovers(name, params)
-        return ConnectionIdDemux(**kwargs)
+        _reject_leftovers(name, params, display=display)
+        return factory(**kwargs)
 
     if name == "multicache":
         kwargs = {}
         if "k" in params:
             kwargs["cache_size"] = int(params.pop("k"))
-        _reject_leftovers(name, params)
-        return MultiCacheDemux(**kwargs)
+        _reject_leftovers(name, params, display=display)
+        return factory(**kwargs)
 
-    _reject_leftovers(name, params)
-    return ALGORITHMS[name]()
+    _reject_leftovers(name, params, display=display)
+    return factory()
+
+
+def _make_fast(inner_name: str, param_text: str) -> DemuxAlgorithm:
+    """Build ``fast-<algo>`` from :mod:`repro.fastpath`.
+
+    Imported lazily for the same layering reason as ``sharded-``:
+    ``repro.fastpath`` sits above ``repro.core`` and imports the base
+    classes from here.
+    """
+    from ..fastpath.algorithms import FAST_ALGORITHMS
+
+    inner_name = inner_name.strip().lower()
+    if inner_name not in FAST_ALGORITHMS:
+        known = ", ".join(f"fast-{name}" for name in sorted(FAST_ALGORITHMS))
+        raise ValueError(
+            f"unknown fast algorithm 'fast-{inner_name}'; known: {known}"
+        )
+    return _construct(
+        inner_name,
+        _parse_params(param_text),
+        FAST_ALGORITHMS[inner_name],
+        display=f"fast-{inner_name}",
+    )
 
 
 def _make_sharded(inner_name: str, param_text: str) -> DemuxAlgorithm:
@@ -144,7 +228,15 @@ def _make_sharded(inner_name: str, param_text: str) -> DemuxAlgorithm:
     )
 
 
-def _reject_leftovers(name: str, params: Dict[str, str]) -> None:
+def _reject_leftovers(
+    name: str, params: Dict[str, str], *, display: str = ""
+) -> None:
     if params:
+        display = display or name
+        accepted = ACCEPTED_OPTIONS.get(name, ())
+        accepted_text = ", ".join(accepted) if accepted else "none"
         unknown = ", ".join(sorted(params))
-        raise ValueError(f"unknown parameter(s) for {name!r}: {unknown}")
+        raise ValueError(
+            f"unknown parameter(s) for {display!r}: {unknown};"
+            f" {display!r} accepts: {accepted_text}"
+        )

@@ -1,0 +1,73 @@
+"""The demux fast path: same decisions, fewer interpreter cycles.
+
+The reference structures in :mod:`repro.core` are written to mirror the
+paper's prose; they pay Python object-graph overhead (four-tuple
+``__eq__`` per probe, a CRC per packet, template-method tolls per call)
+that swamps the algorithmic differences the paper is about.  This
+package re-implements the hot family -- linear, BSD, MTF, Sequent
+hashed, hashed-MTF -- on flat array-backed slot tables with interned
+integer keys and batched lookups, provably decision-identical to the
+references:
+
+* :mod:`~repro.fastpath.keycache` -- four-tuple interning + chain memo;
+* :mod:`~repro.fastpath.tables` -- flat slot tables and cache slots;
+* :mod:`~repro.fastpath.algorithms` -- the five ``fast-*`` structures;
+* :mod:`~repro.fastpath.batch` -- the amortized ``lookup_batch`` loop;
+* :mod:`~repro.fastpath.conformance` -- golden decision traces;
+* :mod:`~repro.fastpath.gate` -- the cross-PR ``bench-gate`` harness;
+* :mod:`~repro.fastpath.metrics` -- observability export of fast-path
+  counters.
+
+Registry specs: ``fast-sequent:h=51,hash=crc16``,
+``sharded-fast-sequent:shards=8,steer=hash``, etc.  See
+``docs/fastpath.md``.
+"""
+
+from .algorithms import (
+    FAST_ALGORITHMS,
+    FastBSDDemux,
+    FastHashedMTFDemux,
+    FastLinearDemux,
+    FastMTFDemux,
+    FastSequentDemux,
+)
+from .batch import BatchLookupMixin, as_packets
+from .conformance import decision_trace, golden_stream, stray_tuple
+from .gate import (
+    DEFAULT_PAIRS,
+    GateConfig,
+    GateReport,
+    Measurement,
+    QUICK_CONFIG,
+    measure_replay,
+    run_gate,
+)
+from .keycache import FastpathCounters, KeyCache
+from .metrics import publish_fastpath
+from .tables import CachedSlot, SlotTable
+
+__all__ = [
+    "BatchLookupMixin",
+    "CachedSlot",
+    "DEFAULT_PAIRS",
+    "FAST_ALGORITHMS",
+    "FastBSDDemux",
+    "FastHashedMTFDemux",
+    "FastLinearDemux",
+    "FastMTFDemux",
+    "FastSequentDemux",
+    "FastpathCounters",
+    "GateConfig",
+    "GateReport",
+    "KeyCache",
+    "Measurement",
+    "QUICK_CONFIG",
+    "SlotTable",
+    "as_packets",
+    "decision_trace",
+    "golden_stream",
+    "measure_replay",
+    "publish_fastpath",
+    "run_gate",
+    "stray_tuple",
+]

@@ -1,0 +1,332 @@
+"""Fast re-implementations of the hot demux structures.
+
+Each class here is a drop-in :class:`~repro.core.base.DemuxAlgorithm`
+that makes *exactly* the decisions of its reference twin in
+:mod:`repro.core` -- same PCB found, same examined count, same cache
+hits, same statistics, same iteration order -- while replacing the
+interpreted four-tuple scans with interned-integer scans over flat
+:class:`~repro.fastpath.tables.SlotTable` arrays and memoizing the
+chain hash in a :class:`~repro.fastpath.keycache.KeyCache`.
+
+The equivalence is not an aspiration; it is enforced by the golden
+conformance suite (``tests/test_fastpath_golden.py``) and the
+differential property tests
+(``tests/property/test_fastpath_equiv.py``).  The speed win is
+quantified by ``benchmarks/bench_fastpath.py`` and gated across PRs by
+the ``bench-gate`` CLI subcommand.
+
+Registry names: ``fast-linear``, ``fast-bsd``, ``fast-mtf``,
+``fast-sequent``, ``fast-hashed_mtf``, each accepting the same spec
+options as its reference (``fast-sequent:h=51,hash=crc16``), and
+composing with sharding (``sharded-fast-sequent:shards=8``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set
+
+from ..core.base import (
+    DemuxAlgorithm,
+    DuplicateConnectionError,
+    LookupResult,
+)
+from ..core.pcb import PCB
+from ..core.sequent import DEFAULT_HASH_CHAINS
+from ..core.stats import PacketKind
+from ..hashing.functions import HashFunction, default_hash
+from ..packet.addresses import FourTuple
+from .batch import BatchLookupMixin
+from .keycache import FastpathCounters, KeyCache
+from .tables import CachedSlot, SlotTable
+
+__all__ = [
+    "FastLinearDemux",
+    "FastBSDDemux",
+    "FastMTFDemux",
+    "FastSequentDemux",
+    "FastHashedMTFDemux",
+    "FAST_ALGORITHMS",
+]
+
+
+class _FastDemux(BatchLookupMixin, DemuxAlgorithm):
+    """Shared plumbing: key cache, membership set, slot tables."""
+
+    def __init__(self, nchains: int = 1, chain_fn=None) -> None:
+        super().__init__()
+        self.fastpath_counters = FastpathCounters()
+        self._keycache = KeyCache(chain_fn, self.fastpath_counters)
+        self._tables = [SlotTable() for _ in range(nchains)]
+        self._present: Set[int] = set()
+
+    def _insert(self, pcb: PCB) -> None:
+        key, chain = self._keycache.entry(pcb.four_tuple)
+        if key in self._present:
+            raise DuplicateConnectionError(
+                f"duplicate connection {pcb.four_tuple}"
+            )
+        self._tables[chain].push_front(key, pcb)
+        self._present.add(key)
+
+    def _remove(self, tup: FourTuple) -> PCB:
+        key, chain = self._keycache.entry(tup)
+        if key not in self._present:
+            raise KeyError(tup)
+        pcb = self._tables[chain].remove_key(key)
+        self._present.discard(key)
+        self._invalidate_cache(chain, key)
+        return pcb
+
+    def _invalidate_cache(self, chain: int, key: int) -> None:
+        """Hook for cached subclasses (default: no cache to clear)."""
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __iter__(self) -> Iterator[PCB]:
+        for table in self._tables:
+            yield from table.pcbs
+
+    def __contains__(self, tup: FourTuple) -> bool:
+        """Membership without perturbing caches, stats, or counters."""
+        return tup.key_bits() in self._present
+
+
+class FastLinearDemux(_FastDemux):
+    """Array-backed twin of :class:`~repro.core.linear.LinearDemux`."""
+
+    name = "fast-linear"
+
+    def __init__(self) -> None:
+        super().__init__(nchains=1)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        key, _ = self._keycache.entry(tup)
+        table = self._tables[0]
+        index, examined = table.scan(key)
+        pcb = table.pcbs[index] if index >= 0 else None
+        return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+
+
+class FastBSDDemux(_FastDemux):
+    """Array-backed twin of :class:`~repro.core.bsd.BSDDemux`."""
+
+    name = "fast-bsd"
+
+    def __init__(self) -> None:
+        super().__init__(nchains=1)
+        self._cache = CachedSlot()
+
+    @property
+    def cached_pcb(self) -> Optional[PCB]:
+        """The PCB currently in the one-entry cache (for inspection)."""
+        return self._cache.pcb
+
+    def _invalidate_cache(self, chain: int, key: int) -> None:
+        self._cache.invalidate_if(key)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        key, _ = self._keycache.entry(tup)
+        cache = self._cache
+        examined = 0
+        if cache.key is not None:
+            examined = 1
+            if cache.key == key:
+                return LookupResult(
+                    cache.pcb, examined, cache_hit=True, kind=kind
+                )
+        table = self._tables[0]
+        index, scanned = table.scan(key)
+        examined += scanned
+        if index >= 0:
+            pcb = table.pcbs[index]
+            cache.set(key, pcb)
+            return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+
+class FastMTFDemux(_FastDemux):
+    """Array-backed twin of :class:`~repro.core.mtf.MoveToFrontDemux`."""
+
+    name = "fast-mtf"
+
+    def __init__(self) -> None:
+        super().__init__(nchains=1)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        key, _ = self._keycache.entry(tup)
+        table = self._tables[0]
+        index, examined = table.scan(key)
+        if index >= 0:
+            pcb = table.pcbs[index]
+            table.move_to_front(index)
+            return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def position_of(self, tup: FourTuple) -> int:
+        """Current 0-based list position (no stats, no MTF)."""
+        key = tup.key_bits()
+        try:
+            return self._tables[0].keys.index(key)
+        except ValueError:
+            raise KeyError(tup) from None
+
+
+class _FastChained(_FastDemux):
+    """Shared shape of the hashed structures: H chains + memoized hash."""
+
+    def __init__(self, nchains: int, hash_function: HashFunction) -> None:
+        if nchains <= 0:
+            raise ValueError(f"nchains must be positive, got {nchains}")
+        self._nchains = nchains
+        self._hash = hash_function
+        super().__init__(
+            nchains=nchains,
+            chain_fn=lambda tup: hash_function(tup, nchains),
+        )
+
+    @property
+    def nchains(self) -> int:
+        """H, the number of hash chains."""
+        return self._nchains
+
+    def chain_lengths(self) -> Sequence[int]:
+        """Current per-chain PCB counts (for balance reporting)."""
+        return tuple(len(table) for table in self._tables)
+
+    def chain_of(self, tup: FourTuple) -> int:
+        """Which chain ``tup`` hashes to (memoized)."""
+        return self._keycache.chain_of(tup)
+
+
+class FastSequentDemux(_FastChained):
+    """Array-backed twin of :class:`~repro.core.sequent.SequentDemux`."""
+
+    name = "fast-sequent"
+
+    def __init__(
+        self,
+        nchains: int = DEFAULT_HASH_CHAINS,
+        hash_function: HashFunction = default_hash,
+        *,
+        overload_threshold: Optional[int] = None,
+    ):
+        if overload_threshold is not None and overload_threshold < 1:
+            raise ValueError(
+                f"overload_threshold must be >= 1, got {overload_threshold}"
+            )
+        super().__init__(nchains, hash_function)
+        self._caches: List[CachedSlot] = [
+            CachedSlot() for _ in range(nchains)
+        ]
+        self._overload_threshold = overload_threshold
+        #: Inserts that left a chain above the threshold.
+        self.chain_overload_events = 0
+
+    @property
+    def overload_threshold(self) -> Optional[int]:
+        return self._overload_threshold
+
+    def overloaded_chains(self) -> Sequence[int]:
+        """Indices of chains currently above the overload threshold."""
+        if self._overload_threshold is None:
+            return ()
+        return tuple(
+            index
+            for index, table in enumerate(self._tables)
+            if len(table) > self._overload_threshold
+        )
+
+    def _insert(self, pcb: PCB) -> None:
+        super()._insert(pcb)
+        if self._overload_threshold is not None:
+            chain = self._keycache.chain_of(pcb.four_tuple)
+            if len(self._tables[chain]) > self._overload_threshold:
+                self.chain_overload_events += 1
+
+    def _invalidate_cache(self, chain: int, key: int) -> None:
+        self._caches[chain].invalidate_if(key)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        key, chain = self._keycache.entry(tup)
+        cache = self._caches[chain]
+        examined = 0
+        if cache.key is not None:
+            examined = 1
+            if cache.key == key:
+                return LookupResult(
+                    cache.pcb, examined, cache_hit=True, kind=kind
+                )
+        table = self._tables[chain]
+        index, scanned = table.scan(key)
+        examined += scanned
+        if index >= 0:
+            pcb = table.pcbs[index]
+            cache.set(key, pcb)
+            return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def describe(self) -> str:
+        lengths = self.chain_lengths()
+        longest = max(lengths) if lengths else 0
+        return (
+            f"{self.name} (H={self._nchains}, {len(self)} PCBs,"
+            f" longest chain {longest})"
+        )
+
+
+class FastHashedMTFDemux(_FastChained):
+    """Array-backed twin of :class:`~repro.core.hashed_mtf.HashedMTFDemux`."""
+
+    name = "fast-hashed_mtf"
+
+    def __init__(
+        self,
+        nchains: int = DEFAULT_HASH_CHAINS,
+        hash_function: HashFunction = default_hash,
+        *,
+        per_chain_cache: bool = True,
+    ):
+        super().__init__(nchains, hash_function)
+        self._per_chain_cache = per_chain_cache
+        self._caches: List[CachedSlot] = [
+            CachedSlot() for _ in range(nchains)
+        ]
+
+    def _invalidate_cache(self, chain: int, key: int) -> None:
+        self._caches[chain].invalidate_if(key)
+
+    def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        key, chain = self._keycache.entry(tup)
+        examined = 0
+        cache = self._caches[chain]
+        if self._per_chain_cache and cache.key is not None:
+            examined = 1
+            if cache.key == key:
+                return LookupResult(
+                    cache.pcb, examined, cache_hit=True, kind=kind
+                )
+        table = self._tables[chain]
+        index, scanned = table.scan(key)
+        examined += scanned
+        if index >= 0:
+            pcb = table.pcbs[index]
+            table.move_to_front(index)
+            if self._per_chain_cache:
+                cache.set(key, pcb)
+            return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+        return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def describe(self) -> str:
+        cache = "cached" if self._per_chain_cache else "uncached"
+        return f"{self.name} (H={self._nchains}, {cache}, {len(self)} PCBs)"
+
+
+#: Fast twins, keyed by the *reference* registry name they mirror.
+FAST_ALGORITHMS = {
+    "linear": FastLinearDemux,
+    "bsd": FastBSDDemux,
+    "mtf": FastMTFDemux,
+    "sequent": FastSequentDemux,
+    "hashed_mtf": FastHashedMTFDemux,
+}

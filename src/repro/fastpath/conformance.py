@@ -1,0 +1,107 @@
+"""Golden-trace conformance machinery.
+
+A *decision trace* is the per-packet record of everything the paper's
+cost model sees from one lookup: whether a PCB was found, how many PCBs
+were examined, and whether a cache slot satisfied the probe.  Two
+structures that produce identical decision traces on a stream are
+indistinguishable to every experiment in this repository.
+
+:func:`decision_trace` replays a recorded TPC/A stream (plus a
+deterministic sprinkle of absent-key lookups, so the not-found path is
+covered) through any registry spec and returns the trace as compact
+``[found, examined, cache_hit]`` triples.  The golden suite records the
+reference algorithms' traces into ``tests/golden/*.json`` (via
+``tests/golden/generate_golden.py``) and asserts that (a) the reference
+structures still reproduce them byte-for-byte -- guarding against
+accidental semantic drift in :mod:`repro.core` -- and (b) every
+``fast-*`` twin reproduces them too, through both the per-call and the
+batched lookup paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.registry import make_algorithm
+from ..core.stats import PacketKind
+from ..packet.addresses import FourTuple, IPv4Address
+from ..workload.record import RecordedStream, record_tpca_stream
+
+__all__ = [
+    "Decision",
+    "decision_trace",
+    "golden_stream",
+    "stray_tuple",
+]
+
+#: One lookup decision: ``[found, examined, cache_hit]`` with 0/1 flags
+#: (compact and JSON-stable).
+Decision = List[int]
+
+
+def golden_stream(
+    seed: int, *, n_users: int = 48, duration: float = 40.0
+) -> RecordedStream:
+    """The seeded TPC/A stream one golden file is recorded from."""
+    return record_tpca_stream(n_users, duration, seed)
+
+
+def stray_tuple(index: int) -> FourTuple:
+    """A deterministic four-tuple that is never installed.
+
+    Uses the 203.0.113.0/24 documentation block, disjoint from the
+    workload's 10/8 clients, so these keys always miss.
+    """
+    return FourTuple(
+        IPv4Address("10.0.0.1"),
+        1521,
+        IPv4Address("203.0.113.0") + (index % 251),
+        45000 + (index % 1000),
+    )
+
+
+def decision_trace(
+    spec: str,
+    stream: RecordedStream,
+    *,
+    stray_every: int = 13,
+    use_batch: bool = False,
+    batch_size: int = 64,
+) -> List[Decision]:
+    """Replay ``stream`` through ``spec``; return its decision trace.
+
+    Every ``stray_every``-th packet is followed by a lookup of an
+    absent key (alternating DATA/ACK kinds), so traces exercise the
+    miss path of every cache and chain.  With ``use_batch=True`` the
+    replay goes through ``lookup_batch`` in ``batch_size`` chunks,
+    which must not change a single decision.
+    """
+    from ..core.pcb import PCB  # local: keep module import light
+
+    if stray_every < 1:
+        raise ValueError(f"stray_every must be >= 1, got {stray_every}")
+    algorithm = make_algorithm(spec)
+    for tup in stream.tuples:
+        algorithm.insert(PCB(tup))
+
+    packets: List[Tuple[FourTuple, PacketKind]] = []
+    for position, (tup, kind) in enumerate(stream.packets):
+        packets.append((tup, kind))
+        if (position + 1) % stray_every == 0:
+            stray_kind = (
+                PacketKind.DATA if (position // stray_every) % 2 else PacketKind.ACK
+            )
+            packets.append((stray_tuple(position), stray_kind))
+
+    if use_batch:
+        results = []
+        for start in range(0, len(packets), batch_size):
+            results.extend(
+                algorithm.lookup_batch(packets[start:start + batch_size])
+            )
+    else:
+        results = [algorithm.lookup(tup, kind) for tup, kind in packets]
+    return [
+        [int(result.found), result.examined, int(result.cache_hit)]
+        for result in results
+    ]

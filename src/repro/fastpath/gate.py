@@ -1,0 +1,322 @@
+"""The benchmark-regression gate: packets/sec across PRs.
+
+Every earlier ``BENCH_*.json`` artifact is a one-shot snapshot; nothing
+compared run N against run N-1, so a wall-clock regression could land
+silently as long as decisions stayed right.  ``bench-gate`` closes that
+hole: it replays the same recorded TPC/A streams (common random
+numbers, the house methodology) through the reference structures and
+their ``fast-*`` twins, measures packets demultiplexed per second,
+appends a dated entry to ``BENCH_trajectory.json``, and fails when any
+measured configuration regresses more than ``threshold`` (default 10%)
+against the most recent comparable entry.
+
+Baselines are matched on the full measurement key -- algorithm spec,
+connection count, stream duration, and seed -- so a ``--quick`` run
+never gates against a full run's numbers.  Timing uses best-of-R
+replays of a pre-recorded stream with the structure rebuilt per repeat,
+which removes workload generation and warm-cache luck from the clock.
+
+CI runs the gate warn-only (shared runners jitter well past 10%); the
+hard gate is for local, same-machine trajectories.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.pcb import PCB
+from ..core.registry import make_algorithm
+from ..workload.record import RecordedStream, record_tpca_stream
+
+__all__ = [
+    "DEFAULT_PAIRS",
+    "GateConfig",
+    "GateReport",
+    "Measurement",
+    "measure_replay",
+    "run_gate",
+    "QUICK_CONFIG",
+]
+
+#: (reference spec, fast twin spec) pairs the standard sweep compares.
+DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("linear", "fast-linear"),
+    ("bsd", "fast-bsd"),
+    ("mtf", "fast-mtf"),
+    ("sequent:h=19", "fast-sequent:h=19"),
+    ("hashed_mtf:h=19", "fast-hashed_mtf:h=19"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GateConfig:
+    """Parameters of one bench-gate run."""
+
+    pairs: Tuple[Tuple[str, str], ...] = DEFAULT_PAIRS
+    #: Connection counts swept (the paper's N axis).
+    n_sweep: Tuple[int, ...] = (100, 300, 1000)
+    #: Simulated seconds of TPC/A traffic per stream.
+    duration: float = 30.0
+    seed: int = 7
+    #: Timed replays per configuration; best-of-R is recorded.
+    repeats: int = 3
+    #: Packets per ``lookup_batch`` call during the replay.
+    chunk: int = 256
+    #: Fractional packets/sec drop that fails the gate.
+    threshold: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("need at least one (reference, fast) pair")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {self.chunk}")
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1), got {self.threshold}"
+            )
+
+
+#: The reduced configuration behind ``bench-gate --quick``.
+QUICK_CONFIG = GateConfig(
+    n_sweep=(60, 200), duration=10.0, repeats=2
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Measurement:
+    """Best-of-R replay throughput for one (spec, N) cell."""
+
+    algorithm: str
+    n_users: int
+    packets: int
+    best_seconds: float
+    packets_per_sec: float
+    mean_examined: float
+
+    def key(self, config: GateConfig) -> str:
+        """Baseline-matching key: spec + workload parameters."""
+        return (
+            f"{self.algorithm}@n={self.n_users}"
+            f";d={config.duration:g};seed={config.seed}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "n_users": self.n_users,
+            "packets": self.packets,
+            "best_seconds": round(self.best_seconds, 6),
+            "packets_per_sec": round(self.packets_per_sec, 1),
+            "mean_examined": round(self.mean_examined, 4),
+        }
+
+
+def measure_replay(
+    spec: str,
+    stream: RecordedStream,
+    *,
+    repeats: int = 3,
+    chunk: int = 256,
+) -> Measurement:
+    """Time ``spec`` demultiplexing ``stream``; best-of-``repeats``.
+
+    The structure is rebuilt and repopulated for every repeat (outside
+    the timed region), so each timing starts from an identical cold
+    state and only the lookup hot path is on the clock.
+    """
+    packets = list(stream.packets)
+    chunks = [
+        packets[start:start + chunk]
+        for start in range(0, len(packets), chunk)
+    ]
+    best = float("inf")
+    mean_examined = 0.0
+    for _ in range(repeats):
+        algorithm = make_algorithm(spec)
+        for tup in stream.tuples:
+            algorithm.insert(PCB(tup))
+        lookup_batch = algorithm.lookup_batch
+        start_time = time.perf_counter()
+        for batch in chunks:
+            lookup_batch(batch)
+        elapsed = time.perf_counter() - start_time
+        best = min(best, elapsed)
+        mean_examined = algorithm.stats.mean_examined
+    return Measurement(
+        algorithm=spec,
+        n_users=stream.n_users,
+        packets=len(packets),
+        best_seconds=best,
+        packets_per_sec=len(packets) / best if best > 0 else 0.0,
+        mean_examined=mean_examined,
+    )
+
+
+@dataclasses.dataclass
+class GateReport:
+    """Outcome of one gate run: the appended entry plus verdicts."""
+
+    entry: Dict[str, object]
+    regressions: List[str]
+    trajectory_path: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render_text(self) -> str:
+        lines = [
+            f"bench-gate {self.entry['date']}"
+            f" (seed {self.entry['config']['seed']},"
+            f" duration {self.entry['config']['duration']}s)"
+        ]
+        lines.append(
+            f"  {'algorithm':<24} {'N':>5} {'packets':>8}"
+            f" {'pkts/sec':>12} {'PCBs/pkt':>9}"
+        )
+        for result in self.entry["results"]:
+            lines.append(
+                f"  {result['algorithm']:<24} {result['n_users']:>5}"
+                f" {result['packets']:>8}"
+                f" {result['packets_per_sec']:>12,.0f}"
+                f" {result['mean_examined']:>9.2f}"
+            )
+        lines.append("  speedups (fast vs reference):")
+        for speedup in self.entry["speedups"]:
+            lines.append(
+                f"    {speedup['fast']:<24} N={speedup['n_users']:<5}"
+                f" {speedup['speedup']:.2f}x"
+            )
+        if self.regressions:
+            lines.append("  REGRESSIONS (>threshold drop in pkts/sec):")
+            lines.extend(f"    {item}" for item in self.regressions)
+        else:
+            lines.append("  no regressions against recorded baseline")
+        lines.append(f"  trajectory: {self.trajectory_path}")
+        return "\n".join(lines)
+
+
+def _load_trajectory(path: str) -> Dict[str, object]:
+    if not os.path.exists(path):
+        return {"entries": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, list):  # tolerate a bare-list file
+        data = {"entries": data}
+    data.setdefault("entries", [])
+    return data
+
+
+def _baselines(
+    trajectory: Dict[str, object]
+) -> Dict[str, float]:
+    """Most recent packets/sec per measurement key, oldest first."""
+    baselines: Dict[str, float] = {}
+    for entry in trajectory["entries"]:
+        for result in entry.get("results", []):
+            config = entry.get("config", {})
+            key = (
+                f"{result['algorithm']}@n={result['n_users']}"
+                f";d={config.get('duration', 0):g}"
+                f";seed={config.get('seed', 0)}"
+            )
+            baselines[key] = float(result["packets_per_sec"])
+    return baselines
+
+
+def run_gate(
+    config: GateConfig = GateConfig(),
+    trajectory_path: str = "BENCH_trajectory.json",
+    *,
+    append: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> GateReport:
+    """Run the sweep, compare against the trajectory, append, report.
+
+    The new entry is appended (and the file rewritten) even when the
+    run regresses -- the trajectory is the record, and hiding bad runs
+    from it would defeat the point; the nonzero exit is the gate.
+    """
+    say = progress if progress is not None else (lambda message: None)
+    trajectory = _load_trajectory(trajectory_path)
+    baselines = _baselines(trajectory)
+
+    results: List[Measurement] = []
+    speedups: List[Dict[str, object]] = []
+    for n_users in config.n_sweep:
+        say(f"recording TPC/A stream N={n_users}")
+        stream = record_tpca_stream(n_users, config.duration, config.seed)
+        for reference_spec, fast_spec in config.pairs:
+            pair_measurements = {}
+            for spec in (reference_spec, fast_spec):
+                say(f"measuring {spec} at N={n_users}")
+                measurement = measure_replay(
+                    spec,
+                    stream,
+                    repeats=config.repeats,
+                    chunk=config.chunk,
+                )
+                results.append(measurement)
+                pair_measurements[spec] = measurement
+            reference = pair_measurements[reference_spec]
+            fast = pair_measurements[fast_spec]
+            speedups.append(
+                {
+                    "reference": reference_spec,
+                    "fast": fast_spec,
+                    "n_users": n_users,
+                    "speedup": round(
+                        fast.packets_per_sec
+                        / max(reference.packets_per_sec, 1e-9),
+                        2,
+                    ),
+                }
+            )
+
+    regressions: List[str] = []
+    for measurement in results:
+        key = measurement.key(config)
+        baseline = baselines.get(key)
+        if baseline is None or baseline <= 0:
+            continue
+        floor = (1.0 - config.threshold) * baseline
+        if measurement.packets_per_sec < floor:
+            drop = 1.0 - measurement.packets_per_sec / baseline
+            regressions.append(
+                f"{key}: {measurement.packets_per_sec:,.0f} pkts/sec"
+                f" vs baseline {baseline:,.0f} ({drop:.1%} drop)"
+            )
+
+    entry: Dict[str, object] = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "config": {
+            "n_sweep": list(config.n_sweep),
+            "duration": config.duration,
+            "seed": config.seed,
+            "repeats": config.repeats,
+            "chunk": config.chunk,
+            "threshold": config.threshold,
+        },
+        "results": [measurement.as_dict() for measurement in results],
+        "speedups": speedups,
+        "regressions": list(regressions),
+    }
+    if append:
+        trajectory["entries"].append(entry)
+        with open(trajectory_path, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=1)
+            handle.write("\n")
+    return GateReport(
+        entry=entry,
+        regressions=regressions,
+        trajectory_path=trajectory_path,
+    )

@@ -1,0 +1,106 @@
+"""Four-tuple key interning for the demux fast path.
+
+The reference structures compare :class:`~repro.packet.addresses.FourTuple`
+objects on every probe, which costs a Python-level ``__eq__`` per field,
+and the hashed structures additionally run a table-driven CRC over the
+packed 96-bit key on every packet.  Both costs are pure interpreter
+overhead -- the paper's cost model charges neither (Section 3.5 treats
+hash computation as negligible next to PCB memory traffic) -- so the
+fast path is free to eliminate them *as long as every algorithmic
+decision stays identical*.
+
+:class:`KeyCache` does that elimination:
+
+* each four-tuple is interned to its packed 96-bit **integer key**
+  (:meth:`FourTuple.key_bits`), a bijection, so integer equality is
+  exactly tuple equality and slot tables can scan C-speed int lists;
+* for chained structures, the chain index (a deterministic pure
+  function of the tuple) is memoized alongside the key, so the CRC runs
+  once per distinct tuple instead of once per packet.
+
+Counters land in :class:`FastpathCounters`, which the owning algorithm
+exposes as ``fastpath_counters`` and :func:`repro.fastpath.metrics.
+publish_fastpath` exports through the observability registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from ..packet.addresses import FourTuple
+
+__all__ = ["FastpathCounters", "KeyCache"]
+
+
+@dataclasses.dataclass
+class FastpathCounters:
+    """Fast-path bookkeeping, separate from the pinned ``DemuxStats``.
+
+    These counters never feed the paper's figure of merit; they exist
+    so the observability layer can report how hard the fast-path
+    machinery itself is working.
+    """
+
+    #: Distinct four-tuples interned (key-cache misses).
+    interned_keys: int = 0
+    #: Lookups served from the intern table (key-cache hits).
+    key_cache_hits: int = 0
+    #: ``lookup_batch`` invocations that took the amortized loop.
+    batch_calls: int = 0
+    #: Individual lookups served through the amortized loop.
+    batched_lookups: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready snapshot."""
+        return {
+            "interned_keys": self.interned_keys,
+            "key_cache_hits": self.key_cache_hits,
+            "batch_calls": self.batch_calls,
+            "batched_lookups": self.batched_lookups,
+        }
+
+
+class KeyCache:
+    """Intern table: four-tuple -> (96-bit int key, chain index).
+
+    ``chain_fn`` is the structure's chain assignment (``None`` for
+    unchained structures, whose entries all report chain 0).  The memo
+    is sound because every hash function in :mod:`repro.hashing` is a
+    deterministic, unseeded pure function of the tuple, and the chain
+    count is fixed for the structure's lifetime.
+    """
+
+    __slots__ = ("_entries", "_chain_fn", "counters")
+
+    def __init__(
+        self,
+        chain_fn: Optional[Callable[[FourTuple], int]] = None,
+        counters: Optional[FastpathCounters] = None,
+    ):
+        self._entries: Dict[FourTuple, Tuple[int, int]] = {}
+        self._chain_fn = chain_fn
+        self.counters = counters if counters is not None else FastpathCounters()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, tup: FourTuple) -> Tuple[int, int]:
+        """The interned ``(key, chain)`` pair for ``tup``."""
+        entry = self._entries.get(tup)
+        if entry is None:
+            chain = self._chain_fn(tup) if self._chain_fn is not None else 0
+            entry = (tup.key_bits(), chain)
+            self._entries[tup] = entry
+            self.counters.interned_keys += 1
+        else:
+            self.counters.key_cache_hits += 1
+        return entry
+
+    def key_of(self, tup: FourTuple) -> int:
+        """The interned 96-bit integer key for ``tup``."""
+        return self.entry(tup)[0]
+
+    def chain_of(self, tup: FourTuple) -> int:
+        """The memoized chain index for ``tup`` (0 when unchained)."""
+        return self.entry(tup)[1]

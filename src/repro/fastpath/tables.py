@@ -1,0 +1,109 @@
+"""Flat array-backed slot tables for the demux fast path.
+
+The reference structures store PCBs in Python lists and walk them with
+an interpreted ``for`` loop comparing four-tuples.  A :class:`SlotTable`
+keeps the same *logical* list as two parallel flat arrays -- interned
+integer keys and their PCBs -- so the scan that the paper prices as
+"PCBs examined" becomes a single C-speed ``list.index`` over small
+integers.  Because the interned key is a bijection of the four-tuple,
+the index found (and therefore the examined count, the found PCB, and
+every cache/move-to-front decision derived from it) is exactly what the
+reference scan computes.
+
+:class:`CachedSlot` is the flat-array rendering of the paper's
+single-entry caches: one interned key plus one PCB reference, probed
+with a single integer comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.pcb import PCB
+
+__all__ = ["CachedSlot", "SlotTable"]
+
+
+class SlotTable:
+    """One logical PCB list as parallel ``keys``/``pcbs`` arrays.
+
+    Invariant: ``keys[i]`` is always ``pcbs[i].four_tuple.key_bits()``;
+    both arrays mutate together, head-first like the historical BSD
+    list (new entries at index 0).
+    """
+
+    __slots__ = ("keys", "pcbs")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.pcbs: List[PCB] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def scan(self, key: int) -> Tuple[int, int]:
+        """Scan for ``key``; returns ``(index, examined)``.
+
+        ``index`` is -1 on a miss; ``examined`` follows the pinned
+        counting convention -- position + 1 on a hit, the full table
+        length on a miss -- exactly as the reference linear walk.
+        """
+        try:
+            index = self.keys.index(key)
+        except ValueError:
+            return -1, len(self.keys)
+        return index, index + 1
+
+    def push_front(self, key: int, pcb: PCB) -> None:
+        """Insert at the head (historical BSD insert position)."""
+        self.keys.insert(0, key)
+        self.pcbs.insert(0, pcb)
+
+    def remove_key(self, key: int) -> PCB:
+        """Remove and return the PCB stored under ``key``.
+
+        Raises ``ValueError`` if absent; callers gate on their own
+        membership set first, mirroring the reference structures.
+        """
+        index = self.keys.index(key)
+        del self.keys[index]
+        pcb = self.pcbs[index]
+        del self.pcbs[index]
+        return pcb
+
+    def move_to_front(self, index: int) -> None:
+        """Hoist the entry at ``index`` to the head (MTF heuristic)."""
+        if index:
+            key = self.keys[index]
+            del self.keys[index]
+            self.keys.insert(0, key)
+            pcb = self.pcbs[index]
+            del self.pcbs[index]
+            self.pcbs.insert(0, pcb)
+
+
+class CachedSlot:
+    """A single-entry cache as an (interned key, PCB) pair.
+
+    ``key`` is ``None`` while the slot is empty -- probing an empty
+    slot costs nothing, per the counting convention.
+    """
+
+    __slots__ = ("key", "pcb")
+
+    def __init__(self) -> None:
+        self.key: Optional[int] = None
+        self.pcb: Optional[PCB] = None
+
+    def set(self, key: int, pcb: PCB) -> None:
+        self.key = key
+        self.pcb = pcb
+
+    def clear(self) -> None:
+        self.key = None
+        self.pcb = None
+
+    def invalidate_if(self, key: int) -> None:
+        """Clear the slot when it caches ``key`` (removal hygiene)."""
+        if self.key == key:
+            self.clear()

@@ -79,11 +79,14 @@ class BatchCoalescer:
         if self.sort and len(batch) > 1:
             batch.sort(key=lambda packet: packet[0].key_bits())
         previous = None
-        for tup, kind in batch:
+        for tup, _ in batch:
             if tup == previous:
                 self.train_followers += 1
             previous = tup
-            self.algorithm.lookup(tup, kind)
+        # One batched call instead of a per-packet loop: the default
+        # lookup_batch is exactly that loop, and fast/sharded
+        # structures amortize it without changing any decision.
+        self.algorithm.lookup_batch(batch)
         self.batches_flushed += 1
         self.packets_delivered += len(batch)
         return len(batch)

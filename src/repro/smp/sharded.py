@@ -31,7 +31,7 @@ the path parallel sweeps use to combine per-process results.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
 from ..core.pcb import PCB
@@ -111,6 +111,47 @@ class ShardedDemux(DemuxAlgorithm):
             self._home[tup] = target
             self.flow_migrations += 1
         return self._shards[target].lookup(tup, kind)
+
+    def lookup_batch(
+        self, packets: Sequence[Tuple[FourTuple, PacketKind]]
+    ) -> List[LookupResult]:
+        """Batched lookup, dispatched shard-by-shard.
+
+        For flow-stable steering (hash, sticky) a packet's shard is
+        fixed and no migrations can occur, so the batch is steered in
+        input order, grouped by shard, served as one sub-batch per
+        shard (letting fast shards amortize through their own
+        ``lookup_batch``), and scattered back to input order.  Each
+        shard sees exactly the subsequence it would have seen packet
+        by packet, so every decision -- and every shard's statistics --
+        is identical to the sequential path.  Unstable steering
+        (round-robin) migrates PCBs mid-batch, so it keeps the
+        per-packet path.  Hooks (tracer/profiler) are per-lookup by
+        contract and also take the per-packet path.
+        """
+        tracer = self.tracer
+        if (
+            not self.steering.flow_stable
+            or self._profiler is not None
+            or (tracer is not None and tracer.enabled)
+        ):
+            return super().lookup_batch(packets)
+        nshards = self.nshards
+        shard_of = self.steering.shard_of
+        # Steer in input order: sticky steering assigns new flows as it
+        # first sees them, and that order must match sequential replay.
+        groups: Dict[int, List[int]] = {}
+        for position, (tup, _) in enumerate(packets):
+            groups.setdefault(shard_of(tup, nshards), []).append(position)
+        results: List[Optional[LookupResult]] = [None] * len(packets)
+        for shard_index, positions in groups.items():
+            sub_batch = [packets[position] for position in positions]
+            sub_results = self._shards[shard_index].lookup_batch(sub_batch)
+            for position, result in zip(positions, sub_results):
+                results[position] = result
+        for (tup, _), result in zip(packets, results):
+            self._finish_lookup(tup, result)
+        return results
 
     def __len__(self) -> int:
         return len(self._home)

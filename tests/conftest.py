@@ -15,10 +15,19 @@ from repro.core.multicache import MultiCacheDemux
 from repro.core.pcb import PCB
 from repro.core.sendrecv import SendRecvDemux
 from repro.core.sequent import SequentDemux
+from repro.fastpath.algorithms import (
+    FastBSDDemux,
+    FastHashedMTFDemux,
+    FastLinearDemux,
+    FastMTFDemux,
+    FastSequentDemux,
+)
 from repro.packet.addresses import FourTuple, IPv4Address
 
 #: Factories for every demux algorithm, keyed by registry name.  Tests
-#: that assert interface-level behaviour parametrize over these.
+#: that assert interface-level behaviour parametrize over these; the
+#: ``fast-`` twins ride along so every interface-level test also runs
+#: against the array-backed hot path.
 ALL_ALGORITHM_FACTORIES = {
     "linear": LinearDemux,
     "bsd": BSDDemux,
@@ -28,6 +37,11 @@ ALL_ALGORITHM_FACTORIES = {
     "sequent": lambda: SequentDemux(7),
     "hashed_mtf": lambda: HashedMTFDemux(7),
     "connection_id": ConnectionIdDemux,
+    "fast-linear": FastLinearDemux,
+    "fast-bsd": FastBSDDemux,
+    "fast-mtf": FastMTFDemux,
+    "fast-sequent": lambda: FastSequentDemux(7),
+    "fast-hashed_mtf": lambda: FastHashedMTFDemux(7),
 }
 
 
@@ -59,7 +73,8 @@ def any_algorithm(request):
 
 @pytest.fixture(
     params=["linear", "bsd", "mtf", "multicache", "sendrecv", "sequent",
-            "hashed_mtf"]
+            "hashed_mtf", "fast-linear", "fast-bsd", "fast-mtf",
+            "fast-sequent", "fast-hashed_mtf"]
 )
 def scanning_algorithm(request):
     """Algorithms whose lookups actually scan (excludes connection_id)."""

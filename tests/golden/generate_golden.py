@@ -1,0 +1,68 @@
+"""Regenerate the golden decision-trace files in this directory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+
+Each golden file pins the per-packet decisions -- ``[found, examined,
+cache_hit]`` -- of every reference algorithm on one seeded TPC/A stream
+(see :mod:`repro.fastpath.conformance`).  The files are committed;
+regenerating them should be a no-op unless reference semantics changed
+on purpose, in which case the diff *is* the review artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.fastpath.conformance import decision_trace, golden_stream
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+#: (filename stem, stream parameters) per golden stream.  Sizes are
+#: kept modest so the JSON stays reviewable; three seeds × five
+#: algorithms still cross every cache, chain, and miss path.
+STREAMS = (
+    ("tpca_seed101", {"seed": 101, "n_users": 48, "duration": 40.0}),
+    ("tpca_seed202", {"seed": 202, "n_users": 96, "duration": 30.0}),
+    ("tpca_seed303", {"seed": 303, "n_users": 24, "duration": 60.0}),
+)
+
+#: Reference specs recorded in each file.  Every spec here must have a
+#: ``fast-`` twin; tests/test_fastpath_golden.py derives the twin by
+#: prefixing.
+ALGORITHMS = (
+    "linear",
+    "bsd",
+    "mtf",
+    "sequent:h=7",
+    "hashed_mtf:h=5",
+)
+
+
+def build_golden(seed: int, n_users: int, duration: float) -> dict:
+    stream = golden_stream(seed, n_users=n_users, duration=duration)
+    return {
+        "stream": {"seed": seed, "n_users": n_users, "duration": duration},
+        "packets": len(stream.packets),
+        "decisions": {
+            spec: decision_trace(spec, stream) for spec in ALGORITHMS
+        },
+    }
+
+
+def main() -> int:
+    for stem, params in STREAMS:
+        path = HERE / f"{stem}.json"
+        golden = build_golden(**params)
+        path.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+        ndecisions = len(next(iter(golden["decisions"].values())))
+        print(f"wrote {path.name}: {golden['packets']} packets,"
+              f" {ndecisions} decisions x {len(ALGORITHMS)} algorithms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

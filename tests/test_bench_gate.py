@@ -1,0 +1,142 @@
+"""Tests for the benchmark-regression gate (repro.fastpath.gate).
+
+These run a miniature sweep (two tiny pairs, short streams) against a
+``tmp_path`` trajectory so they are fast and hermetic; the real sweep
+behind ``bench-gate`` differs only in configuration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fastpath.gate import (
+    GateConfig,
+    QUICK_CONFIG,
+    measure_replay,
+    run_gate,
+)
+from repro.workload.record import record_tpca_stream
+
+#: A sweep small enough for unit tests: one pair, tiny streams.  The
+#: threshold is deliberately loose (90%) because micro-stream timings
+#: jitter far past the production 10% -- the forged-baseline test below
+#: inflates by 1000x, which trips any threshold.
+TINY = GateConfig(
+    pairs=(("sequent:h=7", "fast-sequent:h=7"),),
+    n_sweep=(30,),
+    duration=5.0,
+    repeats=3,
+    chunk=32,
+    threshold=0.9,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="pair"):
+        GateConfig(pairs=())
+    with pytest.raises(ValueError, match="repeats"):
+        GateConfig(repeats=0)
+    with pytest.raises(ValueError, match="threshold"):
+        GateConfig(threshold=1.5)
+    assert QUICK_CONFIG.repeats < GateConfig().repeats
+
+
+def test_measure_replay_counts_every_packet():
+    stream = record_tpca_stream(30, 5.0, 7)
+    measurement = measure_replay("fast-sequent:h=7", stream, repeats=1, chunk=16)
+    assert measurement.packets == len(stream.packets)
+    assert measurement.packets_per_sec > 0
+    assert measurement.best_seconds > 0
+    assert measurement.n_users == 30
+    assert measurement.key(TINY) == "fast-sequent:h=7@n=30;d=5;seed=7"
+
+
+def test_first_run_creates_trajectory_and_passes(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    report = run_gate(TINY, str(path))
+    assert report.ok
+    assert path.exists()
+
+    data = json.loads(path.read_text())
+    assert len(data["entries"]) == 1
+    entry = data["entries"][0]
+    assert {"date", "python", "config", "results", "speedups"} <= set(entry)
+    assert len(entry["results"]) == 2  # reference + fast
+    assert len(entry["speedups"]) == 1
+    assert entry["speedups"][0]["fast"] == "fast-sequent:h=7"
+    assert entry["speedups"][0]["speedup"] > 0
+    assert "fast-sequent" in report.render_text()
+
+
+def test_second_run_gates_against_first(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    run_gate(TINY, str(path))
+    report = run_gate(TINY, str(path))
+    # Same machine, back to back, loose test threshold: no regression;
+    # and the trajectory now records both runs.
+    assert report.ok
+    assert len(json.loads(path.read_text())["entries"]) == 2
+
+
+def test_inflated_baseline_trips_the_gate(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    report = run_gate(TINY, str(path))
+    data = json.loads(path.read_text())
+    # Forge an impossible baseline: 1000x the measured throughput.
+    for result in data["entries"][0]["results"]:
+        result["packets_per_sec"] = result["packets_per_sec"] * 1000
+    path.write_text(json.dumps(data))
+
+    report = run_gate(TINY, str(path))
+    assert not report.ok
+    assert len(report.regressions) == 2
+    assert "drop" in report.regressions[0]
+    # The regressing entry is still appended: the trajectory is the
+    # record; the nonzero exit is the gate.
+    assert len(json.loads(path.read_text())["entries"]) == 2
+    assert "REGRESSIONS" in report.render_text()
+
+
+def test_quick_runs_never_gate_against_full_runs(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    run_gate(TINY, str(path))
+    data = json.loads(path.read_text())
+    for result in data["entries"][0]["results"]:
+        result["packets_per_sec"] = result["packets_per_sec"] * 1000
+    path.write_text(json.dumps(data))
+
+    # Different duration -> different measurement key -> no baseline.
+    other = GateConfig(
+        pairs=TINY.pairs, n_sweep=TINY.n_sweep, duration=4.0,
+        repeats=1, chunk=32, threshold=TINY.threshold,
+    )
+    assert run_gate(other, str(path)).ok
+
+
+def test_no_append_leaves_trajectory_untouched(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    run_gate(TINY, str(path))
+    before = path.read_text()
+    report = run_gate(TINY, str(path), append=False)
+    assert report.ok
+    assert path.read_text() == before
+
+
+def test_bare_list_trajectory_is_tolerated(tmp_path):
+    path = tmp_path / "BENCH_trajectory.json"
+    path.write_text("[]")
+    report = run_gate(TINY, str(path))
+    assert report.ok
+    assert json.loads(path.read_text())["entries"]
+
+
+def test_progress_callback_sees_every_spec(tmp_path):
+    messages = []
+    run_gate(
+        TINY, str(tmp_path / "t.json"), progress=messages.append
+    )
+    joined = "\n".join(messages)
+    assert "sequent:h=7" in joined
+    assert "fast-sequent:h=7" in joined

@@ -203,3 +203,75 @@ class TestObservabilityFlags:
         ) == 0
         instrumented = capsys.readouterr().out.splitlines()[0]
         assert instrumented == bare
+
+    def test_simulate_fast_spec_exports_fastpath_metrics(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "--algorithm", "fast-sequent:h=7", "--users", "20",
+             "--duration", "10", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        snapshot = json.loads(path.read_text())
+        assert "fastpath_counters" in snapshot
+        samples = snapshot["fastpath_counters"]["samples"]
+        interned = [
+            s for s in samples if s["labels"]["counter"] == "interned_keys"
+        ]
+        assert interned and interned[0]["value"] > 0
+
+    def test_simulate_fast_matches_reference_output(self, capsys):
+        base = ["simulate", "--users", "30", "--duration", "15",
+                "--seed", "3"]
+        assert main(base + ["--algorithm", "sequent:h=7"]) == 0
+        reference = capsys.readouterr().out
+        assert main(base + ["--algorithm", "fast-sequent:h=7"]) == 0
+        fast = capsys.readouterr().out
+        # Identical decisions => identical simulation report, modulo
+        # the algorithm's display name.
+        assert fast.replace("fast-sequent", "sequent") == reference
+
+
+class TestBenchGate:
+    GATE_ARGS = ["bench-gate", "--users", "30", "--duration", "5",
+                 "--repeats", "1", "--seed", "11"]
+
+    def test_parser_knows_bench_gate(self):
+        args = build_parser().parse_args(["bench-gate", "--quick"])
+        assert args.command == "bench-gate"
+        assert args.quick
+
+    def test_first_run_passes_and_writes_trajectory(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_trajectory.json"
+        code = main(self.GATE_ARGS + ["--trajectory", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "no regressions" in out
+        assert "speedups" in out
+        entries = json.loads(path.read_text())["entries"]
+        assert len(entries) == 1
+        assert len(entries[0]["speedups"]) == 5  # one per default pair
+
+    def test_warn_only_swallows_regressions(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_trajectory.json"
+        assert main(self.GATE_ARGS + ["--trajectory", str(path)]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        for result in data["entries"][0]["results"]:
+            result["packets_per_sec"] *= 1000  # impossible baseline
+        path.write_text(json.dumps(data))
+
+        hard = main(self.GATE_ARGS + ["--trajectory", str(path),
+                                      "--no-append"])
+        capsys.readouterr()
+        assert hard == 1
+        soft = main(self.GATE_ARGS + ["--trajectory", str(path),
+                                      "--no-append", "--warn-only"])
+        out = capsys.readouterr().out
+        assert soft == 0
+        assert "warn-only" in out

@@ -1,0 +1,91 @@
+"""Golden-trace conformance: fast twins vs committed reference traces.
+
+``tests/golden/*.json`` pins the per-packet decisions of every
+reference algorithm on three seeded TPC/A streams (regenerate with
+``PYTHONPATH=src python tests/golden/generate_golden.py``).  This suite
+asserts byte-for-byte agreement three ways:
+
+* the reference structures still reproduce their own goldens -- any
+  semantic drift in ``repro.core`` shows up here first;
+* each ``fast-`` twin reproduces the reference trace through the
+  per-call ``lookup`` path;
+* each ``fast-`` twin reproduces it through ``lookup_batch``, at an
+  awkward batch size so chunk boundaries land mid-stream.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fastpath.conformance import decision_trace, golden_stream
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def load_golden(path: pathlib.Path) -> dict:
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module", params=[p.name for p in GOLDEN_FILES])
+def golden(request):
+    golden = load_golden(GOLDEN_DIR / request.param)
+    stream = golden_stream(
+        golden["stream"]["seed"],
+        n_users=golden["stream"]["n_users"],
+        duration=golden["stream"]["duration"],
+    )
+    return golden, stream
+
+
+def test_golden_files_exist():
+    assert len(GOLDEN_FILES) >= 3, (
+        "golden traces missing; run tests/golden/generate_golden.py"
+    )
+
+
+def test_stream_shape_matches_golden(golden):
+    data, stream = golden
+    assert len(stream.packets) == data["packets"]
+
+
+def test_reference_reproduces_golden(golden):
+    data, stream = golden
+    for spec, expected in data["decisions"].items():
+        assert decision_trace(spec, stream) == expected, spec
+
+
+def test_fast_reproduces_golden_per_call(golden):
+    data, stream = golden
+    for spec, expected in data["decisions"].items():
+        assert decision_trace(f"fast-{spec}", stream) == expected, spec
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+def test_fast_reproduces_golden_batched(golden, batch_size):
+    data, stream = golden
+    for spec, expected in data["decisions"].items():
+        trace = decision_trace(
+            f"fast-{spec}", stream, use_batch=True, batch_size=batch_size
+        )
+        assert trace == expected, (spec, batch_size)
+
+
+def test_sharded_fast_matches_sharded_reference(golden):
+    # The composed prefixes: sharded facade over fast shards, batched.
+    # Sharding changes examined counts (each shard scans its own slice),
+    # so the oracle is the sharded *reference*, replayed per-call.
+    data, stream = golden
+    for spec in data["decisions"]:
+        name, _, params = spec.partition(":")
+        suffix = f",{params}" if params else ""
+        reference = decision_trace(
+            f"sharded-{name}:shards=4" + suffix, stream
+        )
+        fast = decision_trace(
+            f"sharded-fast-{name}:shards=4" + suffix, stream, use_batch=True
+        )
+        assert fast == reference, spec

@@ -1,0 +1,131 @@
+"""Direct unit tests for :mod:`repro.faults.audit`.
+
+``audit_stack`` duck-types its argument -- anything with a ``table``
+(iterable, sized, carrying ``max_connections``) and an ``address``
+participates -- so these tests drive it with a minimal fake host and
+with deliberately corrupted tables, covering each violation branch the
+chaos campaigns rely on: len/iteration drift, duplicate PCBs, CLOSED
+leaks, over-capacity tables, and the ``expect_empty`` mode.
+"""
+
+from __future__ import annotations
+
+from repro.core.linear import LinearDemux
+from repro.core.pcb import PCB
+from repro.faults.audit import audit_stack
+from repro.tcpstack.endpoint import TCPEndpoint
+from repro.tcpstack.pcb_table import PCBTable
+from repro.packet.addresses import IPv4Address
+
+from conftest import make_tuple
+
+
+class FakeHost:
+    """The minimal surface ``audit_stack`` touches."""
+
+    def __init__(self, table):
+        self.table = table
+        self.address = IPv4Address("10.0.0.1")
+
+
+def healthy_host(npcbs=3, max_connections=None):
+    table = PCBTable(LinearDemux(), max_connections=max_connections)
+    for i in range(npcbs):
+        table.insert(PCB(make_tuple(i)))
+    return FakeHost(table)
+
+
+class BrokenLenTable:
+    """A table whose ``__len__`` disagrees with iteration."""
+
+    max_connections = None
+
+    def __init__(self, pcbs, claimed_len):
+        self._pcbs = pcbs
+        self._claimed = claimed_len
+
+    def __len__(self):
+        return self._claimed
+
+    def __iter__(self):
+        return iter(self._pcbs)
+
+
+class RawTable:
+    """A table that yields exactly the PCBs it is given."""
+
+    def __init__(self, pcbs, max_connections=None):
+        self._pcbs = pcbs
+        self.max_connections = max_connections
+
+    def __len__(self):
+        return len(self._pcbs)
+
+    def __iter__(self):
+        return iter(self._pcbs)
+
+
+def test_healthy_table_passes():
+    audit = audit_stack(healthy_host())
+    assert audit.ok
+    assert audit.table_len == audit.iterated == 3
+    assert "OK" in audit.describe()
+
+
+def test_len_iteration_drift_is_flagged():
+    pcbs = [PCB(make_tuple(i)) for i in range(2)]
+    audit = audit_stack(FakeHost(BrokenLenTable(pcbs, claimed_len=5)))
+    assert not audit.ok
+    assert any("__len__" in v for v in audit.violations)
+
+
+def test_duplicate_pcb_is_flagged():
+    tup = make_tuple(0)
+    audit = audit_stack(FakeHost(RawTable([PCB(tup), PCB(tup)])))
+    assert not audit.ok
+    assert any("duplicate" in v for v in audit.violations)
+
+
+def test_closed_endpoint_leak_is_flagged():
+    pcb = PCB(make_tuple(0))
+    # TCPEndpoint binds itself to pcb.user_data and starts CLOSED --
+    # exactly the leak shape: teardown finished, table entry survived.
+    TCPEndpoint(stack=None, pcb=pcb)
+    audit = audit_stack(FakeHost(RawTable([pcb])))
+    assert not audit.ok
+    assert any("CLOSED" in v for v in audit.violations)
+
+
+def test_non_endpoint_user_data_is_ignored():
+    pcb = PCB(make_tuple(0))
+    pcb.user_data = {"note": "not an endpoint"}
+    assert audit_stack(FakeHost(RawTable([pcb]))).ok
+
+
+def test_over_capacity_is_flagged():
+    pcbs = [PCB(make_tuple(i)) for i in range(3)]
+    audit = audit_stack(FakeHost(RawTable(pcbs, max_connections=2)))
+    assert not audit.ok
+    assert any("capacity" in v for v in audit.violations)
+
+
+def test_unbounded_table_never_over_capacity():
+    assert audit_stack(healthy_host(npcbs=10)).ok
+
+
+def test_expect_empty_flags_survivors():
+    audit = audit_stack(healthy_host(npcbs=1), expect_empty=True)
+    assert not audit.ok
+    assert any("expected empty" in v for v in audit.violations)
+    assert audit_stack(healthy_host(npcbs=0), expect_empty=True).ok
+
+
+def test_describe_lists_every_violation():
+    tup = make_tuple(0)
+    audit = audit_stack(
+        FakeHost(RawTable([PCB(tup), PCB(tup)], max_connections=1)),
+        expect_empty=True,
+    )
+    text = audit.describe()
+    assert "violation" in text
+    assert text.count("  - ") == len(audit.violations) >= 3

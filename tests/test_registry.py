@@ -85,3 +85,78 @@ class TestParameterizedSpecs:
         for pcb in make_pcbs(2):
             a.insert(pcb)
         assert len(b) == 0
+
+
+class TestRejectionMessages:
+    """Unknown options must name both the offender and the accepted set."""
+
+    def test_error_names_the_bad_option(self):
+        with pytest.raises(ValueError, match="chains"):
+            make_algorithm("sequent:chains=19")
+
+    def test_error_lists_accepted_options(self):
+        with pytest.raises(ValueError, match="accepts: h, hash, overload"):
+            make_algorithm("sequent:chains=19")
+        with pytest.raises(ValueError, match="accepts: h, hash, cache"):
+            make_algorithm("hashed_mtf:k=5")
+        with pytest.raises(ValueError, match="accepts: k"):
+            make_algorithm("multicache:size=4")
+        with pytest.raises(ValueError, match="accepts: max"):
+            make_algorithm("connection_id:cap=10")
+
+    def test_optionless_algorithms_say_none(self):
+        with pytest.raises(ValueError, match="accepts: none"):
+            make_algorithm("bsd:h=19")
+
+    def test_multiple_bad_options_all_named(self):
+        with pytest.raises(ValueError, match="chains, depth"):
+            make_algorithm("sequent:chains=19,depth=3")
+
+    def test_fast_spec_errors_name_the_fast_spec(self):
+        with pytest.raises(
+            ValueError, match="'fast-sequent'.*accepts: h, hash, overload"
+        ):
+            make_algorithm("fast-sequent:chains=19")
+
+
+class TestFastVariants:
+    @pytest.mark.parametrize(
+        "name", ["fast-linear", "fast-bsd", "fast-mtf", "fast-sequent",
+                 "fast-hashed_mtf"]
+    )
+    def test_every_fast_name_constructs(self, name):
+        algorithm = make_algorithm(name)
+        assert algorithm.name == name
+        for pcb in make_pcbs(3):
+            algorithm.insert(pcb)
+        assert len(algorithm) == 3
+
+    def test_fast_names_are_advertised(self):
+        names = list(available_algorithms())
+        assert "fast-sequent" in names
+        assert names == sorted(names)
+
+    def test_fast_accepts_reference_options(self):
+        demux = make_algorithm("fast-sequent:h=51,hash=xor_fold,overload=9")
+        assert demux.nchains == 51
+        assert demux._hash is xor_fold
+        assert demux.overload_threshold == 9
+        assert make_algorithm("fast-sequent").nchains == 19
+
+    def test_fast_hashed_mtf_cache_flag(self):
+        off = make_algorithm("fast-hashed_mtf:h=5,cache=no")
+        assert off._per_chain_cache is False
+
+    def test_unknown_fast_name_lists_known(self):
+        with pytest.raises(ValueError, match="fast-sequent"):
+            make_algorithm("fast-btree")
+
+    def test_fast_has_no_connection_id_twin(self):
+        with pytest.raises(ValueError, match="known:"):
+            make_algorithm("fast-connection_id")
+
+    def test_sharded_fast_composes(self):
+        demux = make_algorithm("sharded-fast-sequent:shards=4,h=5")
+        assert demux.nshards == 4
+        assert demux.name == "sharded-fast-sequent"
+        assert demux.shards[0].nchains == 5
