@@ -10,6 +10,7 @@ Subcommands::
     fault-matrix          robustness campaign: algorithms x faults x seeds
     smp-sweep             sharded demux: shard count x steering x batch size
     bench-gate            fast-path throughput sweep + cross-PR regression gate
+    leak-audit            churn + SYN-flood memory-bounds audit of the fast path
     hash-balance          chain-balance comparison of the hash functions
     pcap                  summarize a capture written by the simulator
     run-all               write every artifact into an output directory
@@ -111,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("reject-new", "evict-oldest-embryonic"),
         default="reject-new",
         help="what a full bounded table does with new SYNs",
+    )
+    simulate.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "reap connections idle this long; enables the lifecycle"
+            " reaper (implies --full-stack)"
+        ),
+    )
+    simulate.add_argument(
+        "--time-wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "reaper-managed TIME-WAIT quarantine instead of the fixed"
+            " 2*MSL event (implies --full-stack)"
+        ),
     )
     simulate.add_argument(
         "--trace-out",
@@ -300,6 +321,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional packets/sec drop that fails the gate",
     )
 
+    leak = sub.add_parser(
+        "leak-audit",
+        help=(
+            "memory-bounds smoke: churn-storm and SYN-flood each"
+            " algorithm, then audit interned keys vs live connections"
+        ),
+    )
+    leak.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        help=(
+            "specs to audit (default: fast-sequent:h=19"
+            " sharded-fast-sequent:shards=4,h=19)"
+        ),
+    )
+    leak.add_argument("--seeds", nargs="+", type=int, default=[1])
+    leak.add_argument(
+        "--steps",
+        type=int,
+        default=10000,
+        help="churn-storm mutation steps per cell",
+    )
+    leak.add_argument(
+        "--grace",
+        type=int,
+        default=0,
+        help="allowed interned-keys overhang above the live population",
+    )
+    leak.add_argument(
+        "--skip-flood",
+        action="store_true",
+        help="churn-storm cells only (faster; no full-stack pass)",
+    )
+
     balance = sub.add_parser(
         "hash-balance", help="hash function balance comparison"
     )
@@ -380,7 +436,10 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         think_model=make_think_model(args.think_model),
     )
-    full_stack = args.full_stack or bool(args.faults)
+    lifecycle = (
+        args.idle_timeout is not None or args.time_wait is not None
+    )
+    full_stack = args.full_stack or bool(args.faults) or lifecycle
     if full_stack:
         from .faults.config import parse_fault_spec
         from .workload.tpca import TPCAFullStackSimulation
@@ -391,6 +450,8 @@ def _cmd_simulate(args) -> int:
             fault_models=parse_fault_spec(args.faults or ""),
             max_connections=args.max_connections,
             overflow_policy=args.overflow_policy,
+            idle_timeout=args.idle_timeout,
+            time_wait_timeout=args.time_wait,
         )
     else:
         simulation = TPCADemuxSimulation(config, algorithm)
@@ -414,7 +475,7 @@ def _cmd_simulate(args) -> int:
     print(f"  max examined: {result.max_examined}")
     print(f"  structure: {algorithm.describe()}")
     if full_stack:
-        from .faults.audit import audit_stack
+        from .faults.audit import audit_leaks, audit_stack
 
         server = simulation.server
         print(
@@ -426,9 +487,19 @@ def _cmd_simulate(args) -> int:
         if simulation.injector is not None:
             print(f"  {simulation.injector.summary()}")
             print(f"  fault digest: {simulation.injector.schedule_digest()}")
+        if server.reaper is not None:
+            stats = server.reaper.stats
+            print(
+                f"  reaped: idle={server.reaped['idle']}"
+                f" time-wait={server.reaped['time-wait']}"
+                f" spurious-wakeups={stats.spurious_wakeups}"
+                f" timers={stats.timers_scheduled}"
+            )
         audit = audit_stack(server)
         print(f"  {audit.describe()}")
-        if not audit.ok:
+        leak = audit_leaks(server.demux)
+        print(f"  {leak.describe()}")
+        if not audit.ok or not leak.ok:
             return 1
 
     if profiler is not None:
@@ -460,6 +531,10 @@ def _cmd_simulate(args) -> int:
             )
             if simulation.injector is not None:
                 publish_injector(registry, simulation.injector)
+            if simulation.server.reaper is not None:
+                from .lifecycle import publish_lifecycle
+
+                publish_lifecycle(registry, simulation.server.reaper)
         if profiler is not None:
             report = profiler.report()
             profile_gauges = registry.gauge(
@@ -652,6 +727,78 @@ def _cmd_bench_gate(args) -> int:
     return 0 if report.ok or args.warn_only else 1
 
 
+#: Default structures the leak audit exercises: the plain fast path
+#: and the sharded facade (whose shards intern independently).
+LEAK_AUDIT_ALGORITHMS = (
+    "fast-sequent:h=19",
+    "sharded-fast-sequent:shards=4,h=19",
+)
+
+
+def _cmd_leak_audit(args) -> int:
+    from .faults.audit import audit_leaks, audit_stack
+    from .lifecycle.metrics import count_interned
+    from .workload.adversarial import ChurnStormWorkload, SynFloodWorkload
+
+    specs = args.algorithms or list(LEAK_AUDIT_ALGORITHMS)
+    failures = []
+
+    def check(label, audit):
+        print(f"  {audit.describe()}")
+        if not audit.ok:
+            failures.append(label)
+
+    for spec in specs:
+        for seed in args.seeds:
+            label = f"{spec} seed={seed}"
+            print(f"churn-storm: {label}")
+            algorithm = make_algorithm(spec)
+            result = ChurnStormWorkload(
+                algorithm, steps=args.steps, seed=seed
+            ).run()
+            print(f"  {result.summary()}")
+            check(f"churn {label}", audit_leaks(algorithm, grace=args.grace))
+            # Drain the survivors: with every connection gone, the
+            # intern tables must be empty -- the PR 4 leak in one line.
+            for pcb in list(algorithm):
+                algorithm.remove(pcb.four_tuple)
+            drained = count_interned(algorithm)
+            status = "OK" if not drained else f"LEAK ({drained} retained)"
+            print(f"  drained: live=0 interned={drained or 0}, {status}")
+            if drained:
+                failures.append(f"drain {label}")
+
+            if args.skip_flood:
+                continue
+            print(f"syn-flood: {label}")
+            flood = SynFloodWorkload(
+                algorithm=make_algorithm(spec),
+                max_connections=64,
+                overflow_policy="evict-oldest-embryonic",
+                idle_timeout=5.0,
+                time_wait_timeout=0.5,
+                seed=seed,
+            )
+            flood_result = flood.run()
+            print(f"  {flood_result.summary()}")
+            reaped = flood.server.reaped
+            print(
+                f"  reaped: idle={reaped['idle']}"
+                f" time-wait={reaped['time-wait']}"
+            )
+            check(f"flood {label} (stack)", audit_stack(flood.server))
+            check(
+                f"flood {label} (leaks)",
+                audit_leaks(flood.server.demux, grace=args.grace),
+            )
+
+    if failures:
+        print(f"leak-audit: {len(failures)} FAILURE(S): {', '.join(failures)}")
+        return 1
+    print("leak-audit: all cells OK")
+    return 0
+
+
 def _cmd_hash_balance(args) -> int:
     config = TPCAConfig(n_users=args.users)
     keys = [config.user_tuple(i) for i in range(args.users)]
@@ -739,6 +886,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fault-matrix": lambda: _cmd_fault_matrix(args),
         "smp-sweep": lambda: _cmd_smp_sweep(args),
         "bench-gate": lambda: _cmd_bench_gate(args),
+        "leak-audit": lambda: _cmd_leak_audit(args),
         "hash-balance": lambda: _cmd_hash_balance(args),
         "pcap": lambda: _cmd_pcap(args),
         "run-all": lambda: _cmd_run_all(args),

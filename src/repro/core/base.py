@@ -30,6 +30,14 @@ event tracing (``self.tracer``), and sampled wall-clock profiling
 With no tracer or profiler attached, each operation pays a single
 ``is None`` check -- tracing and profiling never change results,
 statistics, or RNG state.
+
+Lifecycle hooks (see :mod:`repro.lifecycle` and docs/lifecycle.md):
+``self.lifecycle`` may hold a reaper observing the population --
+``note_insert``/``note_remove`` on mutation, ``note_touch`` on found
+lookups and outbound sends.  Like the tracer, it is ``None`` by
+default and costs one check per operation; unlike the tracer, it may
+*remove* connections (via the public ``remove``), never alter a
+lookup's decision.
 """
 
 from __future__ import annotations
@@ -95,6 +103,10 @@ class DemuxAlgorithm(abc.ABC):
         self.tracer: Optional["Tracer"] = None
         # Set/cleared by LookupProfiler.attach()/detach().
         self._profiler: Optional["LookupProfiler"] = None
+        #: Optional :class:`repro.lifecycle.ConnectionReaper` observing
+        #: inserts, removes, and activity.  Installed by the reaper's
+        #: constructor; ``None`` keeps the hot path bare.
+        self.lifecycle = None
 
     # -- public API ------------------------------------------------------
 
@@ -140,6 +152,8 @@ class DemuxAlgorithm(abc.ABC):
         holds the PCB.
         """
         self._note_send(pcb)
+        if self.lifecycle is not None:
+            self.lifecycle.note_touch(pcb.four_tuple)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit_note_send(self.name, pcb.four_tuple)
@@ -151,6 +165,8 @@ class DemuxAlgorithm(abc.ABC):
         already present.
         """
         self._insert(pcb)
+        if self.lifecycle is not None:
+            self.lifecycle.note_insert(pcb)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit_insert(self.name, pcb.four_tuple)
@@ -163,6 +179,8 @@ class DemuxAlgorithm(abc.ABC):
         resurrect closed connections.
         """
         pcb = self._remove(tup)
+        if self.lifecycle is not None:
+            self.lifecycle.note_remove(tup)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit_remove(self.name, tup)
@@ -202,6 +220,8 @@ class DemuxAlgorithm(abc.ABC):
                 kind=result.kind,
             )
         )
+        if self.lifecycle is not None and tup is not None and result.found:
+            self.lifecycle.note_touch(tup)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit_lookup(self.name, tup, result)

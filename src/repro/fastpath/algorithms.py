@@ -69,16 +69,26 @@ class _FastDemux(BatchLookupMixin, DemuxAlgorithm):
         self._present.add(key)
 
     def _remove(self, tup: FourTuple) -> PCB:
-        key, chain = self._keycache.entry(tup)
+        key, chain = self._keycache.probe(tup)
         if key not in self._present:
             raise KeyError(tup)
         pcb = self._tables[chain].remove_key(key)
         self._present.discard(key)
         self._invalidate_cache(chain, key)
+        # The connection is gone; its interned entry goes with it, or
+        # a churn workload would retain one memo per connection ever
+        # seen (the PR 4 leak).
+        self._keycache.evict(tup)
         return pcb
 
     def _invalidate_cache(self, chain: int, key: int) -> None:
         """Hook for cached subclasses (default: no cache to clear)."""
+
+    @property
+    def interned_entries(self) -> int:
+        """Interned-key count; equals ``len(self)`` by the memory-bounds
+        contract (one memo per live connection, none for dead ones)."""
+        return len(self._keycache)
 
     def __len__(self) -> int:
         return len(self._present)
@@ -101,7 +111,7 @@ class FastLinearDemux(_FastDemux):
         super().__init__(nchains=1)
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
-        key, _ = self._keycache.entry(tup)
+        key, _ = self._keycache.probe(tup)
         table = self._tables[0]
         index, examined = table.scan(key)
         pcb = table.pcbs[index] if index >= 0 else None
@@ -126,7 +136,7 @@ class FastBSDDemux(_FastDemux):
         self._cache.invalidate_if(key)
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
-        key, _ = self._keycache.entry(tup)
+        key, _ = self._keycache.probe(tup)
         cache = self._cache
         examined = 0
         if cache.key is not None:
@@ -154,7 +164,7 @@ class FastMTFDemux(_FastDemux):
         super().__init__(nchains=1)
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
-        key, _ = self._keycache.entry(tup)
+        key, _ = self._keycache.probe(tup)
         table = self._tables[0]
         index, examined = table.scan(key)
         if index >= 0:
@@ -248,7 +258,7 @@ class FastSequentDemux(_FastChained):
         self._caches[chain].invalidate_if(key)
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
-        key, chain = self._keycache.entry(tup)
+        key, chain = self._keycache.probe(tup)
         cache = self._caches[chain]
         examined = 0
         if cache.key is not None:
@@ -297,7 +307,7 @@ class FastHashedMTFDemux(_FastChained):
         self._caches[chain].invalidate_if(key)
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
-        key, chain = self._keycache.entry(tup)
+        key, chain = self._keycache.probe(tup)
         examined = 0
         cache = self._caches[chain]
         if self._per_chain_cache and cache.key is not None:

@@ -10,10 +10,10 @@ base implementation simply loops ``lookup``) with a tight loop that
 hoists the hook checks out of the per-packet path while recording
 statistics *identically* -- same records, same order, same histogram.
 
-When a tracer or profiler is attached the mixin falls back to the
-per-call path, because those hooks are defined per lookup; batching
-never changes what observability reports, only how fast the bare hot
-path runs.
+When a tracer, profiler, or lifecycle reaper is attached the mixin
+falls back to the per-call path, because those hooks are defined per
+lookup; batching never changes what observability (or reaping)
+observes, only how fast the bare hot path runs.
 """
 
 from __future__ import annotations
@@ -61,8 +61,10 @@ class BatchLookupMixin:
         self, packets: Sequence[Packet]
     ) -> List[LookupResult]:
         tracer = self.tracer
-        if self._profiler is not None or (
-            tracer is not None and tracer.enabled
+        if (
+            self._profiler is not None
+            or self.lifecycle is not None
+            or (tracer is not None and tracer.enabled)
         ):
             # Hooks are per-lookup by contract; take the exact path.
             return [self.lookup(tup, kind) for tup, kind in packets]

@@ -20,6 +20,7 @@ batched lookup paths.
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
 
 from ..core.registry import make_algorithm
@@ -29,8 +30,12 @@ from ..workload.record import RecordedStream, record_tpca_stream
 
 __all__ = [
     "Decision",
+    "ChurnOp",
+    "churn_ops",
+    "churn_tuple",
     "decision_trace",
     "golden_stream",
+    "mutation_trace",
     "stray_tuple",
 ]
 
@@ -105,3 +110,117 @@ def decision_trace(
         [int(result.found), result.examined, int(result.cache_hit)]
         for result in results
     ]
+
+
+#: One churn operation: ``("insert", id)``, ``("remove", id)``, or
+#: ``("lookup", id, "data"|"ack")`` -- connection ids are stable ints
+#: that :func:`churn_tuple` maps to four-tuples, so an op list is a
+#: plain JSON-able value any structure can replay.
+ChurnOp = Tuple
+
+#: Caps on the churn id space: above these the address/port folding in
+#: :func:`churn_tuple` starts reusing four-tuples for distinct ids.
+_CHURN_ID_LIMIT = 20000
+
+
+def churn_tuple(index: int) -> FourTuple:
+    """The four-tuple for churn connection id ``index`` (stable)."""
+    return FourTuple(
+        IPv4Address("10.0.0.1"),
+        1521,
+        IPv4Address("10.2.0.0") + (index % 65534 + 1),
+        40000 + index % 20000,
+    )
+
+
+def churn_ops(seed: int, *, steps: int = 4000) -> List[ChurnOp]:
+    """A deterministic churn walk mirroring ``ChurnStormWorkload``.
+
+    Each step is a biased coin flip: insert a fresh connection, remove
+    a random live one, or look one up (half the lookups target live
+    connections, half target fresh never-inserted ids -- guaranteed
+    misses, exercising the non-interning probe path).  The op list is
+    valid by construction: every remove names a live connection.
+    """
+    if not 1 <= steps <= _CHURN_ID_LIMIT:
+        raise ValueError(
+            f"steps must be in [1, {_CHURN_ID_LIMIT}], got {steps}"
+        )
+    rng = random.Random(seed)
+    ops: List[ChurnOp] = []
+    live: List[int] = []
+    next_id = 0
+    for _ in range(steps):
+        action = rng.random()
+        if action < 0.25 or not live:
+            ops.append(("insert", next_id))
+            live.append(next_id)
+            next_id += 1
+        elif action < 0.5:
+            victim = rng.randrange(len(live))
+            live[victim], live[-1] = live[-1], live[victim]
+            ops.append(("remove", live.pop()))
+        else:
+            if rng.random() < 0.5:
+                target = live[rng.randrange(len(live))]
+            else:
+                target = next_id  # never inserted: a guaranteed miss
+                next_id += 1
+            kind = "data" if rng.random() < 0.5 else "ack"
+            ops.append(("lookup", target, kind))
+    return ops
+
+
+def mutation_trace(
+    spec: str,
+    ops: List[ChurnOp],
+    *,
+    use_batch: bool = False,
+    batch_size: int = 32,
+):
+    """Replay a churn op list through ``spec``.
+
+    Returns ``(decisions, algorithm)``: the decision trace of the
+    lookups (same triples as :func:`decision_trace`) and the mutated
+    structure itself, so callers can audit what the churn left behind
+    (live population, interned keys).  With ``use_batch=True``, runs
+    of consecutive lookups go through ``lookup_batch`` in
+    ``batch_size`` chunks; mutations flush the pending batch first,
+    preserving op order exactly.
+    """
+    from ..core.pcb import PCB  # local: keep module import light
+
+    algorithm = make_algorithm(spec)
+    decisions: List[Decision] = []
+    pending: List[Tuple[FourTuple, PacketKind]] = []
+
+    def flush() -> None:
+        for start in range(0, len(pending), batch_size):
+            for result in algorithm.lookup_batch(
+                pending[start:start + batch_size]
+            ):
+                decisions.append(
+                    [int(result.found), result.examined, int(result.cache_hit)]
+                )
+        pending.clear()
+
+    for op in ops:
+        if op[0] == "insert":
+            flush()
+            algorithm.insert(PCB(churn_tuple(op[1])))
+        elif op[0] == "remove":
+            flush()
+            algorithm.remove(churn_tuple(op[1]))
+        elif op[0] == "lookup":
+            kind = PacketKind.DATA if op[2] == "data" else PacketKind.ACK
+            if use_batch:
+                pending.append((churn_tuple(op[1]), kind))
+            else:
+                result = algorithm.lookup(churn_tuple(op[1]), kind)
+                decisions.append(
+                    [int(result.found), result.examined, int(result.cache_hit)]
+                )
+        else:
+            raise ValueError(f"unknown churn op {op!r}")
+    flush()
+    return decisions, algorithm

@@ -218,7 +218,15 @@ def _load_trajectory(path: str) -> Dict[str, object]:
 def _baselines(
     trajectory: Dict[str, object]
 ) -> Dict[str, float]:
-    """Most recent packets/sec per measurement key, oldest first."""
+    """Best recorded packets/sec per measurement key.
+
+    The gate must compare against each key's trajectory *maximum*, not
+    its latest entry: last-write-wins would let a sequence of
+    sub-threshold drops ratchet the baseline down -- each run 9% slower
+    than the one before it passes forever, compounding unnoticed.
+    Against the maximum, slow drift accumulates until it trips the
+    threshold once, exactly as a single large regression would.
+    """
     baselines: Dict[str, float] = {}
     for entry in trajectory["entries"]:
         for result in entry.get("results", []):
@@ -228,7 +236,8 @@ def _baselines(
                 f";d={config.get('duration', 0):g}"
                 f";seed={config.get('seed', 0)}"
             )
-            baselines[key] = float(result["packets_per_sec"])
+            value = float(result["packets_per_sec"])
+            baselines[key] = max(baselines.get(key, value), value)
     return baselines
 
 

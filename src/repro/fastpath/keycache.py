@@ -46,6 +46,11 @@ class FastpathCounters:
     interned_keys: int = 0
     #: Lookups served from the intern table (key-cache hits).
     key_cache_hits: int = 0
+    #: Interned entries evicted on connection removal.
+    evicted_keys: int = 0
+    #: Probes of never-interned tuples whose key was computed on the
+    #: fly and *not* stored (miss lookups on absent connections).
+    transient_probes: int = 0
     #: ``lookup_batch`` invocations that took the amortized loop.
     batch_calls: int = 0
     #: Individual lookups served through the amortized loop.
@@ -56,6 +61,8 @@ class FastpathCounters:
         return {
             "interned_keys": self.interned_keys,
             "key_cache_hits": self.key_cache_hits,
+            "evicted_keys": self.evicted_keys,
+            "transient_probes": self.transient_probes,
             "batch_calls": self.batch_calls,
             "batched_lookups": self.batched_lookups,
         }
@@ -69,6 +76,17 @@ class KeyCache:
     is sound because every hash function in :mod:`repro.hashing` is a
     deterministic, unseeded pure function of the tuple, and the chain
     count is fixed for the structure's lifetime.
+
+    Memory-bounds contract: only :meth:`entry` (the insert path) may
+    store a memo; :meth:`probe` (the lookup/remove path) computes the
+    pair on the fly for unknown tuples without storing, and
+    :meth:`evict` drops the memo when its connection is removed.  The
+    owning structure therefore holds exactly one interned entry per
+    *live* connection -- heavy insert/remove churn and miss-lookup
+    floods cannot grow the table (see docs/fastpath.md, "Memory
+    bounds").  Because key and chain are pure functions of the tuple,
+    evicting and later recomputing an entry can never change a
+    decision.
     """
 
     __slots__ = ("_entries", "_chain_fn", "counters")
@@ -86,21 +104,55 @@ class KeyCache:
         return len(self._entries)
 
     def entry(self, tup: FourTuple) -> Tuple[int, int]:
-        """The interned ``(key, chain)`` pair for ``tup``."""
+        """The ``(key, chain)`` pair for ``tup``, interning it.
+
+        The *insert* path: the connection is becoming live, so the
+        memo is stored for the packets that will follow.
+        """
         entry = self._entries.get(tup)
         if entry is None:
-            chain = self._chain_fn(tup) if self._chain_fn is not None else 0
-            entry = (tup.key_bits(), chain)
+            entry = self._compute(tup)
             self._entries[tup] = entry
             self.counters.interned_keys += 1
         else:
             self.counters.key_cache_hits += 1
         return entry
 
+    def probe(self, tup: FourTuple) -> Tuple[int, int]:
+        """The ``(key, chain)`` pair for ``tup``, *without* interning.
+
+        The *lookup/remove* path: a tuple that is not already interned
+        is either a miss or a teardown, so storing a memo for it would
+        leak one entry per stray packet.  Live tuples hit the same
+        dict read as :meth:`entry`; unknown ones pay one throwaway key
+        computation.
+        """
+        entry = self._entries.get(tup)
+        if entry is None:
+            self.counters.transient_probes += 1
+            return self._compute(tup)
+        self.counters.key_cache_hits += 1
+        return entry
+
+    def evict(self, tup: FourTuple) -> bool:
+        """Drop ``tup``'s interned entry (connection removed).
+
+        Returns ``True`` if an entry was present.  Safe to call for
+        never-interned tuples (idempotent).
+        """
+        if self._entries.pop(tup, None) is not None:
+            self.counters.evicted_keys += 1
+            return True
+        return False
+
+    def _compute(self, tup: FourTuple) -> Tuple[int, int]:
+        chain = self._chain_fn(tup) if self._chain_fn is not None else 0
+        return (tup.key_bits(), chain)
+
     def key_of(self, tup: FourTuple) -> int:
-        """The interned 96-bit integer key for ``tup``."""
-        return self.entry(tup)[0]
+        """The 96-bit integer key for ``tup`` (non-interning)."""
+        return self.probe(tup)[0]
 
     def chain_of(self, tup: FourTuple) -> int:
-        """The memoized chain index for ``tup`` (0 when unchained)."""
-        return self.entry(tup)[1]
+        """The chain index for ``tup`` (0 when unchained; non-interning)."""
+        return self.probe(tup)[1]

@@ -16,18 +16,25 @@ matter what the network did to it:
 The result is a :class:`PCBAudit` report rather than an assertion so
 the fault matrix can aggregate violations across a whole campaign and
 the chaos CI job can print every failure before exiting nonzero.
+
+:func:`audit_leaks` is the memory-bounds companion: it checks that a
+demux structure's *auxiliary* state (the fast path's interned-key
+table, per shard for sharded facades) has not outgrown the live
+connection population -- the class of slow leak a crash-free fault
+campaign would otherwise never notice.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import List, Optional
 
+from ..lifecycle.metrics import count_interned
 from ..tcpstack.endpoint import TCPEndpoint
 from ..tcpstack.stack import HostStack
 from ..tcpstack.states import TCPState
 
-__all__ = ["PCBAudit", "audit_stack"]
+__all__ = ["LeakAudit", "PCBAudit", "audit_leaks", "audit_stack"]
 
 
 @dataclasses.dataclass
@@ -85,4 +92,76 @@ def audit_stack(stack: HostStack, *, expect_empty: bool = False) -> PCBAudit:
         audit.violations.append(
             f"expected empty table, found {len(pcbs)} PCB(s)"
         )
+    return audit
+
+
+@dataclasses.dataclass
+class LeakAudit:
+    """Outcome of one memory-bounds audit of a demux structure."""
+
+    label: str
+    live: int
+    #: Total interned fast-path entries, or ``None`` for structures
+    #: with no intern table (the references -- nothing *can* leak).
+    interned: Optional[int]
+    grace: int
+    violations: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        interned = "n/a" if self.interned is None else str(self.interned)
+        lines = [
+            f"leak-audit {self.label}: live={self.live}"
+            f" interned={interned} grace={self.grace}, {status}"
+        ]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def audit_leaks(algorithm, *, grace: int = 0, label: Optional[str] = None) -> LeakAudit:
+    """Check that ``algorithm``'s auxiliary state tracks its population.
+
+    The memory-bounds contract (docs/fastpath.md): a fast structure
+    interns exactly one key memo per *live* connection, so after any
+    sequence of inserts, removes, and lookups --
+
+    * total interned entries must not exceed live connections plus
+      ``grace`` (whole structure *and* each shard of a sharded facade);
+    * ``__len__`` must agree with iteration (bookkeeping drift is how
+      these leaks hide).
+
+    ``grace`` exists for structures that legitimately retain a bounded
+    overhang; the stock fast path needs none.
+    """
+    name = label if label is not None else getattr(
+        algorithm, "name", type(algorithm).__name__
+    )
+    live = len(algorithm)
+    audit = LeakAudit(
+        label=name, live=live, interned=count_interned(algorithm), grace=grace
+    )
+    iterated = sum(1 for _ in algorithm)
+    if live != iterated:
+        audit.violations.append(
+            f"__len__ says {live} but iteration yields {iterated}"
+        )
+    if audit.interned is not None and audit.interned > live + grace:
+        audit.violations.append(
+            f"interned keys leak: {audit.interned} interned"
+            f" > {live} live + {grace} grace"
+        )
+    for index, shard in enumerate(getattr(algorithm, "shards", ()) or ()):
+        shard_interned = getattr(shard, "interned_entries", None)
+        if shard_interned is None:
+            continue
+        shard_live = len(shard)
+        if shard_interned > shard_live + grace:
+            audit.violations.append(
+                f"shard {index} interned keys leak: {shard_interned}"
+                f" interned > {shard_live} live + {grace} grace"
+            )
     return audit

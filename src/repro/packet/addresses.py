@@ -15,8 +15,9 @@ compare millions of them per simulation run.
 
 from __future__ import annotations
 
+import collections
 import re
-from typing import Iterator, NamedTuple, Tuple, Union
+from typing import Iterator, Tuple, Union
 
 __all__ = [
     "AddressError",
@@ -165,7 +166,12 @@ def _check_port(port: int, label: str) -> int:
     return port
 
 
-class FourTuple(NamedTuple):
+_FourTupleBase = collections.namedtuple(
+    "FourTuple", ("local_addr", "local_port", "remote_addr", "remote_port")
+)
+
+
+class FourTuple(_FourTupleBase):
     """The 96-bit TCP demultiplexing key.
 
     ``(local addr, local port, remote addr, remote port)`` *as seen by the
@@ -173,12 +179,45 @@ class FourTuple(NamedTuple):
     ``remote`` its source.  This is the quantity Section 1 of the paper
     says totals 96 bits (two 32-bit addresses + two 16-bit ports) and
     therefore cannot be used as a direct array index.
+
+    Construction validates: addresses are coerced through
+    :class:`IPv4Address` (so dotted-quad strings and raw ints are
+    accepted positionally) and ports range-checked, raising
+    :class:`AddressError` immediately.  A plain ``NamedTuple`` silently
+    stored whatever it was handed, and a tuple built from raw strings
+    only exploded much later, inside :meth:`key_bits` on the lookup
+    path -- far from the call site that made it.
     """
 
-    local_addr: IPv4Address
-    local_port: int
-    remote_addr: IPv4Address
-    remote_port: int
+    __slots__ = ()
+
+    def __new__(
+        cls,
+        local_addr: Union[str, int, bytes, IPv4Address],
+        local_port: int,
+        remote_addr: Union[str, int, bytes, IPv4Address],
+        remote_port: int,
+    ) -> "FourTuple":
+        # The isinstance guards keep the common case -- fields that are
+        # already IPv4Address, e.g. via ``reversed`` or ``_replace`` --
+        # free of re-wrapping allocations on the hot path.
+        if not isinstance(local_addr, IPv4Address):
+            local_addr = IPv4Address(local_addr)
+        if not isinstance(remote_addr, IPv4Address):
+            remote_addr = IPv4Address(remote_addr)
+        return super().__new__(
+            cls,
+            local_addr,
+            _check_port(local_port, "local"),
+            remote_addr,
+            _check_port(remote_port, "remote"),
+        )
+
+    @classmethod
+    def _make(cls, iterable) -> "FourTuple":
+        # namedtuple's _make (which _replace uses) calls tuple.__new__
+        # directly, skipping validation; route it back through ours.
+        return cls(*iterable)
 
     @classmethod
     def create(
@@ -188,13 +227,9 @@ class FourTuple(NamedTuple):
         remote_addr: Union[str, int, IPv4Address],
         remote_port: int,
     ) -> "FourTuple":
-        """Validating constructor accepting address strings or ints."""
-        return cls(
-            IPv4Address(local_addr),
-            _check_port(local_port, "local"),
-            IPv4Address(remote_addr),
-            _check_port(remote_port, "remote"),
-        )
+        """Validating constructor; kept as an alias now that the class
+        constructor itself validates."""
+        return cls(local_addr, local_port, remote_addr, remote_port)
 
     @property
     def reversed(self) -> "FourTuple":

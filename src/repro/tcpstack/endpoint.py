@@ -88,13 +88,27 @@ class TCPEndpoint:
         if target is TCPState.ESTABLISHED and self.on_establish:
             self.on_establish(self)
         if target is TCPState.TIME_WAIT:
-            self._stack.sim.schedule(_TIME_WAIT_SECONDS, self._enter_closed)
+            reaper = getattr(self._stack, "reaper", None)
+            if reaper is not None and reaper.handles_time_wait:
+                # The lifecycle reaper owns TIME-WAIT expiry: it sees
+                # the state change and arms its (configurable) timer,
+                # replacing the fixed per-endpoint 2*MSL event.
+                reaper.note_state(self.pcb)
+            else:
+                self._stack.sim.schedule(
+                    _TIME_WAIT_SECONDS, self._enter_closed
+                )
         if target is TCPState.CLOSED:
             self._teardown()
 
     def _enter_closed(self) -> None:
         if self._state is not TCPState.CLOSED:
             self._set_state(TCPState.CLOSED)
+
+    def expire_time_wait(self) -> None:
+        """Finish the TIME-WAIT quarantine now (reaper-driven close)."""
+        if self._state is TCPState.TIME_WAIT:
+            self._enter_closed()
 
     def _teardown(self) -> None:
         self._cancel_rto()

@@ -149,6 +149,20 @@ class PCBTable:
     def __iter__(self) -> Iterator[PCB]:
         return iter(self._algorithm)
 
+    def state_census(self) -> Dict[str, int]:
+        """Live PCBs bucketed by TCP state (O(N); diagnostics only)."""
+        census: Dict[str, int] = {}
+        for pcb in self._algorithm:
+            census[pcb.state] = census.get(pcb.state, 0) + 1
+        return census
+
+    @property
+    def time_wait_count(self) -> int:
+        """Connections lingering in TIME-WAIT, the reaper's main prey."""
+        return sum(
+            1 for pcb in self._algorithm if pcb.state == "TIME_WAIT"
+        )
+
     # -- listeners ---------------------------------------------------------
 
     def add_listener(

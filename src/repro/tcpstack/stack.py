@@ -30,6 +30,7 @@ from typing import Callable, Optional, Union
 from ..core.base import DemuxAlgorithm
 from ..core.pcb import PCB
 from ..core.stats import PacketKind
+from ..lifecycle.reaper import ConnectionReaper
 from ..packet.addresses import FourTuple, IPv4Address
 from ..packet.builder import Packet, parse_packet
 from ..packet.ip import IPv4Header, PacketError
@@ -68,6 +69,9 @@ class HostStack:
         delayed_ack: bool = False,
         max_connections: Optional[int] = None,
         overflow_policy: str = "reject-new",
+        idle_timeout: Optional[float] = None,
+        time_wait_timeout: Optional[float] = None,
+        reap_interval: Optional[float] = None,
     ):
         self.sim = sim
         self.network = network
@@ -91,6 +95,31 @@ class HostStack:
         self.out_of_order = 0
         #: Inbound drops classified by :data:`DROP_REASONS`.
         self.drops = {reason: 0 for reason in DROP_REASONS}
+        #: Connections evicted by the lifecycle reaper, by reason.
+        self.reaped = {"idle": 0, "time-wait": 0}
+        #: Lifecycle reaper, or ``None`` when no timeout is configured.
+        self.reaper: Optional[ConnectionReaper] = None
+        if idle_timeout is not None or time_wait_timeout is not None:
+            self.reaper = ConnectionReaper(
+                self.table.algorithm,
+                idle_timeout=idle_timeout,
+                time_wait=time_wait_timeout,
+                on_reap=self._reap_connection,
+                clock=lambda: self.sim.now,
+            )
+            shortest = min(
+                value
+                for value in (idle_timeout, time_wait_timeout)
+                if value is not None
+            )
+            self._reap_interval = (
+                reap_interval if reap_interval is not None
+                else max(shortest / 4.0, 4 * self.reaper.wheel.tick)
+            )
+            # NOTE: the periodic tick keeps the simulator's event queue
+            # non-empty, so lifecycle-enabled runs must use
+            # ``sim.run(until=...)``, never a bare drain-the-queue run.
+            self.sim.schedule(self._reap_interval, self._reap_tick)
         network.attach(self)
 
     # -- Host protocol ------------------------------------------------------
@@ -325,6 +354,34 @@ class HostStack:
             self.table.remove(tup)
         except KeyError:
             pass  # already removed (abort during teardown)
+
+    # -- connection lifecycle (reaper-driven) -------------------------------
+
+    def _reap_tick(self) -> None:
+        self.reaper.advance(self.sim.now)
+        self.sim.schedule(self._reap_interval, self._reap_tick)
+
+    def _reap_connection(self, pcb: PCB, reason: str) -> None:
+        """The reaper decided ``pcb`` must go; tear it down properly.
+
+        TIME-WAIT connections finish their quarantine through the
+        normal close path; everything else is aborted (RST to the
+        peer, timers cancelled) so idle eviction is visible on the
+        wire, as a real stack's keepalive failure would be.
+        """
+        self.reaped[reason] += 1
+        self.trace("reap", f"{pcb.four_tuple}", reason=reason, state=pcb.state)
+        endpoint = pcb.user_data
+        if isinstance(endpoint, TCPEndpoint):
+            if endpoint.state is TCPState.TIME_WAIT:
+                endpoint.expire_time_wait()
+            else:
+                endpoint.abort()  # teardown removes the PCB via forget()
+        else:
+            try:
+                self.table.remove(pcb.four_tuple)
+            except KeyError:
+                pass
 
     def count_out_of_order(self) -> None:
         self.out_of_order += 1

@@ -94,6 +94,8 @@ class SynFloodWorkload:
         legit_clients: int = 5,
         max_connections: Optional[int] = 64,
         overflow_policy: str = "reject-new",
+        idle_timeout: Optional[float] = None,
+        time_wait_timeout: Optional[float] = None,
         seed: int = 1,
     ):
         if syn_rate <= 0:
@@ -112,6 +114,8 @@ class SynFloodWorkload:
             algorithm,
             max_connections=max_connections,
             overflow_policy=overflow_policy,
+            idle_timeout=idle_timeout,
+            time_wait_timeout=time_wait_timeout,
         )
         self.port = 80
         self.syn_rate = syn_rate

@@ -217,6 +217,8 @@ class TPCAFullStackSimulation:
         fault_models=None,
         max_connections=None,
         overflow_policy: str = "reject-new",
+        idle_timeout=None,
+        time_wait_timeout=None,
     ):
         from ..core.bsd import BSDDemux
 
@@ -253,6 +255,8 @@ class TPCAFullStackSimulation:
             algorithm,
             max_connections=max_connections,
             overflow_policy=overflow_policy,
+            idle_timeout=idle_timeout,
+            time_wait_timeout=time_wait_timeout,
         )
         self.clients: List[HostStack] = []
         self.transactions_completed = 0

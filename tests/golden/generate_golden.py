@@ -17,7 +17,12 @@ import json
 import pathlib
 import sys
 
-from repro.fastpath.conformance import decision_trace, golden_stream
+from repro.fastpath.conformance import (
+    churn_ops,
+    decision_trace,
+    golden_stream,
+    mutation_trace,
+)
 
 HERE = pathlib.Path(__file__).resolve().parent
 
@@ -28,6 +33,13 @@ STREAMS = (
     ("tpca_seed101", {"seed": 101, "n_users": 48, "duration": 40.0}),
     ("tpca_seed202", {"seed": 202, "n_users": 96, "duration": 30.0}),
     ("tpca_seed303", {"seed": 303, "n_users": 24, "duration": 60.0}),
+)
+
+#: (filename stem, churn parameters): mutation-heavy streams where
+#: inserts and removes interleave with the lookups, pinning the
+#: remove/evict path the static TPC/A streams never touch.
+CHURN_STREAMS = (
+    ("churn_seed404", {"seed": 404, "steps": 4000}),
 )
 
 #: Reference specs recorded in each file.  Every spec here must have a
@@ -53,6 +65,18 @@ def build_golden(seed: int, n_users: int, duration: float) -> dict:
     }
 
 
+def build_churn_golden(seed: int, steps: int) -> dict:
+    ops = churn_ops(seed, steps=steps)
+    return {
+        "mode": "churn",
+        "churn": {"seed": seed, "steps": steps},
+        "lookups": sum(1 for op in ops if op[0] == "lookup"),
+        "decisions": {
+            spec: mutation_trace(spec, ops)[0] for spec in ALGORITHMS
+        },
+    }
+
+
 def main() -> int:
     for stem, params in STREAMS:
         path = HERE / f"{stem}.json"
@@ -61,6 +85,12 @@ def main() -> int:
         ndecisions = len(next(iter(golden["decisions"].values())))
         print(f"wrote {path.name}: {golden['packets']} packets,"
               f" {ndecisions} decisions x {len(ALGORITHMS)} algorithms")
+    for stem, params in CHURN_STREAMS:
+        path = HERE / f"{stem}.json"
+        golden = build_churn_golden(**params)
+        path.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path.name}: {golden['churn']['steps']} churn ops,"
+              f" {golden['lookups']} decisions x {len(ALGORITHMS)} algorithms")
     return 0
 
 

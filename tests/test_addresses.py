@@ -186,3 +186,59 @@ class TestFourTuple:
         text = str(self.make())
         assert "10.0.0.1:80" in text
         assert "10.0.0.2:40000" in text
+
+
+class TestFourTupleConstructorValidation:
+    """The plain constructor validates (PR 5 bugfix).
+
+    ``FourTuple`` used to be a bare ``NamedTuple`` that stored raw
+    strings silently; the error only surfaced much later, inside
+    ``key_bits()`` on the lookup path.  Now every construction route
+    -- positional, ``create``, ``_replace``, ``_make`` -- coerces
+    addresses and range-checks ports at the call site.
+    """
+
+    def test_positional_construction_coerces_strings(self):
+        tup = FourTuple("10.0.0.1", 80, "10.0.0.2", 40000)
+        assert isinstance(tup.local_addr, IPv4Address)
+        assert isinstance(tup.remote_addr, IPv4Address)
+        tup.key_bits()  # must not explode: fields are real addresses
+
+    def test_positional_construction_rejects_bad_values(self):
+        with pytest.raises(AddressError):
+            FourTuple("not-an-address", 80, "10.0.0.2", 40000)
+        with pytest.raises(AddressError):
+            FourTuple("10.0.0.1", 80, "10.0.0.2", MAX_PORT + 1)
+        with pytest.raises(AddressError):
+            FourTuple("10.0.0.1", "80", "10.0.0.2", 40000)
+        with pytest.raises(AddressError):
+            FourTuple("10.0.0.1", True, "10.0.0.2", 40000)
+
+    def test_replace_validates(self):
+        tup = FourTuple("10.0.0.1", 80, "10.0.0.2", 40000)
+        replaced = tup._replace(remote_port=50000)
+        assert replaced.remote_port == 50000
+        coerced = tup._replace(remote_addr="10.9.9.9")
+        assert coerced.remote_addr == IPv4Address("10.9.9.9")
+        with pytest.raises(AddressError):
+            tup._replace(remote_port=-5)
+        with pytest.raises(AddressError):
+            tup._replace(local_addr="999.0.0.1")
+
+    def test_make_validates(self):
+        tup = FourTuple._make(("10.0.0.1", 80, "10.0.0.2", 40000))
+        assert isinstance(tup.local_addr, IPv4Address)
+        with pytest.raises(AddressError):
+            FourTuple._make(("10.0.0.1", 80, "10.0.0.2", 99999))
+
+    def test_still_a_tuple(self):
+        tup = FourTuple("10.0.0.1", 80, "10.0.0.2", 40000)
+        assert isinstance(tup, tuple)
+        local_addr, local_port, remote_addr, remote_port = tup
+        assert local_port == 80 and remote_port == 40000
+        assert tup == FourTuple(local_addr, 80, remote_addr, 40000)
+
+    def test_existing_address_objects_pass_through_unwrapped(self):
+        addr = IPv4Address("10.0.0.1")
+        tup = FourTuple(addr, 80, IPv4Address("10.0.0.2"), 40000)
+        assert tup.local_addr is addr

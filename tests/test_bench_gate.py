@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.fastpath.gate import (
+    _baselines,
     GateConfig,
     QUICK_CONFIG,
     measure_replay,
@@ -140,3 +141,55 @@ def test_progress_callback_sees_every_spec(tmp_path):
     joined = "\n".join(messages)
     assert "sequent:h=7" in joined
     assert "fast-sequent:h=7" in joined
+
+
+def _forged_entry(template, scale):
+    """A copy of a trajectory entry with packets/sec scaled."""
+    entry = json.loads(json.dumps(template))
+    for result in entry["results"]:
+        result["packets_per_sec"] = result["packets_per_sec"] * scale
+    return entry
+
+
+def test_baseline_is_trajectory_maximum_not_latest_entry():
+    # Regression test for the ratchet bug: _baselines used
+    # last-write-wins, so a run could gate against an already-degraded
+    # recent entry instead of the best the machine ever did.
+    trajectory = {
+        "entries": [
+            {
+                "config": {"duration": 5.0, "seed": 7},
+                "results": [
+                    {
+                        "algorithm": "sequent:h=7",
+                        "n_users": 30,
+                        "packets_per_sec": rate,
+                    }
+                ],
+            }
+            for rate in (1000.0, 930.0, 870.0, 810.0)  # each drop < 10%
+        ]
+    }
+    baselines = _baselines(trajectory)
+    assert baselines == {"sequent:h=7@n=30;d=5;seed=7": 1000.0}
+
+
+def test_compounding_subthreshold_drops_cannot_ratchet_the_gate(tmp_path):
+    # End to end: a trajectory whose history decayed in sub-threshold
+    # steps must still gate the next run against its historic maximum.
+    path = tmp_path / "BENCH_trajectory.json"
+    run_gate(TINY, str(path))
+    data = json.loads(path.read_text())
+    template = data["entries"][0]
+    # History: one excellent run (1000x real), then a decayed one
+    # (half of real).  Last-write-wins would gate against the decayed
+    # entry and pass; the maximum gates against the excellent run.
+    data["entries"] = [
+        _forged_entry(template, 1000.0),
+        _forged_entry(template, 0.5),
+    ]
+    path.write_text(json.dumps(data))
+
+    report = run_gate(TINY, str(path))
+    assert not report.ok
+    assert all("drop" in regression for regression in report.regressions)

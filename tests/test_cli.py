@@ -275,3 +275,65 @@ class TestBenchGate:
         out = capsys.readouterr().out
         assert soft == 0
         assert "warn-only" in out
+
+
+class TestLifecycleFlags:
+    def test_simulate_with_idle_timeout_prints_reaper_line(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "fast-sequent:h=7", "--users", "20",
+             "--duration", "30", "--idle-timeout", "60",
+             "--time-wait", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "reaped:" in out
+        assert "leak-audit" in out
+
+    def test_idle_timeout_implies_full_stack(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["simulate", "--idle-timeout", "60"]
+        )
+        assert args.idle_timeout == 60.0
+        assert args.time_wait is None
+
+    def test_simulate_metrics_include_lifecycle_gauges(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "--algorithm", "fast-mtf", "--users", "20",
+             "--duration", "30", "--idle-timeout", "120",
+             "--metrics-out", str(path)]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert "lifecycle_reaper" in data
+        assert "lifecycle_retention" in data
+
+
+class TestLeakAuditCommand:
+    def test_parser_knows_leak_audit(self):
+        args = build_parser().parse_args(["leak-audit"])
+        assert args.command == "leak-audit"
+        assert args.seeds == [1]
+        assert args.grace == 0
+
+    def test_leak_audit_runs_clean(self, capsys):
+        code = main(
+            ["leak-audit", "--algorithms", "fast-sequent:h=7",
+             "--steps", "600", "--seeds", "3", "--skip-flood"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "OK" in out
+        assert "FAIL" not in out
+
+    def test_leak_audit_with_flood(self, capsys):
+        code = main(
+            ["leak-audit", "--algorithms", "fast-mtf",
+             "--steps", "400", "--seeds", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "syn-flood" in out

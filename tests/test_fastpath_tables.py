@@ -48,10 +48,33 @@ class TestKeyCache:
 
         cache = KeyCache(chain_fn)
         tup = make_tuple(1)
+        cache.entry(tup)  # the insert path interns (and hashes once)
         assert cache.chain_of(tup) == 3
         assert cache.chain_of(tup) == 3
         assert cache.key_of(tup) == tup.key_bits()
         assert len(calls) == 1  # memoized: the hash ran exactly once
+
+    def test_probe_does_not_intern(self):
+        cache = KeyCache()
+        tup = make_tuple(2)
+        key, chain = cache.probe(tup)
+        assert (key, chain) == (tup.key_bits(), 0)
+        assert len(cache) == 0
+        assert cache.counters.transient_probes == 1
+        # Interned tuples probe through the memo.
+        cache.entry(tup)
+        cache.probe(tup)
+        assert cache.counters.key_cache_hits == 1
+
+    def test_evict_drops_entry_and_counts(self):
+        cache = KeyCache()
+        tup = make_tuple(3)
+        cache.entry(tup)
+        assert cache.evict(tup)
+        assert len(cache) == 0
+        assert cache.counters.evicted_keys == 1
+        assert not cache.evict(tup)  # idempotent
+        assert cache.counters.evicted_keys == 1
 
     def test_shared_counters_object(self):
         counters = FastpathCounters()
@@ -61,6 +84,8 @@ class TestKeyCache:
         assert counters.as_dict() == {
             "interned_keys": 1,
             "key_cache_hits": 0,
+            "evicted_keys": 0,
+            "transient_probes": 0,
             "batch_calls": 0,
             "batched_lookups": 0,
         }

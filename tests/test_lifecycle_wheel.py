@@ -1,0 +1,142 @@
+"""Unit tests for the hierarchical timer wheel."""
+
+import pytest
+
+from repro.lifecycle.wheel import TimerWheel
+
+
+def make_wheel(**kwargs):
+    defaults = dict(tick=0.1, slots=8, levels=3)
+    defaults.update(kwargs)
+    return TimerWheel(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TimerWheel(tick=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(slots=1)
+        with pytest.raises(ValueError):
+            TimerWheel(levels=0)
+
+    def test_starts_empty_at_time_zero(self):
+        wheel = make_wheel()
+        assert len(wheel) == 0
+        assert wheel.now == 0.0
+        assert wheel.next_deadline() is None
+
+
+class TestScheduling:
+    def test_schedule_and_fire(self):
+        wheel = make_wheel()
+        wheel.schedule("a", 0.35)
+        assert "a" in wheel
+        assert len(wheel) == 1
+        assert wheel.advance(0.3) == []
+        assert wheel.advance(0.4) == ["a"]
+        assert "a" not in wheel
+
+    def test_never_fires_early(self):
+        wheel = make_wheel()
+        wheel.schedule("a", 1.0)
+        for now in (0.2, 0.5, 0.9):
+            assert wheel.advance(now) == []
+        assert wheel.advance(1.1) == ["a"]
+
+    def test_fires_in_deadline_order_with_fifo_ties(self):
+        wheel = make_wheel()
+        wheel.schedule("late", 0.5)
+        wheel.schedule("tie1", 0.3)
+        wheel.schedule("early", 0.1)
+        wheel.schedule("tie2", 0.3)
+        assert wheel.advance(1.0) == ["early", "tie1", "tie2", "late"]
+
+    def test_reschedule_replaces_existing_deadline(self):
+        wheel = make_wheel()
+        wheel.schedule("a", 0.2)
+        wheel.schedule("a", 5.0)  # push it out
+        assert len(wheel) == 1
+        assert wheel.advance(1.0) == []
+        assert wheel.advance(5.1) == ["a"]
+
+    def test_cancel(self):
+        wheel = make_wheel()
+        wheel.schedule("a", 0.2)
+        assert wheel.cancel("a") is True
+        assert wheel.cancel("a") is False
+        assert wheel.advance(1.0) == []
+
+    def test_past_deadline_clamps_to_next_tick(self):
+        wheel = make_wheel()
+        wheel.advance(3.0)
+        wheel.schedule("stale", 1.0)  # already past
+        assert wheel.advance(3.2) == ["stale"]
+
+    def test_deadline_of_and_next_deadline(self):
+        wheel = make_wheel()
+        wheel.schedule("a", 0.45)
+        wheel.schedule("b", 2.0)
+        assert wheel.deadline_of("a") == pytest.approx(0.45)  # raw, not rounded
+        with pytest.raises(KeyError):
+            wheel.deadline_of("missing")
+        assert wheel.next_deadline() == pytest.approx(0.45)
+
+
+class TestHierarchy:
+    def test_cascade_preserves_far_deadlines(self):
+        # 8 slots, tick 0.1: level 0 covers 0.8s, level 1 covers 6.4s.
+        wheel = make_wheel()
+        wheel.schedule("near", 0.3)
+        wheel.schedule("mid", 3.0)
+        wheel.schedule("far", 40.0)
+        assert wheel.advance(0.5) == ["near"]
+        assert wheel.advance(2.9) == []
+        assert wheel.advance(3.3) == ["mid"]
+        assert wheel.advance(39.0) == []
+        assert wheel.advance(41.0) == ["far"]
+
+    def test_beyond_horizon_parks_and_still_fires(self):
+        # Max horizon with 8 slots x 3 levels is 8**3 * 0.1 = 51.2s.
+        wheel = make_wheel()
+        wheel.schedule("parked", 500.0)
+        assert wheel.advance(51.2) == []
+        assert wheel.advance(499.0) == []
+        assert wheel.advance(501.0) == ["parked"]
+
+    def test_lateness_is_bounded_by_caller_granularity(self):
+        # The wheel itself never fires early; how late is up to how
+        # often advance() is called.  With exact advances, lateness is
+        # under one tick.
+        wheel = make_wheel()
+        wheel.schedule("a", 1.23)
+        fired_at = None
+        now = 0.0
+        while fired_at is None:
+            now = round(now + 0.1, 10)
+            if wheel.advance(now) == ["a"]:
+                fired_at = now
+        assert 1.23 <= fired_at < 1.23 + 2 * wheel.tick
+
+
+class TestAdvance:
+    def test_rejects_time_running_backwards(self):
+        wheel = make_wheel()
+        wheel.advance(5.0)
+        with pytest.raises(ValueError):
+            wheel.advance(4.0)
+
+    def test_empty_wheel_fast_forwards(self):
+        wheel = make_wheel()
+        wheel.advance(1e6)  # must not iterate a billion ticks
+        wheel.schedule("a", 1e6 + 0.5)
+        assert wheel.advance(1e6 + 1.0) == ["a"]
+
+    def test_many_keys_one_bucket(self):
+        wheel = make_wheel()
+        keys = [f"k{i}" for i in range(50)]
+        for key in keys:
+            wheel.schedule(key, 0.25)
+        fired = wheel.advance(0.35)
+        assert fired == keys  # FIFO among equal deadlines
+        assert len(wheel) == 0
