@@ -19,6 +19,7 @@ so the numbers are machine-readable across runs.
 
 import gc
 import json
+import os
 import statistics
 import time
 from pathlib import Path
@@ -27,14 +28,20 @@ from repro.core.pcb import PCB
 from repro.core.registry import make_algorithm
 from repro.core.stats import PacketKind
 from repro.obs.profile import DEFAULT_SAMPLE_EVERY, LookupProfiler
+from repro.obs.sketch import TrafficCharacterizer
+from repro.obs.spans import DEFAULT_SPAN_SAMPLE_EVERY, SpanCollector
 from repro.obs.trace import RingBufferSink, Tracer
 from repro.packet.addresses import FourTuple, IPv4Address
 
 from conftest import emit
 
+#: BENCH_OBS_QUICK=1 shrinks the sweep for CI smoke jobs: the budget
+#: assertions still run, just over fewer, shorter rounds.
+QUICK = os.environ.get("BENCH_OBS_QUICK", "") not in ("", "0")
+
 N = 512
-LOOKUPS_PER_ROUND = 2048
-ROUNDS = 15
+LOOKUPS_PER_ROUND = 512 if QUICK else 2048
+ROUNDS = 5 if QUICK else 15
 LIMIT_PCT = 5.0
 
 _RESULTS = {}  # case name -> measurement dict, dumped by the last test
@@ -176,17 +183,50 @@ def test_full_tracing_cost_reported():
     assert sink.total_emitted == (ROUNDS + 1) * LOOKUPS_PER_ROUND
 
 
+def test_spans_and_sketches_overhead_under_budget():
+    """Default profiler plus packet spans (1/64 sampled) plus the full
+    streaming-sketch pipeline riding the span observers.  This is the
+    telemetry plane's acceptance criterion: every per-packet cost in
+    the new plane -- the packet-context state machine, the unsampled
+    train-detector observer, and the sampled sketch updates -- must
+    still vanish into the heavy path's budget."""
+    characterizers = []
+
+    def spans_and_sketches(algorithm):
+        _default_instrumentation(algorithm)
+        collector = SpanCollector(
+            sample_every=DEFAULT_SPAN_SAMPLE_EVERY
+        ).attach(algorithm)
+        characterizers.append(TrafficCharacterizer().attach(collector))
+
+    overhead_pct, inst_alg = _measure(
+        "bsd", spans_and_sketches, "bsd_n512_spans_sketch", asserted=True,
+    )
+    # The collector really saw every packet and sampled at 1/64.
+    collector = inst_alg.spans
+    total = (ROUNDS + 1) * LOOKUPS_PER_ROUND
+    assert collector.sample_every == DEFAULT_SPAN_SAMPLE_EVERY
+    assert collector.packets_seen == total
+    assert collector.spans_finished == -(-total // DEFAULT_SPAN_SAMPLE_EVERY)
+    characterizer = characterizers[0]
+    assert characterizer.packets_observed == collector.spans_finished
+    assert characterizer.trains.packets == total
+    assert overhead_pct < LIMIT_PCT
+
+
 def test_write_bench_json():
     """Dump the collected measurements next to the other artifacts."""
     assert set(_RESULTS) == {
         "bsd_n512_default_sampling",
         "sequent_h19_default_sampling",
         "bsd_n512_full_tracing",
+        "bsd_n512_spans_sketch",
     }
     payload = {
         "benchmark": "bench_obs_overhead",
         "lookups_per_round": LOOKUPS_PER_ROUND,
         "rounds": ROUNDS,
+        "quick": QUICK,
         "timing": ("ns/lookup from each configuration's best round;"
                    " overhead_pct from the median of per-round paired"
                    " instrumented/bare ratios"),

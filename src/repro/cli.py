@@ -6,6 +6,7 @@ Subcommands::
     figures               render Figures 4 / 13 / 14 as ASCII
     validate              run the simulation-vs-analytic check
     simulate              one workload run against one algorithm
+    obs-report            ASCII dashboard from metrics.json + span JSONL
     compare               algorithm matrix over one workload
     fault-matrix          robustness campaign: algorithms x faults x seeds
     smp-sweep             sharded demux: shard count x steering x batch size
@@ -157,6 +158,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="time one lookup in N (default 64; implies --profile)",
+    )
+    simulate.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        help="write sampled per-packet spans as JSONL (enables spans)",
+    )
+    simulate.add_argument(
+        "--span-sample-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record one packet span in N (default 64; implies spans)",
+    )
+    simulate.add_argument(
+        "--sketch",
+        action="store_true",
+        help=(
+            "stream traffic sketches (quantiles, heavy hitters,"
+            " train-ness, population) and publish traffic_* gauges"
+        ),
+    )
+    simulate.add_argument(
+        "--sketch-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="virtual seconds between sketch publishes (default 5)",
+    )
+    simulate.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics, /snapshot.json and /healthz over HTTP"
+            " during the run (0 picks a free port)"
+        ),
+    )
+    simulate.add_argument(
+        "--serve-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the telemetry server up this long after the run",
+    )
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="ASCII dashboard from a metrics snapshot (+ optional spans)",
+    )
+    obs_report.add_argument(
+        "--metrics",
+        required=True,
+        metavar="PATH",
+        help="metrics.json from simulate --metrics-out (or /snapshot.json)",
+    )
+    obs_report.add_argument(
+        "--spans",
+        metavar="PATH",
+        help="span JSONL from simulate --spans-out",
+    )
+    obs_report.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the dashboard here instead of stdout",
     )
 
     compare = sub.add_parser(
@@ -423,7 +489,11 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .obs.metrics import DemuxStatsExporter, MetricsRegistry
+    from .obs.metrics import (
+        DEFAULT_EXPORT_BUCKETS,
+        DemuxStatsExporter,
+        MetricsRegistry,
+    )
     from .obs.profile import LookupProfiler
     from .obs.trace import JsonlSink, Tracer
 
@@ -440,6 +510,35 @@ def _cmd_simulate(args) -> int:
         args.idle_timeout is not None or args.time_wait is not None
     )
     full_stack = args.full_stack or bool(args.faults) or lifecycle
+
+    # -- telemetry plane: spans, sketches, registry ------------------
+    # The span collector must exist before the simulation is built:
+    # the workload's bind_tracer_clock (demux path) or the stack ctor
+    # (full-stack path) binds its clock to virtual time.
+    wants_spans = (
+        bool(args.spans_out)
+        or args.sketch
+        or args.span_sample_every is not None
+    )
+    collector = None
+    if wants_spans:
+        from .obs.spans import DEFAULT_SPAN_SAMPLE_EVERY, SpanCollector
+
+        collector = SpanCollector(
+            sample_every=args.span_sample_every or DEFAULT_SPAN_SAMPLE_EVERY
+        )
+        collector.attach(algorithm)
+    characterizer = None
+    if args.sketch:
+        from .obs.sketch import TrafficCharacterizer
+
+        characterizer = TrafficCharacterizer().attach(collector)
+
+    serve = args.serve_metrics is not None
+    registry = None
+    if args.metrics_out or serve or args.sketch:
+        registry = MetricsRegistry()
+
     if full_stack:
         from .faults.config import parse_fault_spec
         from .workload.tpca import TPCAFullStackSimulation
@@ -452,6 +551,7 @@ def _cmd_simulate(args) -> int:
             overflow_policy=args.overflow_policy,
             idle_timeout=args.idle_timeout,
             time_wait_timeout=args.time_wait,
+            spans=collector,
         )
     else:
         simulation = TPCADemuxSimulation(config, algorithm)
@@ -470,6 +570,127 @@ def _cmd_simulate(args) -> int:
             profiler = LookupProfiler()
         profiler.attach(algorithm)
 
+    # -- registry publishers -----------------------------------------
+    # Counter-backed exporters publish *deltas*, so the periodic
+    # publisher and the final flush must reuse one instance each --
+    # fresh exporters per tick would re-add the running totals.
+    publish_steps = []
+    if registry is not None:
+        from .fastpath.metrics import publish_fastpath
+
+        demux_exporter = DemuxStatsExporter(
+            registry, algorithm=algorithm.name
+        )
+        publish_steps.append(
+            lambda: demux_exporter.publish(algorithm.stats)
+        )
+        publish_steps.append(lambda: publish_fastpath(registry, algorithm))
+        if getattr(algorithm, "shards", None) is not None:
+            from .smp.metrics import publish_sharded
+
+            publish_steps.append(
+                lambda: publish_sharded(registry, algorithm)
+            )
+        sim_gauges = registry.gauge("sim_run", "simulation run facts")
+
+        def publish_sim() -> None:
+            sim_gauges.set(simulation.sim.events_run, name="events_run")
+            sim_gauges.set(
+                simulation.transactions_completed, name="transactions"
+            )
+            sim_gauges.set(simulation.sim.now, name="virtual_time_seconds")
+            sim_gauges.set(args.users, name="users")
+            sim_gauges.set(args.seed, name="seed")
+
+        publish_steps.append(publish_sim)
+        if full_stack:
+            from .faults.metrics import InjectorExporter, StackFaultExporter
+
+            host = str(simulation.server.address)
+            stack_exporter = StackFaultExporter(registry, host=host)
+            publish_steps.append(
+                lambda: stack_exporter.publish(simulation.server)
+            )
+            received_counter = registry.counter(
+                "packets_received_total",
+                "inbound packets accepted by the stack",
+            )
+            received_state = {"last": 0}
+
+            def publish_received() -> None:
+                current = simulation.server.packets_received
+                received_counter.inc(
+                    current - received_state["last"], host=host
+                )
+                received_state["last"] = current
+
+            publish_steps.append(publish_received)
+            if simulation.injector is not None:
+                injector_exporter = InjectorExporter(registry, host=host)
+                publish_steps.append(
+                    lambda: injector_exporter.publish(simulation.injector)
+                )
+            if simulation.server.reaper is not None:
+                from .lifecycle import publish_lifecycle
+
+                publish_steps.append(
+                    lambda: publish_lifecycle(
+                        registry, simulation.server.reaper
+                    )
+                )
+
+    def publish_all() -> None:
+        for step in publish_steps:
+            step()
+        if characterizer is not None:
+            characterizer.publish(registry)
+
+    # -- live telemetry server + watchdog ----------------------------
+    watchdog = None
+    if registry is not None:
+        from .obs.watchdog import HealthWatchdog, default_rules
+
+        watchdog = HealthWatchdog(default_rules(), tracer=tracer)
+    server = None
+    if serve:
+        from .obs.live import TelemetryServer
+
+        def run_snapshot():
+            return {
+                "algorithm": algorithm.name,
+                "events_run": simulation.sim.events_run,
+                "virtual_time": simulation.sim.now,
+                "transactions": simulation.transactions_completed,
+            }
+
+        server = TelemetryServer(
+            registry,
+            watchdog=watchdog,
+            port=args.serve_metrics,
+            extra_snapshot=run_snapshot,
+            clock=lambda: simulation.sim.now,
+        )
+        port = server.start()
+        print(
+            f"  telemetry: http://127.0.0.1:{port}/metrics"
+            " (/snapshot.json, /healthz)",
+            file=sys.stderr,
+        )
+
+        def publish_periodically() -> None:
+            with server.lock:
+                publish_all()
+            simulation.sim.schedule(
+                args.sketch_interval, publish_periodically
+            )
+
+        simulation.sim.schedule(args.sketch_interval, publish_periodically)
+    elif characterizer is not None:
+        characterizer.attach_simulator(
+            simulation.sim, registry, interval=args.sketch_interval
+        )
+
+    exit_code = 0
     result = simulation.run()
     print(result.summary())
     print(f"  max examined: {result.max_examined}")
@@ -477,64 +698,44 @@ def _cmd_simulate(args) -> int:
     if full_stack:
         from .faults.audit import audit_leaks, audit_stack
 
-        server = simulation.server
+        stack = simulation.server
         print(
             f"  transactions: {simulation.transactions_completed},"
             f" users completed: {simulation.users_completed}/{args.users}"
         )
-        drops = ", ".join(f"{k}={v}" for k, v in server.drops.items())
+        drops = ", ".join(f"{k}={v}" for k, v in stack.drops.items())
         print(f"  drops: {drops}")
         if simulation.injector is not None:
             print(f"  {simulation.injector.summary()}")
             print(f"  fault digest: {simulation.injector.schedule_digest()}")
-        if server.reaper is not None:
-            stats = server.reaper.stats
+        if stack.reaper is not None:
+            stats = stack.reaper.stats
             print(
-                f"  reaped: idle={server.reaped['idle']}"
-                f" time-wait={server.reaped['time-wait']}"
+                f"  reaped: idle={stack.reaped['idle']}"
+                f" time-wait={stack.reaped['time-wait']}"
                 f" spurious-wakeups={stats.spurious_wakeups}"
                 f" timers={stats.timers_scheduled}"
             )
-        audit = audit_stack(server)
+        audit = audit_stack(stack)
         print(f"  {audit.describe()}")
-        leak = audit_leaks(server.demux)
+        leak = audit_leaks(stack.demux)
         print(f"  {leak.describe()}")
         if not audit.ok or not leak.ok:
-            return 1
+            exit_code = 1
 
     if profiler is not None:
         print(f"  profile: {profiler.report().render()}")
     if tracer is not None:
         tracer.close()
         print(f"  trace written to {args.trace_out}")
-    if args.metrics_out:
-        from .fastpath.metrics import publish_fastpath
 
-        registry = MetricsRegistry()
-        DemuxStatsExporter(registry, algorithm=algorithm.name).publish(
-            algorithm.stats
-        )
-        publish_fastpath(registry, algorithm)
-        sim_gauges = registry.gauge("sim_run", "simulation run facts")
-        sim_gauges.set(simulation.sim.events_run, name="events_run")
-        sim_gauges.set(simulation.transactions_completed, name="transactions")
-        sim_gauges.set(simulation.sim.now, name="virtual_time_seconds")
-        sim_gauges.set(args.users, name="users")
-        sim_gauges.set(args.seed, name="seed")
-        if full_stack:
-            from .faults.metrics import publish_injector, publish_stack
-
-            publish_stack(
-                registry,
-                simulation.server,
-                host=str(simulation.server.address),
-            )
-            if simulation.injector is not None:
-                publish_injector(registry, simulation.injector)
-            if simulation.server.reaper is not None:
-                from .lifecycle import publish_lifecycle
-
-                publish_lifecycle(registry, simulation.server.reaper)
+    # -- final publish, health verdict, artifacts --------------------
+    if registry is not None:
+        if server is not None:
+            with server.lock:
+                publish_all()
+        else:
+            publish_all()
         if profiler is not None:
             report = profiler.report()
             profile_gauges = registry.gauge(
@@ -544,13 +745,51 @@ def _cmd_simulate(args) -> int:
             profile_gauges.set(report.p50_ns, stat="p50")
             profile_gauges.set(report.p95_ns, stat="p95")
             profile_gauges.set(report.samples, stat="samples")
+        health = watchdog.evaluate(registry, now=simulation.sim.now)
+        print(f"  health: {health.describe()}")
+    if collector is not None:
+        print(f"  {collector.summary()}")
+    if characterizer is not None:
+        print(f"  {characterizer.summary()}")
+    if args.spans_out:
+        count = collector.to_jsonl(args.spans_out)
+        print(f"  {count} spans written to {args.spans_out}")
+    if args.metrics_out:
         if args.metrics_out.endswith(".prom"):
-            text = registry.to_prometheus()
+            text = registry.to_prometheus(
+                histogram_buckets=DEFAULT_EXPORT_BUCKETS
+            )
         else:
             text = registry.to_json() + "\n"
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"  metrics written to {args.metrics_out}")
+    if server is not None:
+        if args.serve_hold > 0:
+            import time
+
+            print(
+                f"  holding telemetry server for {args.serve_hold:g}s",
+                file=sys.stderr,
+            )
+            time.sleep(args.serve_hold)
+        server.stop()
+    return exit_code
+
+
+def _cmd_obs_report(args) -> int:
+    from .obs.report import load_metrics_snapshot, render_dashboard
+    from .obs.spans import read_spans_jsonl
+
+    snapshot = load_metrics_snapshot(args.metrics)
+    spans = read_spans_jsonl(args.spans) if args.spans else None
+    text = render_dashboard(snapshot, spans=spans)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"dashboard written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -642,6 +881,33 @@ def _cmd_fault_matrix(args) -> int:
     )
     text = result.render_text()
     print(text)
+
+    # Re-judge the campaign with the same SLO rules /healthz applies:
+    # publish every cell's drop taxonomy and accepted-packet count
+    # into a throwaway registry and let the watchdog rate it.  The
+    # verdict is informational -- exit status stays with result.ok.
+    from .obs.metrics import MetricsRegistry
+    from .obs.watchdog import HealthWatchdog, default_rules
+
+    registry = MetricsRegistry()
+    drop_counter = registry.counter(
+        "packet_drops_total", "packets dropped, by taxonomy reason"
+    )
+    received_counter = registry.counter(
+        "packets_received_total", "inbound packets accepted by the stack"
+    )
+    for cell in result.cells:
+        labels = {
+            "algorithm": cell.algorithm,
+            "mix": cell.mix,
+            "seed": str(cell.seed),
+        }
+        received_counter.inc(cell.packets_received, **labels)
+        for reason, count in cell.drops.items():
+            drop_counter.inc(count, reason=reason, **labels)
+    health = HealthWatchdog(default_rules()).evaluate(registry)
+    print(f"watchdog: {health.describe()}")
+
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         txt_path = os.path.join(args.out, "fault_matrix.txt")
@@ -738,10 +1004,31 @@ LEAK_AUDIT_ALGORITHMS = (
 def _cmd_leak_audit(args) -> int:
     from .faults.audit import audit_leaks, audit_stack
     from .lifecycle.metrics import count_interned
+    from .obs.metrics import MetricsRegistry
+    from .obs.watchdog import HealthWatchdog, default_rules
     from .workload.adversarial import ChurnStormWorkload, SynFloodWorkload
 
     specs = args.algorithms or list(LEAK_AUDIT_ALGORITHMS)
     failures = []
+
+    # Every cell's live-vs-interned pair also lands in a registry, so
+    # the retained-entries SLO rule re-judges the campaign with the
+    # exact logic /healthz uses (informational; the audits decide).
+    registry = MetricsRegistry()
+    retention = registry.gauge(
+        "lifecycle_retention",
+        "live PCBs vs interned fast-path keys (leak-audit pair)",
+    )
+    watchdog = HealthWatchdog(
+        default_rules(retention_grace=float(args.grace))
+    )
+
+    def record_retention(algorithm, spec, seed, phase):
+        labels = {"algorithm": spec, "seed": str(seed), "phase": phase}
+        retention.set(len(algorithm), population="live_pcbs", **labels)
+        interned = count_interned(algorithm)
+        if interned is not None:
+            retention.set(interned, population="interned_keys", **labels)
 
     def check(label, audit):
         print(f"  {audit.describe()}")
@@ -757,6 +1044,7 @@ def _cmd_leak_audit(args) -> int:
                 algorithm, steps=args.steps, seed=seed
             ).run()
             print(f"  {result.summary()}")
+            record_retention(algorithm, spec, seed, "churn")
             check(f"churn {label}", audit_leaks(algorithm, grace=args.grace))
             # Drain the survivors: with every connection gone, the
             # intern tables must be empty -- the PR 4 leak in one line.
@@ -786,12 +1074,15 @@ def _cmd_leak_audit(args) -> int:
                 f"  reaped: idle={reaped['idle']}"
                 f" time-wait={reaped['time-wait']}"
             )
+            record_retention(flood.server.demux, spec, seed, "flood")
             check(f"flood {label} (stack)", audit_stack(flood.server))
             check(
                 f"flood {label} (leaks)",
                 audit_leaks(flood.server.demux, grace=args.grace),
             )
 
+    health = watchdog.evaluate(registry)
+    print(f"watchdog: {health.describe()}")
     if failures:
         print(f"leak-audit: {len(failures)} FAILURE(S): {', '.join(failures)}")
         return 1
@@ -882,6 +1173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": lambda: _cmd_figures(args),
         "validate": lambda: _cmd_validate(args),
         "simulate": lambda: _cmd_simulate(args),
+        "obs-report": lambda: _cmd_obs_report(args),
         "compare": lambda: _cmd_compare(args),
         "fault-matrix": lambda: _cmd_fault_matrix(args),
         "smp-sweep": lambda: _cmd_smp_sweep(args),

@@ -25,11 +25,12 @@ Observability hooks (see :mod:`repro.obs` and docs/observability.md):
 the public ``lookup``/``insert``/``remove``/``note_send`` methods are
 template methods wrapping the subclass primitives ``_lookup`` /
 ``_insert`` / ``_remove`` / ``_note_send``, so statistics recording,
-event tracing (``self.tracer``), and sampled wall-clock profiling
-(attached via ``repro.obs.LookupProfiler``) live in exactly one place.
-With no tracer or profiler attached, each operation pays a single
-``is None`` check -- tracing and profiling never change results,
-statistics, or RNG state.
+event tracing (``self.tracer``), sampled wall-clock profiling
+(attached via ``repro.obs.LookupProfiler``), and causal packet spans
+(``self.spans``, a :class:`repro.obs.SpanCollector`) live in exactly
+one place.  With no tracer, profiler, or span collector attached,
+each operation pays a single ``is None`` check -- none of them ever
+change results, statistics, or RNG state.
 
 Lifecycle hooks (see :mod:`repro.lifecycle` and docs/lifecycle.md):
 ``self.lifecycle`` may hold a reaper observing the population --
@@ -107,6 +108,11 @@ class DemuxAlgorithm(abc.ABC):
         #: inserts, removes, and activity.  Installed by the reaper's
         #: constructor; ``None`` keeps the hot path bare.
         self.lifecycle = None
+        #: Optional :class:`repro.obs.SpanCollector` building causal
+        #: per-packet spans.  Installed by ``SpanCollector.attach()``
+        #: (or by the stack/SMP layers); ``None`` keeps the hot path
+        #: bare -- one ``is None`` check, like every other hook.
+        self.spans = None
 
     # -- public API ------------------------------------------------------
 
@@ -225,6 +231,9 @@ class DemuxAlgorithm(abc.ABC):
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit_lookup(self.name, tup, result)
+        spans = self.spans
+        if spans is not None:
+            spans.note_lookup(self.name, tup, result)
 
     @abc.abstractmethod
     def __len__(self) -> int:

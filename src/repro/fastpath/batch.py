@@ -64,6 +64,7 @@ class BatchLookupMixin:
         if (
             self._profiler is not None
             or self.lifecycle is not None
+            or self.spans is not None
             or (tracer is not None and tracer.enabled)
         ):
             # Hooks are per-lookup by contract; take the exact path.

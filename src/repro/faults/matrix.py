@@ -55,6 +55,9 @@ class FaultMatrixCell:
     users_completed: int = 0
     n_users: int = 0
     mean_examined: float = 0.0
+    #: Inbound packets the server stack accepted -- the denominator
+    #: the SLO watchdog's drop-rate rule divides by.
+    packets_received: int = 0
     drops: Dict[str, int] = dataclasses.field(default_factory=dict)
     faults_injected: int = 0
     fault_digest: str = ""
@@ -170,6 +173,7 @@ def run_fault_cell(
     cell.transactions = simulation.transactions_completed
     cell.users_completed = simulation.users_completed
     cell.mean_examined = result.mean_examined
+    cell.packets_received = simulation.server.packets_received
     cell.drops = dict(simulation.server.drops)
     if simulation.injector is not None:
         cell.faults_injected = (

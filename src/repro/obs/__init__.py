@@ -1,25 +1,41 @@
-"""Observability layer: tracing, metrics export, and profiling hooks.
+"""Observability layer: tracing, metrics, spans, sketches, live export.
 
 This package is the *bottom* layer of the stack -- it imports nothing
 from the rest of :mod:`repro` (pure stdlib), so :mod:`repro.core` can
-emit into it without circular dependencies.  Three concerns, three
-modules:
+emit into it without circular dependencies.  (The one exception is
+:mod:`repro.obs.report`, a CLI-side renderer that reuses the
+dependency-free ``repro.experiments.ascii_plot`` leaf.)  The modules:
 
 * :mod:`repro.obs.trace` -- per-event tracing (lookups, inserts,
   removes, simulator dispatch) through pluggable sinks: in-memory ring
   buffer, JSONL file, callback.
 * :mod:`repro.obs.metrics` -- named counters/gauges/histograms with
-  JSON and Prometheus-text export, plus the adapter that publishes
+  JSON and Prometheus-text export (fixed-boundary histogram buckets
+  for scrape stability), plus the adapter that publishes
   ``DemuxStats`` into a registry.
 * :mod:`repro.obs.profile` -- sampled ``perf_counter_ns`` timing of
   the lookup hot path and a ``tracemalloc`` memory probe.
+* :mod:`repro.obs.spans` -- causal per-packet spans across layers
+  (steer -> coalesce -> lookup -> deliver/drop, plus reaps), with a
+  per-connection flight recorder and JSONL replay/diff.
+* :mod:`repro.obs.sketch` -- streaming traffic characterization in
+  fixed memory: P² and fixed-bucket quantiles, Space-Saving heavy
+  hitters with a zipf-ness estimate, a packet-train detector, and
+  HyperLogLog population / working-set estimators.
+* :mod:`repro.obs.watchdog` -- SLO rules folded into an ok /
+  degraded / failing health state.
+* :mod:`repro.obs.live` -- the HTTP telemetry endpoint (``/metrics``,
+  ``/snapshot.json``, ``/healthz``) served beside a running sim.
+* :mod:`repro.obs.report` -- the ``obs-report`` ASCII dashboard.
 
 See ``docs/observability.md`` for the probe API, sink protocol, export
 formats, and the overhead budget.
 """
 
+from .live import TelemetryServer
 from .metrics import (
     Counter,
+    DEFAULT_EXPORT_BUCKETS,
     DemuxStatsExporter,
     Gauge,
     Histogram,
@@ -32,6 +48,25 @@ from .profile import (
     ProfileReport,
     measure_build,
 )
+from .sketch import (
+    BucketQuantileSketch,
+    HyperLogLog,
+    P2Quantile,
+    SpaceSaving,
+    TrafficCharacterizer,
+    TrainDetector,
+    WorkingSetEstimator,
+)
+from .spans import (
+    DEFAULT_SPAN_SAMPLE_EVERY,
+    FlightRecorder,
+    PacketSpan,
+    SpanCollector,
+    SpanStage,
+    diff_spans,
+    read_spans_jsonl,
+    write_spans_jsonl,
+)
 from .trace import (
     CallbackSink,
     JsonlSink,
@@ -41,23 +76,52 @@ from .trace import (
     Tracer,
     read_jsonl,
 )
+from .watchdog import (
+    HealthReport,
+    HealthWatchdog,
+    RuleResult,
+    SLORule,
+    default_rules,
+)
 
 __all__ = [
+    "BucketQuantileSketch",
     "CallbackSink",
     "Counter",
+    "DEFAULT_EXPORT_BUCKETS",
     "DEFAULT_SAMPLE_EVERY",
+    "DEFAULT_SPAN_SAMPLE_EVERY",
     "DemuxStatsExporter",
+    "FlightRecorder",
     "Gauge",
+    "HealthReport",
+    "HealthWatchdog",
     "Histogram",
+    "HyperLogLog",
     "JsonlSink",
     "LookupProfiler",
     "MemoryProbe",
     "MetricsRegistry",
+    "P2Quantile",
+    "PacketSpan",
     "ProfileReport",
     "RingBufferSink",
+    "RuleResult",
+    "SLORule",
+    "SpaceSaving",
+    "SpanCollector",
+    "SpanStage",
+    "TelemetryServer",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "TrafficCharacterizer",
+    "TrainDetector",
+    "WorkingSetEstimator",
+    "default_rules",
+    "diff_spans",
     "measure_build",
     "read_jsonl",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
 ]

@@ -27,11 +27,13 @@ preserving the obs-at-the-bottom layering.)
 from __future__ import annotations
 
 import json
+import math
 import re
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "DEFAULT_EXPORT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -40,6 +42,36 @@ __all__ = [
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Stable power-of-two edges used for every HTTP-exported histogram:
+#: probe lengths are small integers, so these cover 1..1024 examined
+#: PCBs with scrape-to-scrape-identical series.
+DEFAULT_EXPORT_BUCKETS = tuple(float(2 ** i) for i in range(11))
+
+
+def _validate_buckets(
+    buckets: Optional[Sequence[float]],
+) -> Optional[Tuple[float, ...]]:
+    if buckets is None:
+        return None
+    edges = tuple(float(edge) for edge in buckets)
+    if not edges:
+        raise ValueError("bucket edges must be non-empty")
+    for edge in edges:
+        if not math.isfinite(edge):
+            raise ValueError(
+                "bucket edges must be finite (+Inf is implicit)"
+            )
+    if list(edges) != sorted(set(edges)):
+        raise ValueError(
+            f"bucket edges must be strictly increasing, got {edges}"
+        )
+    return edges
+
+
+def _format_edge(edge: float) -> str:
+    """Render a bucket edge the way Prometheus clients expect."""
+    return f"{int(edge)}" if edge == int(edge) else f"{edge:g}"
 
 #: Canonical form of one label set: sorted (key, value) pairs.
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -50,6 +82,12 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
         if not _LABEL_RE.match(name):
             raise ValueError(f"invalid label name {name!r}")
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _parse_observed(value: str):
+    """A snapshot's stringified observation key back to a number."""
+    number = float(value)
+    return int(number) if number.is_integer() else number
 
 
 def _escape_label_value(value: str) -> str:
@@ -137,6 +175,15 @@ class Gauge(_Metric):
     def set(self, value: float, **labels: Any) -> None:
         self._values[_label_key(labels)] = value
 
+    def clear(self) -> None:
+        """Forget all samples.
+
+        For gauges whose *label sets* churn between publishes (e.g. a
+        top-K ranking where membership changes): clearing first stops
+        stale label combinations from lingering forever.
+        """
+        self._values.clear()
+
     def inc(self, amount: float = 1, **labels: Any) -> None:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
@@ -172,10 +219,16 @@ class Histogram(_Metric):
 
     metric_type = "histogram"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ):
         super().__init__(name, help)
         self._counts: Dict[LabelKey, Dict[int, int]] = {}
         self._sums: Dict[LabelKey, float] = {}
+        self.buckets = _validate_buckets(buckets)
 
     def observe(self, value: int, count: int = 1, **labels: Any) -> None:
         if count < 0:
@@ -215,19 +268,63 @@ class Histogram(_Metric):
                     "counts": {str(v): c for v, c in sorted(counts.items())},
                 }
             )
-        return {"type": self.metric_type, "help": self.help, "samples": samples}
+        snapshot = {
+            "type": self.metric_type,
+            "help": self.help,
+            "samples": samples,
+        }
+        if self.buckets is not None:
+            # Configured export boundaries survive the round trip, so
+            # a registry rebuilt via from_snapshot renders the same
+            # Prometheus series as the live one.
+            snapshot["buckets"] = list(self.buckets)
+        return snapshot
 
-    def prometheus_lines(self) -> List[str]:
+    def prometheus_lines(
+        self, *, default_buckets: Optional[Sequence[float]] = None
+    ) -> List[str]:
+        """Prometheus rendering; fixed boundaries when configured.
+
+        Historically the ``le`` labels were the exact observed values,
+        which made bucket boundaries drift between scrapes -- two
+        scrapes of the same histogram disagreed about which series
+        exist, breaking Prometheus's cumulative-histogram model (rate()
+        and quantile() need stable series).  When this histogram has
+        ``buckets`` (or the caller supplies ``default_buckets``, as
+        HTTP export does), the boundaries are those fixed edges plus
+        ``+Inf`` -- identical on every scrape.  Without either, the
+        exact-value rendering is kept for backward compatibility.
+        JSON snapshots always carry the exact counts regardless.
+        """
+        bounds = self.buckets
+        if bounds is None:
+            bounds = _validate_buckets(default_buckets)
         lines = self._header_lines()
         for key in sorted(self._counts):
             counts = self._counts[key]
-            cumulative = 0
-            for value in sorted(counts):
-                cumulative += counts[value]
-                lines.append(
-                    f"{self.name}_bucket"
-                    f"{_render_labels(key, ('le', str(value)))} {cumulative}"
-                )
+            if bounds is None:
+                cumulative = 0
+                for value in sorted(counts):
+                    cumulative += counts[value]
+                    lines.append(
+                        f"{self.name}_bucket"
+                        f"{_render_labels(key, ('le', str(value)))}"
+                        f" {cumulative}"
+                    )
+            else:
+                cumulative = 0
+                ordered = sorted(counts.items())
+                index = 0
+                for edge in bounds:
+                    while index < len(ordered) and ordered[index][0] <= edge:
+                        cumulative += ordered[index][1]
+                        index += 1
+                    lines.append(
+                        f"{self.name}_bucket"
+                        f"{_render_labels(key, ('le', _format_edge(edge)))}"
+                        f" {cumulative}"
+                    )
+                cumulative = sum(counts.values())
             lines.append(
                 f"{self.name}_bucket"
                 f"{_render_labels(key, ('le', '+Inf'))} {cumulative}"
@@ -264,8 +361,22 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(Gauge, name, help)
 
-    def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, help)
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        histogram = self._get_or_create(Histogram, name, help)
+        if buckets is not None:
+            edges = _validate_buckets(buckets)
+            if histogram.buckets is not None and histogram.buckets != edges:
+                raise ValueError(
+                    f"histogram {name!r} already has buckets"
+                    f" {histogram.buckets}, not {edges}"
+                )
+            histogram.buckets = edges
+        return histogram
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -283,12 +394,69 @@ class MetricsRegistry:
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+    def to_prometheus(
+        self, *, histogram_buckets: Optional[Sequence[float]] = None
+    ) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        ``histogram_buckets`` supplies fixed ``le`` boundaries for any
+        histogram that has none of its own -- the HTTP endpoint passes
+        :data:`DEFAULT_EXPORT_BUCKETS` so scraped series never drift.
+        """
         lines: List[str] = []
         for metric in self._metrics.values():
-            lines.extend(metric.prometheus_lines())
+            if isinstance(metric, Histogram):
+                lines.extend(
+                    metric.prometheus_lines(
+                        default_buckets=histogram_buckets
+                    )
+                )
+            else:
+                lines.extend(metric.prometheus_lines())
         return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The inverse of ``snapshot()`` (and of a metrics.json file on
+        disk): counters/gauges restore their sample values, histograms
+        their exact counts, so watchdog rules and reports can run
+        against recorded runs exactly as against live ones.
+        """
+        registry = cls()
+        for name, data in snapshot.items():
+            mtype = data.get("type")
+            help_text = data.get("help", "")
+            if mtype == "counter":
+                counter = registry.counter(name, help_text)
+                for sample in data.get("samples", []):
+                    counter.inc(sample["value"], **sample["labels"])
+            elif mtype == "gauge":
+                gauge = registry.gauge(name, help_text)
+                for sample in data.get("samples", []):
+                    gauge.set(sample["value"], **sample["labels"])
+            elif mtype == "histogram":
+                buckets = data.get("buckets")
+                histogram = registry.histogram(
+                    name, help_text, buckets=buckets
+                )
+                for sample in data.get("samples", []):
+                    # JSON stringifies the value keys; restore ints
+                    # (the documented observation type) but tolerate a
+                    # float key rather than crash on "2.5".
+                    histogram.observe_bulk(
+                        {
+                            _parse_observed(value): count
+                            for value, count in sample["counts"].items()
+                        },
+                        **sample["labels"],
+                    )
+            else:
+                raise ValueError(
+                    f"metric {name!r} has unknown type {mtype!r}"
+                )
+        return registry
 
 
 class _KindSnapshot:

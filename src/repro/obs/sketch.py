@@ -1,0 +1,590 @@
+"""Streaming traffic sketches: characterize the stream in fixed memory.
+
+The ROADMAP's closed-loop autotuning item needs live answers to four
+questions before any controller can act, and all four must come from
+the packet stream itself, online, without storing it:
+
+* *How bad is the scan?*  -- quantiles of PCBs-examined and lookup
+  latency.  :class:`P2Quantile` is the classic P-squared estimator
+  (Jain & Chlamtac 1985: five markers, parabolic adjustment, O(1) per
+  observation); :class:`BucketQuantileSketch` trades accuracy bounds
+  for speed with fixed bucket edges.
+* *How skewed is the traffic?*  -- :class:`SpaceSaving` (Metwally et
+  al. 2005) heavy hitters: ``capacity`` counters, guaranteed error
+  ``<= total/capacity`` per key, plus a zipf-ness estimate from a
+  log-log fit over the top counts.  Jain's locality study shows this
+  is the signal that decides caching vs. hashing.
+* *How train-y is it?*  -- :class:`TrainDetector`: the fraction of
+  packets whose predecessor came from the same connection (the paper's
+  packet trains; Wu et al. show it decides batching).  Needs every
+  packet (sampling destroys adjacency) so it is a two-comparison EWMA.
+* *How many flows are live?*  -- :class:`HyperLogLog` population and a
+  :class:`WorkingSetEstimator` (two epoch-rotated HLLs) for the flows
+  seen in the recent window.
+
+:class:`TrafficCharacterizer` bundles them, attaches to a
+:class:`repro.obs.spans.SpanCollector`, and publishes ``traffic_*``
+gauges into a :class:`repro.obs.metrics.MetricsRegistry` from a
+periodic simulator event.  All estimators are deterministic (the HLL
+hashes with keyed-less blake2b) so paired runs stay paired.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BucketQuantileSketch",
+    "DEFAULT_LATENCY_EDGES_NS",
+    "DEFAULT_QUANTILES",
+    "HyperLogLog",
+    "P2Quantile",
+    "SpaceSaving",
+    "TrafficCharacterizer",
+    "TrainDetector",
+    "WorkingSetEstimator",
+]
+
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+#: Powers-of-two nanosecond edges, 256 ns .. ~8 ms: wide enough for a
+#: Python-level lookup, coarse enough for 16 integers of state.
+DEFAULT_LATENCY_EDGES_NS = tuple(256 * (2 ** i) for i in range(16))
+
+
+class P2Quantile:
+    """P-squared streaming quantile: five markers, no samples stored.
+
+    Until five observations arrive the exact values are kept; after
+    that each observation adjusts marker heights with the parabolic
+    (P²) formula.  ``value()`` is the running estimate of quantile
+    ``q``.  The estimator's error shrinks with the stream and is
+    validated against exact offline quantiles in the test suite.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if heights is None:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [
+                    1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0
+                ]
+            return
+        positions = self._positions
+        # Which cell does the value fall into?
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while not (heights[cell] <= value < heights[cell + 1]):
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i, inc in enumerate(self._increments):
+            desired[i] += inc
+        # Adjust the three inner markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 0.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # parabolic left the bracket; fall back to linear
+                    j = i + int(step)
+                    heights[i] += step * (
+                        (heights[j] - heights[i])
+                        / (positions[j] - positions[i])
+                    )
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def value(self) -> float:
+        if self._heights is not None:
+            return self._heights[2]
+        if not self._initial:
+            return 0.0
+        ordered = sorted(self._initial)
+        index = min(
+            len(ordered) - 1, int(round(self.q * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+
+class BucketQuantileSketch:
+    """Fixed-boundary histogram quantiles: error bounded by bucket width.
+
+    ``edges`` are ascending inclusive upper bounds; values above the
+    last edge land in an overflow bucket whose quantile estimate is the
+    maximum observed.  O(log buckets) per observation, O(buckets)
+    memory, and the quantile is always an upper bound of the true one
+    within its bucket.
+    """
+
+    def __init__(self, edges: Sequence[float]):
+        ordered = tuple(sorted(edges))
+        if not ordered:
+            raise ValueError("edges must be non-empty")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("edges must be distinct")
+        self.edges = ordered
+        self._counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        if value > self._max:
+            self._max = value
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.edges):
+                    return self.edges[index]
+                return self._max
+        return self._max  # pragma: no cover - cumulative == count above
+
+    @property
+    def max_observed(self) -> float:
+        return self._max
+
+
+class SpaceSaving:
+    """Space-Saving heavy hitters: ``capacity`` counters, bounded error.
+
+    When a new key arrives at capacity, the minimum counter is evicted
+    and its count inherited (recorded as that key's ``error``).  The
+    guarantees (Metwally et al.): every key with true count
+    ``> total/capacity`` is retained, and each reported count
+    overestimates the true count by at most its ``error``
+    ``<= total/capacity``.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: Dict[Any, int] = {}
+        self._errors: Dict[Any, int] = {}
+        self.total = 0
+
+    def offer(self, key: Any, count: int = 1) -> None:
+        self.total += count
+        counts = self._counts
+        existing = counts.get(key)
+        if existing is not None:
+            counts[key] = existing + count
+            return
+        if len(counts) < self.capacity:
+            counts[key] = count
+            self._errors[key] = 0
+            return
+        victim = min(counts, key=counts.get)
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + count
+        self._errors[key] = floor
+
+    def top(self, n: int = 10) -> List[Tuple[Any, int, int]]:
+        """The ``n`` largest counters as ``(key, count, error)``."""
+        ranked = sorted(
+            self._counts.items(), key=lambda item: item[1], reverse=True
+        )
+        return [
+            (key, count, self._errors[key]) for key, count in ranked[:n]
+        ]
+
+    def share(self, key: Any) -> float:
+        """Estimated fraction of the stream attributed to ``key``."""
+        if self.total == 0:
+            return 0.0
+        return self._counts.get(key, 0) / self.total
+
+    def guarantee(self) -> float:
+        """Worst-case overcount of any reported counter."""
+        return self.total / self.capacity
+
+    def skew(self, top_n: int = 20) -> float:
+        """Zipf exponent estimate: -slope of log(count) vs log(rank).
+
+        0 means uniform; ~1 means classic zipf.  Computed over the top
+        ``top_n`` counters, which Space-Saving estimates best.
+        """
+        ranked = [count for _, count, _ in self.top(top_n) if count > 0]
+        if len(ranked) < 3:
+            return 0.0
+        xs = [math.log(rank + 1) for rank in range(len(ranked))]
+        ys = [math.log(count) for count in ranked]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        if var_x == 0.0:
+            return 0.0
+        cov = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        )
+        return -(cov / var_x)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class TrainDetector:
+    """Packet-train detector: same-connection adjacency in the stream.
+
+    ``follower_ratio`` is the cumulative fraction of packets whose
+    predecessor shared their connection (the paper's "train
+    followers"); ``train_ness`` is an EWMA of the same signal, so it
+    tracks phase changes.  Must be fed *every* packet -- adjacency is
+    exactly what sampling destroys -- and is therefore two comparisons
+    and one multiply per packet.
+    """
+
+    _NOTHING = object()
+
+    def __init__(self, alpha: float = 0.05, threshold: float = 0.25):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.threshold = threshold
+        self._last: Any = self._NOTHING
+        self.packets = 0
+        self.followers = 0
+        self.train_ness = 0.0
+
+    def offer(self, key: Any) -> None:
+        follower = key == self._last
+        self._last = key
+        self.packets += 1
+        if follower:
+            self.followers += 1
+            self.train_ness += self.alpha * (1.0 - self.train_ness)
+        else:
+            self.train_ness -= self.alpha * self.train_ness
+
+    @property
+    def follower_ratio(self) -> float:
+        return self.followers / self.packets if self.packets else 0.0
+
+    @property
+    def is_trainy(self) -> bool:
+        return self.follower_ratio >= self.threshold
+
+
+class HyperLogLog:
+    """Deterministic HLL cardinality estimator (blake2b-hashed keys).
+
+    ``precision`` p gives ``2**p`` one-byte registers and a relative
+    error around ``1.04 / sqrt(2**p)`` (~3.3% at the default p=10).
+    Hashing ``str(key)`` with blake2b keeps estimates identical across
+    processes and runs -- paired experiments stay paired.
+    """
+
+    def __init__(self, precision: int = 10):
+        if not 4 <= precision <= 16:
+            raise ValueError(
+                f"precision must be in [4, 16], got {precision}"
+            )
+        self.precision = precision
+        self.m = 1 << precision
+        self._registers = bytearray(self.m)
+
+    def add(self, key: Any) -> None:
+        digest = hashlib.blake2b(
+            str(key).encode("utf-8"), digest_size=8
+        ).digest()
+        hashed = int.from_bytes(digest, "big")
+        index = hashed & (self.m - 1)
+        rest = hashed >> self.precision
+        rank = (64 - self.precision) - rest.bit_length() + 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def count(self) -> float:
+        m = self.m
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        harmonic = sum(2.0 ** -register for register in self._registers)
+        estimate = alpha * m * m / harmonic
+        if estimate <= 2.5 * m:
+            zeros = self._registers.count(0)
+            if zeros:
+                estimate = m * math.log(m / zeros)
+        return estimate
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        if other.precision != self.precision:
+            raise ValueError(
+                "cannot merge HLLs of different precision:"
+                f" {self.precision} vs {other.precision}"
+            )
+        merged = HyperLogLog(self.precision)
+        merged._registers = bytearray(
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        )
+        return merged
+
+
+class WorkingSetEstimator:
+    """Distinct flows in the recent window, via two rotated HLLs.
+
+    Epochs of ``window`` (virtual) seconds: the current and previous
+    epoch HLLs are merged for the estimate, so it covers the last one
+    to two windows and forgets older flows -- the working set, not the
+    all-time population.
+    """
+
+    def __init__(self, window: float = 10.0, precision: int = 10):
+        if window <= 0.0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+        self.precision = precision
+        self._current = HyperLogLog(precision)
+        self._previous = HyperLogLog(precision)
+        self._epoch_start: Optional[float] = None
+        self.rotations = 0
+
+    def offer(self, key: Any, now: float) -> None:
+        if self._epoch_start is None:
+            self._epoch_start = now
+        while now - self._epoch_start >= self.window:
+            self._previous = self._current
+            self._current = HyperLogLog(self.precision)
+            self._epoch_start += self.window
+            self.rotations += 1
+        self._current.add(key)
+
+    def estimate(self) -> float:
+        return self._previous.merge(self._current).count()
+
+
+class TrafficCharacterizer:
+    """All four signals bundled, fed by spans, published as gauges.
+
+    ``attach(collector)`` registers two observers on a
+    :class:`~repro.obs.spans.SpanCollector`: a per-packet one feeding
+    the train detector (cheap, unsampled) and a finished-span one
+    feeding the quantile/heavy-hitter/population sketches (sampled).
+    ``attach_simulator`` schedules the periodic ``characterize`` event
+    that publishes into a registry; ``estimates()`` returns the raw
+    numbers for reports and assertions.
+    """
+
+    def __init__(
+        self,
+        *,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        heavy_capacity: int = 128,
+        window: float = 10.0,
+        latency_edges: Sequence[float] = DEFAULT_LATENCY_EDGES_NS,
+        precision: int = 10,
+        top_n: int = 8,
+    ):
+        self.examined = {q: P2Quantile(q) for q in quantiles}
+        self.latency = BucketQuantileSketch(latency_edges)
+        self.heavy = SpaceSaving(heavy_capacity)
+        self.trains = TrainDetector()
+        self.population = HyperLogLog(precision)
+        self.working_set = WorkingSetEstimator(window, precision)
+        self.top_n = top_n
+        self.packets_observed = 0
+        self.publishes = 0
+
+    # -- feeding -------------------------------------------------------
+
+    def attach(self, collector: object) -> "TrafficCharacterizer":
+        collector.add_packet_observer(self.note_packet)
+        collector.add_span_observer(self.on_span)
+        return self
+
+    def note_packet(self, key: Any, kind: Any) -> None:
+        self.trains.offer(key)
+
+    def on_span(self, span: object) -> None:
+        lookup = span.find_stage("lookup")
+        if lookup is None:
+            return  # reap spans carry no lookup cost
+        self.observe(
+            span.four_tuple, lookup.data["examined"], now=span.start
+        )
+
+    def observe(self, key: Any, examined: float,
+                now: float = 0.0) -> None:
+        """Feed one sampled packet directly (bypassing spans)."""
+        self.packets_observed += 1
+        for sketch in self.examined.values():
+            sketch.observe(examined)
+        self.heavy.offer(key)
+        self.population.add(key)
+        self.working_set.offer(key, now)
+
+    def observe_latency(self, nanoseconds: float) -> None:
+        self.latency.observe(nanoseconds)
+
+    # -- reporting -----------------------------------------------------
+
+    def estimates(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "packets_observed": self.packets_observed,
+            "examined_quantiles": {
+                str(q): sketch.value()
+                for q, sketch in self.examined.items()
+            },
+            "heavy_hitters": [
+                {
+                    "key": str(key),
+                    "count": count,
+                    "error": error,
+                    "share": self.heavy.share(key),
+                }
+                for key, count, error in self.heavy.top(self.top_n)
+            ],
+            "skew": self.heavy.skew(),
+            "train_follower_ratio": self.trains.follower_ratio,
+            "train_ness": self.trains.train_ness,
+            "is_trainy": self.trains.is_trainy,
+            "population": self.population.count(),
+            "working_set": self.working_set.estimate(),
+        }
+        if self.latency.count:
+            out["latency_quantiles_ns"] = {
+                str(q): self.latency.quantile(q)
+                for q in self.examined.keys()
+            }
+        return out
+
+    def publish(self, registry: object) -> None:
+        """Publish current estimates as ``traffic_*`` gauges."""
+        self.publishes += 1
+        quantile_gauge = registry.gauge(
+            "traffic_examined_quantile",
+            "Streaming (P2) quantile of PCBs examined per lookup",
+        )
+        for q, sketch in self.examined.items():
+            quantile_gauge.set(sketch.value(), q=str(q))
+        if self.latency.count:
+            latency_gauge = registry.gauge(
+                "traffic_latency_quantile_ns",
+                "Fixed-bucket quantile of sampled lookup latency",
+            )
+            for q in self.examined.keys():
+                latency_gauge.set(self.latency.quantile(q), q=str(q))
+        share_gauge = registry.gauge(
+            "traffic_heavy_hitter_share",
+            "Space-Saving per-connection share of sampled packets",
+        )
+        # Top-K membership shifts between publishes; without the clear
+        # a connection that fell out of the ranking would keep its old
+        # (rank, connection) sample forever.
+        share_gauge.clear()
+        for rank, (key, _, _) in enumerate(
+            self.heavy.top(self.top_n), start=1
+        ):
+            share_gauge.set(
+                self.heavy.share(key), rank=str(rank), connection=str(key)
+            )
+        registry.gauge(
+            "traffic_skew", "Zipf exponent estimate of connection shares"
+        ).set(self.heavy.skew())
+        registry.gauge(
+            "traffic_train_followers",
+            "Fraction of packets following a same-connection packet",
+        ).set(self.trains.follower_ratio)
+        registry.gauge(
+            "traffic_trainness",
+            "EWMA of the same-connection-follower signal",
+        ).set(self.trains.train_ness)
+        population_gauge = registry.gauge(
+            "traffic_population",
+            "Estimated distinct connections (HyperLogLog)",
+        )
+        population_gauge.set(self.population.count(), scope="total")
+        population_gauge.set(
+            self.working_set.estimate(), scope="working_set"
+        )
+        registry.gauge(
+            "traffic_packets_observed",
+            "Sampled packets feeding the sketches",
+        ).set(self.packets_observed)
+
+    def attach_simulator(
+        self,
+        sim: object,
+        registry: object,
+        *,
+        interval: float = 5.0,
+        lock: Optional[object] = None,
+    ) -> None:
+        """Schedule the periodic ``characterize`` publishing event."""
+        if interval <= 0.0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+
+        def characterize() -> None:
+            if lock is not None:
+                with lock:
+                    self.publish(registry)
+            else:
+                self.publish(registry)
+            sim.schedule(interval, characterize)
+
+        sim.schedule(interval, characterize)
+
+    def summary(self) -> str:
+        est = self.estimates()
+        quantiles = est["examined_quantiles"]
+        ordered = ", ".join(
+            f"p{float(q) * 100:g}={quantiles[q]:.1f}"
+            for q in sorted(quantiles, key=float)
+        )
+        return (
+            f"traffic: examined {ordered};"
+            f" skew={est['skew']:.2f}"
+            f" trains={est['train_follower_ratio']:.2f}"
+            f" population~{est['population']:.0f}"
+            f" working-set~{est['working_set']:.0f}"
+            f" ({est['packets_observed']} sampled)"
+        )

@@ -1,0 +1,504 @@
+"""Causal per-packet spans: one packet's journey across the layers.
+
+The counters in :mod:`repro.obs.metrics` say *how much* (lookups,
+PCBs examined, drops); the traces in :mod:`repro.obs.trace` say *what
+happened*, one layer at a time.  Neither can answer "what happened to
+*that* packet?" -- the question every production demultiplexer gets
+asked when a connection misbehaves.  A :class:`PacketSpan` answers it:
+a single record, correlated by span id, collecting the packet's
+stages in order --
+
+    steer (RSS shard choice) -> coalesce (batch membership) ->
+    lookup (PCBs examined, cache hit) -> deliver / drop (taxonomy
+    reason)
+
+plus standalone ``reap`` spans when the lifecycle layer evicts a
+connection.
+
+Design constraints, in priority order:
+
+1. **Untraced runs pay one ``is None`` check per hook** -- exactly the
+   contract the tracer and profiler already honour.  The collector is
+   attached via ``algorithm.spans`` (a template-method hook on
+   :class:`repro.core.base.DemuxAlgorithm`) and via constructor
+   parameters on the stack / SMP layers; when absent, nothing else
+   runs.
+2. **Sampling bounds the cost.**  Every packet increments one counter;
+   only every ``sample_every``-th packet materialises a span object.
+   Per-packet observers (the train-ness detector needs adjacency, which
+   sampling would destroy) are explicitly separate and must stay cheap.
+3. **Fixed memory.**  Finished spans land in a
+   :class:`FlightRecorder` -- per-connection ring buffers with an LRU
+   cap on the number of connections -- never an unbounded list.
+
+The simulator is single-threaded and processes one packet at a time,
+so the collector holds *one* open packet context.  Each layer opens
+the context with its own ``owner`` tag and only the opener's
+``close_packet`` call closes it; inner layers (the demux lookup under
+a stack delivery) observe the already-open span instead of starting a
+nested one.  The coalescer, which buffers packets, opens its spans at
+*flush* time -- span order is delivery order, which is exactly what
+the train-ness detector must see.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import OrderedDict, deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "DEFAULT_SPAN_SAMPLE_EVERY",
+    "FlightRecorder",
+    "PacketSpan",
+    "SpanCollector",
+    "SpanStage",
+    "diff_spans",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+]
+
+#: Matches the profiler's default: a 1-in-64 sample keeps span cost in
+#: the noise while still populating the sketches quickly.
+DEFAULT_SPAN_SAMPLE_EVERY = 64
+
+#: Stage names that decide a span's outcome.
+_TERMINAL_STAGES = {"deliver": "delivered", "drop": "dropped"}
+
+
+class SpanStage:
+    """One step of a packet's journey: a name, a time, and details."""
+
+    __slots__ = ("name", "time", "data")
+
+    def __init__(self, name: str, time: float, data: Dict[str, Any]):
+        self.name = name
+        self.time = time
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "time": self.time}
+        out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanStage({self.name!r}, t={self.time}, {self.data!r})"
+
+
+class PacketSpan:
+    """A correlated record of one packet (or one reap) across layers."""
+
+    __slots__ = ("span_id", "four_tuple", "kind", "start", "end",
+                 "outcome", "stages")
+
+    def __init__(
+        self,
+        span_id: int,
+        four_tuple: Optional[object],
+        kind: str,
+        start: float,
+    ):
+        self.span_id = span_id
+        self.four_tuple = four_tuple
+        self.kind = kind
+        self.start = start
+        self.end = start
+        #: ``open`` until a terminal stage or ``close_packet`` decides.
+        self.outcome = "open"
+        self.stages: List[SpanStage] = []
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def find_stage(self, name: str) -> Optional[SpanStage]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        tup = self.four_tuple
+        serialized = None
+        if tup is not None:
+            serialized = [
+                str(tup.local_addr), tup.local_port,
+                str(tup.remote_addr), tup.remote_port,
+            ]
+        return {
+            "span_id": self.span_id,
+            "four_tuple": serialized,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketSpan(#{self.span_id} {self.kind} {self.outcome}"
+            f" stages={self.stage_names()})"
+        )
+
+
+class FlightRecorder:
+    """Bounded per-connection ring buffers of finished spans.
+
+    Keeps the last ``per_connection`` spans for each of at most
+    ``max_connections`` connections (least-recently-written evicted
+    first), so a long run retains the *recent* history of every active
+    flow -- the flight-recorder a postmortem wants -- in fixed memory.
+    """
+
+    def __init__(self, per_connection: int = 8,
+                 max_connections: int = 1024):
+        if per_connection < 1:
+            raise ValueError(
+                f"per_connection must be >= 1, got {per_connection}"
+            )
+        if max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        self.per_connection = per_connection
+        self.max_connections = max_connections
+        self._rings: "OrderedDict[Any, deque]" = OrderedDict()
+        self.total_recorded = 0
+        #: Spans pushed out of a full per-connection ring.
+        self.overwritten = 0
+        #: Whole connections dropped by the LRU cap.
+        self.evicted_connections = 0
+
+    def record(self, span: PacketSpan) -> None:
+        key = span.four_tuple
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = deque(maxlen=self.per_connection)
+            self._rings[key] = ring
+            if len(self._rings) > self.max_connections:
+                self._rings.popitem(last=False)
+                self.evicted_connections += 1
+        else:
+            self._rings.move_to_end(key)
+        if len(ring) == ring.maxlen:
+            self.overwritten += 1
+        ring.append(span)
+        self.total_recorded += 1
+
+    def spans_for(self, four_tuple: object) -> List[PacketSpan]:
+        """Retained spans for one connection, oldest first."""
+        return list(self._rings.get(four_tuple, ()))
+
+    def all_spans(self) -> List[PacketSpan]:
+        """Every retained span, ordered by span id (creation order)."""
+        spans = [s for ring in self._rings.values() for s in ring]
+        spans.sort(key=lambda span: span.span_id)
+        return spans
+
+    def connection_count(self) -> int:
+        return len(self._rings)
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())
+
+
+class SpanCollector:
+    """Builds :class:`PacketSpan` records from the layers' hooks.
+
+    Attach with :meth:`attach` (sets ``algorithm.spans``) or pass as
+    the ``spans=`` parameter of :class:`repro.tcpstack.stack.HostStack`
+    / :class:`repro.smp.coalesce.BatchCoalescer`; those layers call
+    :meth:`open_packet` / :meth:`stage` / :meth:`close_packet`, and
+    :meth:`repro.core.base.DemuxAlgorithm._finish_lookup` calls
+    :meth:`note_lookup`.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_every: int = DEFAULT_SPAN_SAMPLE_EVERY,
+        recorder: Optional[FlightRecorder] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.sample_every = sample_every
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        #: Bound to the simulator's virtual clock by the workload
+        #: (see ``bind_tracer_clock``); wall-clock runs may leave it
+        #: unset and get 0.0 timestamps.
+        self.clock = clock
+        self._next_id = itertools.count(1)
+        # One packet context at a time: _open says a packet is being
+        # processed (even an unsampled one, so inner layers don't
+        # double-count it); _current is the sampled span, if any.
+        self._open = False
+        self._owner = ""
+        self._current: Optional[PacketSpan] = None
+        self._span_observers: List[Callable[[PacketSpan], None]] = []
+        self._packet_observers: List[Callable[[Any, Any], None]] = []
+        self.packets_seen = 0
+        self.spans_started = 0
+        self.spans_finished = 0
+        self.reaps_recorded = 0
+
+    # -- attachment ---------------------------------------------------
+
+    def attach(self, algorithm: object) -> "SpanCollector":
+        """Hook this collector onto a demux algorithm; returns self."""
+        algorithm.spans = self  # type: ignore[attr-defined]
+        return self
+
+    def add_span_observer(
+        self, observer: Callable[[PacketSpan], None]
+    ) -> None:
+        """Call ``observer(span)`` for every *finished* (sampled) span."""
+        self._span_observers.append(observer)
+
+    def add_packet_observer(
+        self, observer: Callable[[Any, Any], None]
+    ) -> None:
+        """Call ``observer(four_tuple, kind)`` for *every* packet.
+
+        Unsampled: use only for estimators that need adjacency (the
+        train-ness detector) and keep the observer O(1) and branch-light.
+        """
+        self._packet_observers.append(observer)
+
+    def now(self) -> float:
+        clock = self.clock
+        return clock() if clock is not None else 0.0
+
+    # -- the packet context state machine -----------------------------
+
+    def open_packet(
+        self, four_tuple: object, kind: object, owner: str = "packet"
+    ) -> Optional[PacketSpan]:
+        """Start (or join) the packet context for one inbound packet.
+
+        The first layer to call this per packet owns the context; inner
+        layers get the already-open span (possibly ``None`` when the
+        packet was not sampled) and must not close it.
+        """
+        if self._open:
+            return self._current
+        self._open = True
+        self._owner = owner
+        self.packets_seen += 1
+        for observer in self._packet_observers:
+            observer(four_tuple, kind)
+        if (self.packets_seen - 1) % self.sample_every:
+            self._current = None
+            return None
+        span = PacketSpan(
+            span_id=next(self._next_id),
+            four_tuple=four_tuple,
+            kind=_kind_name(kind),
+            start=self.now(),
+        )
+        self._current = span
+        self.spans_started += 1
+        return span
+
+    def stage(self, name: str, **data: Any) -> None:
+        """Append a stage to the current span (no-op when unsampled)."""
+        span = self._current
+        if span is None:
+            return
+        span.stages.append(SpanStage(name, self.now(), data))
+        outcome = _TERMINAL_STAGES.get(name)
+        if outcome is not None:
+            span.outcome = outcome
+
+    def close_packet(self, owner: str = "packet") -> Optional[PacketSpan]:
+        """Finish the packet context -- only honoured for its opener."""
+        if not self._open or self._owner != owner:
+            return None
+        span = self._current
+        self._open = False
+        self._owner = ""
+        self._current = None
+        if span is None:
+            return None
+        span.end = self.now()
+        self.spans_finished += 1
+        self.recorder.record(span)
+        for observer in self._span_observers:
+            observer(span)
+        return span
+
+    # -- layer hooks ---------------------------------------------------
+
+    def note_lookup(self, algorithm: str, four_tuple: object,
+                    result: object) -> None:
+        """Record a demux lookup; the hook ``_finish_lookup`` calls.
+
+        Standalone (no outer layer opened a context -- demux-level
+        workloads) this opens and closes a demux-owned context, so the
+        sampling counter still advances once per packet.
+        """
+        if not self._open:
+            if four_tuple is None:
+                return  # lookup_by_id misses carry no tuple to record
+            self.open_packet(four_tuple, result.kind, owner="demux")
+        span = self._current
+        if span is not None:
+            found = result.found
+            span.stages.append(SpanStage("lookup", self.now(), {
+                "algorithm": algorithm,
+                "examined": result.examined,
+                "cache_hit": result.cache_hit,
+                "found": found,
+            }))
+            if span.outcome == "open":
+                span.outcome = "found" if found else "miss"
+        self.close_packet("demux")
+
+    def note_reap(self, four_tuple: object, reason: str) -> PacketSpan:
+        """Record a lifecycle eviction as a standalone, unsampled span.
+
+        Reaps are rare and diagnostic gold, so every one is recorded.
+        """
+        now = self.now()
+        span = PacketSpan(
+            span_id=next(self._next_id),
+            four_tuple=four_tuple,
+            kind="",
+            start=now,
+        )
+        span.stages.append(SpanStage("reap", now, {"reason": reason}))
+        span.outcome = "reaped"
+        span.end = now
+        self.spans_started += 1
+        self.spans_finished += 1
+        self.reaps_recorded += 1
+        self.recorder.record(span)
+        for observer in self._span_observers:
+            observer(span)
+        return span
+
+    # -- output --------------------------------------------------------
+
+    def to_jsonl(self, path: object) -> int:
+        """Dump every retained span to a JSONL file; returns the count."""
+        return write_spans_jsonl(self.recorder.all_spans(), path)
+
+    def summary(self) -> str:
+        return (
+            f"spans: {self.packets_seen} packets seen,"
+            f" {self.spans_finished} spans recorded"
+            f" (1/{self.sample_every} sampling),"
+            f" {self.reaps_recorded} reaps,"
+            f" {len(self.recorder)} retained over"
+            f" {self.recorder.connection_count()} connections"
+        )
+
+
+def _kind_name(kind: object) -> str:
+    """'data' / 'ack' from a PacketKind, or str() of anything else."""
+    value = getattr(kind, "value", None)
+    return value if isinstance(value, str) else str(kind)
+
+
+def write_spans_jsonl(
+    spans: Iterable[object], path: object
+) -> int:
+    """Write spans (PacketSpan objects or plain dicts) as JSONL."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            record = span.to_dict() if hasattr(span, "to_dict") else span
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_spans_jsonl(path: object) -> List[Dict[str, Any]]:
+    """Read a span JSONL dump back into a list of dicts."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _normalize(record: Dict[str, Any],
+               ignore: Sequence[str]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in record.items():
+        if key in ignore:
+            continue
+        if key == "stages":
+            value = [
+                {k: v for k, v in stage.items() if k not in ignore}
+                for stage in value
+            ]
+        out[key] = value
+    return out
+
+
+def diff_spans(
+    left: Sequence[Dict[str, Any]],
+    right: Sequence[Dict[str, Any]],
+    *,
+    ignore: Sequence[str] = ("span_id", "start", "end", "time"),
+) -> List[str]:
+    """Compare two span dumps for replay/diff; [] means equivalent.
+
+    Spans are paired per connection in recorded order, with span ids
+    and absolute times ignored by default (two replays of the same
+    stream assign both differently).  Each returned string describes
+    one divergence -- a missing connection, a count mismatch, or a
+    span whose stages/outcome differ.
+    """
+
+    def by_connection(records):
+        groups: "OrderedDict[Tuple, List[Dict[str, Any]]]" = OrderedDict()
+        for record in records:
+            key = tuple(record.get("four_tuple") or ())
+            groups.setdefault(key, []).append(record)
+        return groups
+
+    left_groups = by_connection(left)
+    right_groups = by_connection(right)
+    problems: List[str] = []
+    for key in left_groups.keys() | right_groups.keys():
+        label = ":".join(str(part) for part in key) or "<no-tuple>"
+        a = left_groups.get(key, [])
+        b = right_groups.get(key, [])
+        if len(a) != len(b):
+            problems.append(
+                f"{label}: {len(a)} spans vs {len(b)} spans"
+            )
+        for index, (ra, rb) in enumerate(zip(a, b)):
+            na, nb = _normalize(ra, ignore), _normalize(rb, ignore)
+            if na == nb:
+                continue
+            stages_a = [s.get("name") for s in ra.get("stages", [])]
+            stages_b = [s.get("name") for s in rb.get("stages", [])]
+            if stages_a != stages_b:
+                problems.append(
+                    f"{label}[{index}]: stages {stages_a} vs {stages_b}"
+                )
+            elif ra.get("outcome") != rb.get("outcome"):
+                problems.append(
+                    f"{label}[{index}]: outcome {ra.get('outcome')!r}"
+                    f" vs {rb.get('outcome')!r}"
+                )
+            else:
+                problems.append(f"{label}[{index}]: details differ")
+    return sorted(problems)

@@ -106,6 +106,9 @@ class TraceSink:
     def emit(self, event: TraceEvent) -> None:
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered events to durable storage (default: no-op)."""
+
     def close(self) -> None:
         """Flush and release resources (default: nothing to do)."""
 
@@ -148,7 +151,14 @@ class RingBufferSink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Writes one JSON object per line to ``path`` (or an open file)."""
+    """Writes one JSON object per line to ``path`` (or an open file).
+
+    Crash-safe by construction: each event is a *single* atomic
+    ``write`` of a complete line (never a record split across two
+    writes), and the context manager flushes on the way out even when
+    the body raised -- a sim that dies mid-run leaves a readable trace
+    truncated at a line boundary, not a torn JSON object.
+    """
 
     def __init__(self, path: Union[str, pathlib.Path, IO[str]]):
         if hasattr(path, "write"):
@@ -160,12 +170,19 @@ class JsonlSink(TraceSink):
         self.lines_written = 0
 
     def emit(self, event: TraceEvent) -> None:
-        self._file.write(json.dumps(event.to_dict(), separators=(",", ":")))
-        self._file.write("\n")
+        line = json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        self._file.write(line)
         self.lines_written += 1
 
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
     def close(self) -> None:
-        if self._owns_file and not self._file.closed:
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self._owns_file:
             self._file.close()
 
     def __enter__(self) -> "JsonlSink":
@@ -226,6 +243,11 @@ class Tracer:
 
     def detach(self, sink: TraceSink) -> None:
         self._sinks.remove(sink)
+
+    def flush(self) -> None:
+        """Flush every sink without closing it."""
+        for sink in self._sinks:
+            sink.flush()
 
     def close(self) -> None:
         """Close every sink (flushes JSONL files)."""
@@ -296,7 +318,10 @@ class Tracer:
 
         Installs a dispatch probe (see ``Simulator.probe``) that emits
         a ``sim.event`` record, carrying the callback's name, for every
-        event the simulator runs.
+        event the simulator runs.  Also wraps ``sim.run`` so sinks are
+        *closed* when a run drains the event heap (the sim completed)
+        and *flushed* otherwise -- a crashed or paused run still leaves
+        a readable trace, and a finished one needs no manual close.
         """
         if self.clock is None:
             self.clock = lambda: sim.now
@@ -309,3 +334,25 @@ class Tracer:
                 )
 
         sim.probe = probe
+
+        if getattr(sim, "_tracer_wrapped_run", None) is self:
+            return  # already wrapped by this tracer
+        original_run = sim.run
+
+        def traced_run(*args, **kwargs):
+            try:
+                result = original_run(*args, **kwargs)
+            except BaseException:
+                self.flush()
+                raise
+            # Periodic events (lifecycle reaping, live publishing) keep
+            # the heap non-empty forever; only a drained heap means the
+            # simulation is truly over and the sinks can be closed.
+            if sim.pending == 0:
+                self.close()
+            else:
+                self.flush()
+            return result
+
+        sim.run = traced_run
+        sim._tracer_wrapped_run = self

@@ -1,0 +1,388 @@
+"""SLO watchdog: metric snapshots in, a health state out.
+
+A production demultiplexer is not "up" because the process exists; it
+is up when the paper's figures of merit stay inside budget.  The
+watchdog encodes those budgets as :class:`SLORule` objects -- each an
+upper bound on a value extracted from a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot -- and
+:class:`HealthWatchdog` folds their results into one of three states:
+
+``ok``        every evaluable rule within budget
+``degraded``  only ``warning``-severity rules are out of budget
+``failing``   a ``critical`` rule is out of budget
+
+Rules whose metrics are absent from the snapshot are *skipped*, not
+failed: a demux-only run has no drop taxonomy, an unsharded run no
+imbalance factor, and the watchdog must be attachable to any of them.
+
+Everything evaluates on plain snapshot dicts (``registry.snapshot()``
+or a parsed metrics.json), so the same rules serve the live
+``/healthz`` endpoint, the fault-matrix and leak-audit CLIs, and
+offline ``obs-report`` rendering.  State *changes* are emitted as
+``health`` trace events when a tracer is attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .trace import TraceEvent
+
+__all__ = [
+    "HealthReport",
+    "HealthWatchdog",
+    "RuleResult",
+    "SLORule",
+    "counter_total",
+    "default_rules",
+    "gauge_max",
+    "histogram_quantile",
+]
+
+_SEVERITIES = ("warning", "critical")
+_STATES = ("ok", "degraded", "failing")
+
+#: Drop reasons that count against the drop-rate SLO.  Injected loss is
+#: the fault injector doing its job, not the stack failing.
+_SLO_DROP_REASONS = ("corrupt", "no-listener", "table-full", "bad-state")
+
+
+# -- snapshot accessors -----------------------------------------------
+#
+# All return None when the metric (or any matching sample) is absent,
+# which a rule turns into "skipped".
+
+def _samples(snapshot: Dict[str, Any], name: str,
+             expected_type: str) -> Optional[List[Dict[str, Any]]]:
+    metric = snapshot.get(name)
+    if metric is None or metric.get("type") != expected_type:
+        return None
+    return metric.get("samples", [])
+
+
+def _matches(labels: Dict[str, str], match: Dict[str, str]) -> bool:
+    return all(labels.get(k) == str(v) for k, v in match.items())
+
+
+def counter_total(snapshot: Dict[str, Any], name: str,
+                  **match: str) -> Optional[float]:
+    """Sum of counter samples whose labels include ``match``."""
+    samples = _samples(snapshot, name, "counter")
+    if samples is None:
+        return None
+    values = [
+        s["value"] for s in samples if _matches(s["labels"], match)
+    ]
+    return sum(values) if values else None
+
+
+def gauge_max(snapshot: Dict[str, Any], name: str,
+              **match: str) -> Optional[float]:
+    """Largest gauge sample whose labels include ``match``."""
+    samples = _samples(snapshot, name, "gauge")
+    if samples is None:
+        return None
+    values = [
+        s["value"] for s in samples if _matches(s["labels"], match)
+    ]
+    return max(values) if values else None
+
+
+def histogram_quantile(snapshot: Dict[str, Any], name: str, q: float,
+                       **match: str) -> Optional[float]:
+    """Exact quantile over the merged counts of matching samples."""
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    samples = _samples(snapshot, name, "histogram")
+    if samples is None:
+        return None
+    merged: Dict[int, int] = {}
+    for sample in samples:
+        if not _matches(sample["labels"], match):
+            continue
+        for value, count in sample.get("counts", {}).items():
+            value = int(value)
+            merged[value] = merged.get(value, 0) + count
+    total = sum(merged.values())
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0
+    for value in sorted(merged):
+        cumulative += merged[value]
+        if cumulative >= target:
+            return float(value)
+    return float(max(merged))  # pragma: no cover - loop always returns
+
+
+# -- rules -------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class RuleResult:
+    """One rule's verdict against one snapshot."""
+
+    name: str
+    ok: bool
+    value: Optional[float]
+    threshold: float
+    severity: str
+    detail: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        return self.value is None
+
+    def describe(self) -> str:
+        if self.skipped:
+            return f"{self.name}: skipped (metric absent)"
+        verdict = "ok" if self.ok else self.severity.upper()
+        text = (
+            f"{self.name}: {verdict}"
+            f" (value {self.value:g}, budget {self.threshold:g})"
+        )
+        if self.detail:
+            text += f" -- {self.detail}"
+        return text
+
+
+@dataclasses.dataclass(frozen=True)
+class SLORule:
+    """An upper bound on one value extracted from a snapshot.
+
+    ``value_fn(snapshot)`` returns the measured value, ``None`` when
+    the metric is absent, or a ``(value, detail)`` pair when the rule
+    wants to explain itself (e.g. which drop reason is worst).
+    """
+
+    name: str
+    description: str
+    threshold: float
+    value_fn: Callable[[Dict[str, Any]], Any]
+    severity: str = "critical"
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES},"
+                f" got {self.severity!r}"
+            )
+
+    def evaluate(self, snapshot: Dict[str, Any]) -> RuleResult:
+        extracted = self.value_fn(snapshot)
+        detail = ""
+        if isinstance(extracted, tuple):
+            extracted, detail = extracted
+        if extracted is None:
+            return RuleResult(
+                name=self.name, ok=True, value=None,
+                threshold=self.threshold, severity=self.severity,
+                detail=detail,
+            )
+        return RuleResult(
+            name=self.name,
+            ok=extracted <= self.threshold,
+            value=float(extracted),
+            threshold=self.threshold,
+            severity=self.severity,
+            detail=detail,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthReport:
+    """All rule results plus the folded state."""
+
+    state: str
+    results: Tuple[RuleResult, ...]
+    time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "ok"
+
+    @property
+    def failing_rules(self) -> List[RuleResult]:
+        return [r for r in self.results if not r.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "time": self.time,
+            "rules": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "skipped": r.skipped,
+                    "value": r.value,
+                    "threshold": r.threshold,
+                    "severity": r.severity,
+                    "detail": r.detail,
+                }
+                for r in self.results
+            ],
+        }
+
+    def describe(self) -> str:
+        evaluated = [r for r in self.results if not r.skipped]
+        text = (
+            f"health={self.state}"
+            f" ({len(evaluated)}/{len(self.results)} rules evaluated"
+        )
+        failing = self.failing_rules
+        if failing:
+            text += (
+                ", failing: "
+                + ", ".join(r.name for r in failing)
+            )
+        return text + ")"
+
+
+class HealthWatchdog:
+    """Evaluates rules against snapshots, remembers the last state.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) receives a
+    ``health`` trace event whenever the folded state changes -- the
+    transition, not every evaluation, is the story.
+    """
+
+    def __init__(self, rules: Sequence[SLORule],
+                 tracer: Optional[object] = None):
+        self.rules = list(rules)
+        self.tracer = tracer
+        self.last_report: Optional[HealthReport] = None
+        self.evaluations = 0
+
+    def evaluate(self, snapshot: object, now: float = 0.0) -> HealthReport:
+        """Run every rule; accepts a registry or a snapshot dict."""
+        if hasattr(snapshot, "snapshot"):
+            snapshot = snapshot.snapshot()
+        results = tuple(rule.evaluate(snapshot) for rule in self.rules)
+        state = "ok"
+        for result in results:
+            if result.ok:
+                continue
+            if result.severity == "critical":
+                state = "failing"
+                break
+            state = "degraded"
+        previous = self.last_report.state if self.last_report else "ok"
+        report = HealthReport(state=state, results=results, time=now)
+        self.evaluations += 1
+        self.last_report = report
+        if state != previous and self.tracer is not None:
+            failing = ", ".join(
+                r.describe() for r in report.failing_rules
+            )
+            self.tracer.emit(TraceEvent(
+                time=now,
+                kind="health",
+                detail=f"{previous} -> {state}"
+                + (f": {failing}" if failing else ""),
+            ))
+        return report
+
+
+# -- the default rule set ----------------------------------------------
+
+def _p99_examined(snapshot: Dict[str, Any]) -> Optional[float]:
+    return histogram_quantile(snapshot, "demux_examined", 0.99)
+
+
+def _drop_rate(snapshot: Dict[str, Any]) -> Any:
+    """Worst per-reason drop rate over the packets the stack saw."""
+    received = counter_total(snapshot, "packets_received_total")
+    if received is None:
+        received = counter_total(snapshot, "demux_lookups_total")
+    if not received:
+        return None
+    worst = None
+    worst_reason = ""
+    for reason in _SLO_DROP_REASONS:
+        dropped = counter_total(
+            snapshot, "packet_drops_total", reason=reason
+        )
+        if dropped is None:
+            continue
+        rate = dropped / received
+        if worst is None or rate > worst:
+            worst, worst_reason = rate, reason
+    if worst is None:
+        return None
+    return worst, f"worst reason: {worst_reason}"
+
+
+def _shard_imbalance(snapshot: Dict[str, Any]) -> Optional[float]:
+    return gauge_max(snapshot, "smp_imbalance_factor")
+
+
+def _retained_growth(snapshot: Dict[str, Any]) -> Any:
+    """Max (interned keys - live PCBs) over matching label groups."""
+    samples = _samples(snapshot, "lifecycle_retention", "gauge")
+    if samples is None:
+        return None
+    groups: Dict[Tuple, Dict[str, float]] = {}
+    for sample in samples:
+        labels = dict(sample["labels"])
+        population = labels.pop("population", "")
+        key = tuple(sorted(labels.items()))
+        groups.setdefault(key, {})[population] = sample["value"]
+    worst = None
+    worst_group: Tuple = ()
+    for key, populations in groups.items():
+        if "interned_keys" not in populations:
+            continue
+        if "live_pcbs" not in populations:
+            continue
+        excess = populations["interned_keys"] - populations["live_pcbs"]
+        if worst is None or excess > worst:
+            worst, worst_group = excess, key
+    if worst is None:
+        return None
+    detail = ",".join(f"{k}={v}" for k, v in worst_group)
+    return worst, f"worst group: {detail or '<unlabelled>'}"
+
+
+def default_rules(
+    *,
+    max_p99_examined: float = 64.0,
+    max_drop_rate: float = 0.05,
+    max_imbalance: float = 2.0,
+    retention_grace: float = 0.0,
+) -> List[SLORule]:
+    """The four budgets the tentpole names, with tunable thresholds."""
+    return [
+        SLORule(
+            name="p99-examined",
+            description="99th percentile of PCBs examined per lookup",
+            threshold=max_p99_examined,
+            value_fn=_p99_examined,
+        ),
+        SLORule(
+            name="drop-rate",
+            description="worst per-taxonomy-reason packet drop rate",
+            threshold=max_drop_rate,
+            value_fn=_drop_rate,
+        ),
+        SLORule(
+            name="shard-imbalance",
+            description="max shard load / mean shard load",
+            threshold=max_imbalance,
+            value_fn=_shard_imbalance,
+            severity="warning",
+        ),
+        SLORule(
+            name="retained-entries",
+            description="interned keys outliving their PCBs",
+            threshold=retention_grace,
+            value_fn=_retained_growth,
+        ),
+    ]

@@ -22,7 +22,7 @@ the paired comparison the sweep and benchmarks assert on.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.base import DemuxAlgorithm
 from ..core.pcb import PCB
@@ -49,13 +49,20 @@ class BatchCoalescer:
         batch_size: int = 32,
         *,
         sort: bool = True,
+        spans: Optional[object] = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.algorithm = algorithm
         self.batch_size = batch_size
         self.sort = sort
+        #: Optional :class:`repro.obs.SpanCollector`.  Spans open at
+        #: *flush* time: span (and packet-observer) order is delivery
+        #: order, which is what the train-ness detector must see --
+        #: coalescing exists precisely to change that order.
+        self.spans = spans
         self._buffer: List[Packet] = []
+        self._arrivals: List[float] = []
         #: Batches delivered so far.
         self.batches_flushed = 0
         #: Packets delivered so far.
@@ -66,6 +73,8 @@ class BatchCoalescer:
 
     def offer(self, tup: FourTuple, kind: PacketKind = PacketKind.DATA) -> None:
         """Accept one arrival; deliver the batch when it fills."""
+        if self.spans is not None:
+            self._arrivals.append(self.spans.now())
         self._buffer.append((tup, kind))
         if len(self._buffer) >= self.batch_size:
             self.flush()
@@ -76,17 +85,52 @@ class BatchCoalescer:
         if not batch:
             return 0
         self._buffer = []
-        if self.sort and len(batch) > 1:
-            batch.sort(key=lambda packet: packet[0].key_bits())
-        previous = None
-        for tup, _ in batch:
-            if tup == previous:
-                self.train_followers += 1
-            previous = tup
-        # One batched call instead of a per-packet loop: the default
-        # lookup_batch is exactly that loop, and fast/sharded
-        # structures amortize it without changing any decision.
-        self.algorithm.lookup_batch(batch)
+        spans = self.spans
+        if spans is None:
+            if self.sort and len(batch) > 1:
+                batch.sort(key=lambda packet: packet[0].key_bits())
+            previous = None
+            for tup, _ in batch:
+                if tup == previous:
+                    self.train_followers += 1
+                previous = tup
+            # One batched call instead of a per-packet loop: the default
+            # lookup_batch is exactly that loop, and fast/sharded
+            # structures amortize it without changing any decision.
+            self.algorithm.lookup_batch(batch)
+        else:
+            arrivals = self._arrivals
+            self._arrivals = []
+            if self.sort and len(batch) > 1:
+                # Index sort: sorted() is stable with the same key as
+                # list.sort above, so delivery order is identical to
+                # the span-less path -- arrivals just ride along.
+                order = sorted(
+                    range(len(batch)),
+                    key=lambda i: batch[i][0].key_bits(),
+                )
+                batch = [batch[i] for i in order]
+                arrivals = [arrivals[i] for i in order]
+            batch_id = self.batches_flushed
+            previous = None
+            for (tup, kind), arrived in zip(batch, arrivals):
+                follower = tup == previous
+                if follower:
+                    self.train_followers += 1
+                previous = tup
+                spans.open_packet(tup, kind, owner="coalesce")
+                spans.stage(
+                    "coalesce",
+                    batch=batch_id,
+                    size=len(batch),
+                    follower=follower,
+                    enqueued_at=arrived,
+                )
+                # Per-packet delivery: the span context is per packet,
+                # and with spans attached every lookup_batch falls back
+                # to exactly this loop anyway.
+                self.algorithm.lookup(tup, kind)
+                spans.close_packet("coalesce")
         self.batches_flushed += 1
         self.packets_delivered += len(batch)
         return len(batch)

@@ -100,9 +100,13 @@ class ShardedDemux(DemuxAlgorithm):
             self._shards[shard].note_send(pcb)
 
     def _lookup(self, tup: FourTuple, kind: PacketKind) -> LookupResult:
+        spans = self.spans
+        if spans is not None:
+            spans.open_packet(tup, kind, owner="demux")
         target = self.steering.shard_of(tup, self.nshards)
         home = self._home.get(tup)
-        if home is not None and home != target:
+        migrated = home is not None and home != target
+        if migrated:
             # The steered CPU takes over the flow: its PCB (and cache
             # lines) migrate.  Examined-count purity is preserved; the
             # move is priced separately by the contention model.
@@ -110,6 +114,13 @@ class ShardedDemux(DemuxAlgorithm):
             self._shards[target].insert(pcb)
             self._home[tup] = target
             self.flow_migrations += 1
+        if spans is not None:
+            spans.stage(
+                "steer",
+                policy=self.steering.name,
+                shard=target,
+                migrated=migrated,
+            )
         return self._shards[target].lookup(tup, kind)
 
     def lookup_batch(
@@ -126,13 +137,14 @@ class ShardedDemux(DemuxAlgorithm):
         by packet, so every decision -- and every shard's statistics --
         is identical to the sequential path.  Unstable steering
         (round-robin) migrates PCBs mid-batch, so it keeps the
-        per-packet path.  Hooks (tracer/profiler) are per-lookup by
-        contract and also take the per-packet path.
+        per-packet path.  Hooks (tracer/profiler/spans) are per-lookup
+        by contract and also take the per-packet path.
         """
         tracer = self.tracer
         if (
             not self.steering.flow_stable
             or self._profiler is not None
+            or self.spans is not None
             or (tracer is not None and tracer.enabled)
         ):
             return super().lookup_batch(packets)

@@ -72,6 +72,7 @@ class HostStack:
         idle_timeout: Optional[float] = None,
         time_wait_timeout: Optional[float] = None,
         reap_interval: Optional[float] = None,
+        spans: Optional[object] = None,
     ):
         self.sim = sim
         self.network = network
@@ -82,6 +83,16 @@ class HostStack:
             overflow_policy=overflow_policy,
         )
         self._tracer = tracer or Tracer(enabled=False)
+        #: Optional :class:`repro.obs.SpanCollector`: ``deliver`` opens
+        #: one packet context per inbound segment, the demux lookup and
+        #: drop taxonomy add stages inside it, and reaper evictions are
+        #: recorded as standalone ``reap`` spans.  Attaching here also
+        #: hooks the demux algorithm and binds the virtual clock.
+        self.spans = spans
+        if spans is not None:
+            algorithm.spans = spans
+            if spans.clock is None:
+                spans.clock = lambda: self.sim.now
         self._mss = mss
         self._delayed_ack = delayed_ack
         self._iss_counter = itertools.count(1000, 64000)
@@ -138,6 +149,11 @@ class HostStack:
         if reason not in self.drops:
             raise ValueError(f"unknown drop reason {reason!r}")
         self.drops[reason] += 1
+        if self.spans is not None:
+            # Attaches to the current packet's span, if one is open and
+            # sampled; corrupt drops happen before any context exists
+            # (no four-tuple is known) and are a collector no-op.
+            self.spans.stage("drop", reason=reason)
         self.trace("drop", detail or reason, reason=reason)
 
     def deliver(self, packet: Union[Packet, bytes, bytearray, memoryview]) -> None:
@@ -159,6 +175,21 @@ class HostStack:
         segment = packet.tcp
         kind = PacketKind.ACK if segment.is_pure_ack else PacketKind.DATA
         tup = packet.four_tuple
+        spans = self.spans
+        if spans is None:
+            self._deliver_segment(packet, segment, tup, kind)
+            return
+        spans.open_packet(tup, kind, owner="stack")
+        try:
+            self._deliver_segment(packet, segment, tup, kind)
+        finally:
+            spans.close_packet("stack")
+
+    def _deliver_segment(
+        self, packet: Packet, segment: TCPSegment, tup: FourTuple,
+        kind: PacketKind,
+    ) -> None:
+        """Demux and dispatch one parsed segment (span context open)."""
         result = self.table.lookup(tup, kind)
         self.trace(
             "demux", f"{tup}", kind=kind.value, examined=result.examined,
@@ -167,6 +198,8 @@ class HostStack:
         if result.found:
             endpoint = result.pcb.user_data
             if isinstance(endpoint, TCPEndpoint):
+                if self.spans is not None:
+                    self.spans.stage("deliver", target="endpoint")
                 endpoint.handle(packet)
             return
         # No established connection: a SYN may create one.
@@ -199,6 +232,8 @@ class HostStack:
             self._send_reset(packet)
             return
         self.demux_misses_to_listener += 1
+        if self.spans is not None:
+            self.spans.stage("deliver", target="listener")
         pcb = PCB(tup, mss=self._mss)
 
         def on_establish(endpoint: TCPEndpoint) -> None:
@@ -370,6 +405,8 @@ class HostStack:
         wire, as a real stack's keepalive failure would be.
         """
         self.reaped[reason] += 1
+        if self.spans is not None:
+            self.spans.note_reap(pcb.four_tuple, reason)
         self.trace("reap", f"{pcb.four_tuple}", reason=reason, state=pcb.state)
         endpoint = pcb.user_data
         if isinstance(endpoint, TCPEndpoint):

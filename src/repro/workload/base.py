@@ -29,6 +29,9 @@ def bind_tracer_clock(algorithm: DemuxAlgorithm, sim: Simulator) -> None:
     tracer = algorithm.tracer
     if tracer is not None and tracer.clock is None:
         tracer.clock = lambda: sim.now
+    spans = getattr(algorithm, "spans", None)
+    if spans is not None and spans.clock is None:
+        spans.clock = lambda: sim.now
 
 
 @dataclasses.dataclass(frozen=True)

@@ -219,6 +219,7 @@ class TPCAFullStackSimulation:
         overflow_policy: str = "reject-new",
         idle_timeout=None,
         time_wait_timeout=None,
+        spans=None,
     ):
         from ..core.bsd import BSDDemux
 
@@ -248,6 +249,9 @@ class TPCAFullStackSimulation:
             link_factory=link_factory,
         )
         self._client_factory = client_algorithm_factory or BSDDemux
+        # Spans watch the server stack: the paper dismisses client-side
+        # demux ("this packet will be received only by a client"), and
+        # so does the per-packet journey record.
         self.server = HostStack(
             self.sim,
             self.network,
@@ -257,6 +261,7 @@ class TPCAFullStackSimulation:
             overflow_policy=overflow_policy,
             idle_timeout=idle_timeout,
             time_wait_timeout=time_wait_timeout,
+            spans=spans,
         )
         self.clients: List[HostStack] = []
         self.transactions_completed = 0

@@ -1,0 +1,216 @@
+"""Prometheus-export edge cases: label escaping, empty label sets,
+fixed-boundary histogram rendering (+Inf/sum/count consistency), and
+the snapshot -> registry -> export round trip."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_EXPORT_BUCKETS,
+    MetricsRegistry,
+)
+
+
+def _lines(registry, **kwargs):
+    return registry.to_prometheus(**kwargs).splitlines()
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(
+            1, path='a"b', host="x\\y", note="l1\nl2"
+        )
+        (sample,) = [
+            line for line in _lines(registry) if not line.startswith("#")
+        ]
+        assert r'path="a\"b"' in sample
+        assert r'host="x\\y"' in sample
+        assert r'note="l1\nl2"' in sample
+        assert "\n" not in sample  # the newline really was escaped
+
+    def test_plain_values_unchanged(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1, kind="data")
+        assert 'g{kind="data"} 1' in _lines(registry)
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(1, **{"bad-name": "x"})
+
+
+class TestEmptyLabelSets:
+    def test_unlabelled_sample_has_no_braces(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        assert "c 5" in _lines(registry)
+        assert not any("{}" in line for line in _lines(registry))
+
+    def test_unlabelled_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1)
+        lines = _lines(registry)
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="+Inf"} 1' in lines
+        assert "h_sum 1" in lines
+        assert "h_count 1" in lines
+
+
+class TestFixedBucketHistograms:
+    def _histogram_lines(self, values, buckets):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=buckets)
+        for value in values:
+            histogram.observe(value, kind="data")
+        return _lines(registry)
+
+    def test_boundaries_stable_across_observations(self):
+        # The PR-6 fix: ``le`` labels are the configured edges, not
+        # whatever values happened to be observed, so consecutive
+        # scrapes expose identical series.
+        first = self._histogram_lines([1, 7], buckets=(1.0, 4.0, 16.0))
+        second = self._histogram_lines([2, 3, 900], buckets=(1.0, 4.0, 16.0))
+
+        def les(lines):
+            return [
+                line.split('le="')[1].split('"')[0]
+                for line in lines
+                if "_bucket" in line
+            ]
+
+        assert les(first) == les(second) == ["1", "4", "16", "+Inf"]
+
+    def test_cumulative_counts_and_inf_consistency(self):
+        lines = self._histogram_lines(
+            [1, 2, 5, 17, 1000], buckets=(1.0, 4.0, 16.0)
+        )
+        assert 'h_bucket{kind="data",le="1"} 1' in lines
+        assert 'h_bucket{kind="data",le="4"} 2' in lines
+        assert 'h_bucket{kind="data",le="16"} 3' in lines
+        assert 'h_bucket{kind="data",le="+Inf"} 5' in lines
+        assert 'h_count{kind="data"} 5' in lines
+        assert 'h_sum{kind="data"} 1025' in lines
+
+    def test_default_buckets_supplied_at_export(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(3, kind="data")
+        lines = _lines(
+            registry, histogram_buckets=DEFAULT_EXPORT_BUCKETS
+        )
+        les = [
+            line.split('le="')[1].split('"')[0]
+            for line in lines
+            if "_bucket" in line
+        ]
+        assert les == [
+            "1", "2", "4", "8", "16", "32", "64", "128", "256", "512",
+            "1024", "+Inf",
+        ]
+
+    def test_legacy_exact_rendering_without_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(3)
+        histogram.observe(9)
+        lines = _lines(registry)
+        assert 'h_bucket{le="3"} 1' in lines
+        assert 'h_bucket{le="9"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 2' in lines
+
+    def test_json_snapshot_keeps_exact_counts(self):
+        # Fixed boundaries are an export concern only; the snapshot
+        # must keep per-value resolution for offline analysis.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(8.0,))
+        histogram.observe(3)
+        histogram.observe(5)
+        (sample,) = registry.snapshot()["h"]["samples"]
+        assert sample["counts"] == {"3": 1, "5": 1}
+
+    def test_bucket_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("c", buckets=(1.0, float("inf")))
+
+    def test_conflicting_rebucket_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        registry.histogram("h")  # no buckets: reuses existing
+        registry.histogram("h", buckets=(1.0, 2.0))  # same: fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestSnapshotRoundTrip:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("lookups_total", "help text").inc(
+            7, kind="data", algorithm="bsd"
+        )
+        registry.gauge("table_size").set(42, host="a")
+        histogram = registry.histogram("examined", buckets=(2.0, 8.0))
+        histogram.observe(1, kind="data")
+        histogram.observe(5, kind="data", count=3)
+        return registry
+
+    def test_snapshot_restores_identically(self):
+        original = self._populated()
+        restored = MetricsRegistry.from_snapshot(original.snapshot())
+        assert restored.snapshot() == original.snapshot()
+
+    def test_restored_export_matches_with_buckets(self):
+        original = self._populated()
+        restored = MetricsRegistry.from_snapshot(original.snapshot())
+        buckets = DEFAULT_EXPORT_BUCKETS
+        assert restored.to_prometheus(
+            histogram_buckets=buckets
+        ) == original.to_prometheus(histogram_buckets=buckets)
+
+    def test_survives_json_serialization(self):
+        original = self._populated()
+        wire = json.loads(json.dumps(original.snapshot()))
+        restored = MetricsRegistry.from_snapshot(wire)
+        assert restored.snapshot() == original.snapshot()
+
+    def test_float_histogram_keys_tolerated(self):
+        snapshot = {
+            "h": {
+                "type": "histogram",
+                "help": "",
+                "samples": [
+                    {"labels": {}, "count": 1, "sum": 2.5,
+                     "counts": {"2.5": 1}},
+                ],
+            }
+        }
+        restored = MetricsRegistry.from_snapshot(snapshot)
+        assert restored.histogram("h").count() == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot(
+                {"m": {"type": "summary", "samples": []}}
+            )
+
+
+class TestExpositionFormat:
+    def test_help_and_type_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "counts things").inc()
+        lines = _lines(registry)
+        assert "# HELP c counts things" in lines
+        assert "# TYPE c counter" in lines
+
+    def test_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.to_prometheus().endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""

@@ -1,0 +1,374 @@
+"""Tests for repro.obs.sketch: every estimator validated against the
+exact offline computation on recorded TPC/A and zipf-skewed streams.
+
+The contracts under test are the published error bounds, not point
+values: P-squared quantiles land near the exact empirical quantile,
+Space-Saving counts bracket the true counts (count - error <= true <=
+count), HyperLogLog stays within its standard-error envelope, and the
+train-ness detector flips between coalesced and uncoalesced replays of
+the same stream."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.bsd import BSDDemux
+from repro.core.pcb import PCB
+from repro.core.stats import PacketKind
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sketch import (
+    BucketQuantileSketch,
+    HyperLogLog,
+    P2Quantile,
+    SpaceSaving,
+    TrafficCharacterizer,
+    TrainDetector,
+    WorkingSetEstimator,
+)
+from repro.obs.spans import SpanCollector
+from repro.smp.coalesce import BatchCoalescer
+from repro.workload.record import record_tpca_stream
+
+from conftest import make_tuple
+
+
+def _exact_quantile(values, q):
+    """Nearest-rank empirical quantile, the offline ground truth."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _zipf_keys(n_keys, n_samples, s=1.2, seed=99):
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** s) for rank in range(1, n_keys + 1)]
+    keys = list(range(n_keys))
+    return rng.choices(keys, weights=weights, k=n_samples)
+
+
+@pytest.fixture(scope="module")
+def tpca_examined():
+    """Exact per-lookup examined counts from a recorded TPC/A replay."""
+    stream = record_tpca_stream(64, 40.0, 5)
+    algorithm = BSDDemux()
+    for tup in stream.tuples:
+        algorithm.insert(PCB(tup))
+    examined = [
+        algorithm.lookup(tup, kind).examined
+        for tup, kind in stream.packets
+    ]
+    assert len(examined) >= 500
+    return examined
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        sketch = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            sketch.observe(value)
+        assert sketch.value() == 3.0
+
+    def test_tracks_tpca_quantiles(self, tpca_examined):
+        # P-squared holds 5 markers regardless of stream length; the
+        # estimate must land within the local neighbourhood of the
+        # exact quantile (one step of the discrete distribution).
+        for q in (0.5, 0.9, 0.99):
+            sketch = P2Quantile(q)
+            for value in tpca_examined:
+                sketch.observe(value)
+            exact = _exact_quantile(tpca_examined, q)
+            spread = max(tpca_examined) - min(tpca_examined)
+            assert abs(sketch.value() - exact) <= max(2.0, 0.1 * spread), (
+                f"p{q}: estimate {sketch.value()} vs exact {exact}"
+            )
+
+    def test_tracks_zipf_stream(self):
+        rng = random.Random(11)
+        values = [rng.paretovariate(1.5) for _ in range(20000)]
+        sketch = P2Quantile(0.9)
+        for value in values:
+            sketch.observe(value)
+        exact = _exact_quantile(values, 0.9)
+        assert abs(sketch.value() - exact) / exact < 0.1
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestBucketQuantileSketch:
+    def test_quantile_snaps_to_bucket_edge(self):
+        sketch = BucketQuantileSketch([1, 2, 4, 8])
+        for value in (0.5, 1.5, 3.0, 3.5):
+            sketch.observe(value)
+        assert sketch.quantile(0.5) in (2, 4)
+        assert sketch.quantile(0.99) == 4
+
+    def test_overflow_returns_max(self):
+        sketch = BucketQuantileSketch([1, 2])
+        sketch.observe(100.0)
+        assert sketch.quantile(0.5) == pytest.approx(100.0)
+
+
+class TestSpaceSaving:
+    def test_error_bounds_bracket_true_counts(self):
+        keys = _zipf_keys(2000, 50000)
+        exact = {}
+        for key in keys:
+            exact[key] = exact.get(key, 0) + 1
+        sketch = SpaceSaving(capacity=128)
+        for key in keys:
+            sketch.offer(key)
+        # The published Space-Saving guarantees: estimated count is an
+        # overestimate, by at most the recorded per-counter error, and
+        # every error is bounded by total/capacity.
+        for key, count, error in sketch.top(20):
+            true = exact.get(key, 0)
+            assert count >= true
+            assert count - error <= true
+            assert error <= len(keys) / 128
+        assert sketch.guarantee() == len(keys) / 128
+
+    def test_finds_true_heavy_hitters(self):
+        keys = _zipf_keys(2000, 50000)
+        exact = {}
+        for key in keys:
+            exact[key] = exact.get(key, 0) + 1
+        sketch = SpaceSaving(capacity=128)
+        for key in keys:
+            sketch.offer(key)
+        true_top = {k for k, _ in sorted(
+            exact.items(), key=lambda item: -item[1]
+        )[:5]}
+        sketch_top = {k for k, _, _ in sketch.top(5)}
+        assert true_top == sketch_top
+
+    def test_share_sums_sensibly(self):
+        sketch = SpaceSaving(capacity=8)
+        for key in _zipf_keys(100, 5000, seed=3):
+            sketch.offer(key)
+        top = sketch.top(5)
+        shares = [sketch.share(key) for key, _, _ in top]
+        assert all(0.0 < share <= 1.0 for share in shares)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_skew_estimates_zipf_exponent(self):
+        for s in (0.8, 1.2):
+            sketch = SpaceSaving(capacity=256)
+            for key in _zipf_keys(1000, 200000, s=s):
+                sketch.offer(key)
+            estimate = sketch.skew()
+            assert abs(estimate - s) < 0.35, f"s={s}: estimated {estimate}"
+
+    def test_uniform_stream_has_low_skew(self):
+        sketch = SpaceSaving(capacity=256)
+        rng = random.Random(7)
+        for _ in range(50000):
+            sketch.offer(rng.randrange(200))
+        assert sketch.skew() < 0.3
+
+
+class TestTrainDetector:
+    def test_interleaved_stream_is_train_free(self):
+        detector = TrainDetector()
+        for i in range(1000):
+            detector.offer(i % 10)
+        assert detector.follower_ratio == 0.0
+        assert not detector.is_trainy
+
+    def test_back_to_back_runs_detected(self):
+        detector = TrainDetector()
+        for i in range(100):
+            for _ in range(4):
+                detector.offer(i)
+        assert detector.follower_ratio == pytest.approx(0.75, abs=0.01)
+        assert detector.is_trainy
+        assert detector.train_ness > 0.5
+
+    def test_ewma_tracks_phase_change(self):
+        detector = TrainDetector()
+        for i in range(500):
+            detector.offer(i % 7)  # interleaved phase
+        assert detector.train_ness < 0.05
+        for _ in range(500):
+            detector.offer(42)  # one long train
+        assert detector.train_ness > 0.9
+
+
+class TestHyperLogLog:
+    def test_estimate_within_standard_error(self):
+        for n in (100, 1000, 20000):
+            hll = HyperLogLog(precision=10)
+            for i in range(n):
+                hll.add(("conn", i))
+            # sigma ~ 1.04/sqrt(1024) ~ 3.25%; allow 4 sigma.
+            assert abs(hll.count() - n) / n < 0.13, (n, hll.count())
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision=10)
+        for _ in range(50):
+            for i in range(200):
+                hll.add(i)
+        assert abs(hll.count() - 200) / 200 < 0.13
+
+    def test_merge_is_union(self):
+        a, b = HyperLogLog(10), HyperLogLog(10)
+        for i in range(1000):
+            a.add(("a", i))
+            b.add(("b", i))
+        merged = a.merge(b)
+        assert abs(merged.count() - 2000) / 2000 < 0.13
+
+    def test_deterministic(self):
+        a, b = HyperLogLog(10), HyperLogLog(10)
+        for i in range(500):
+            a.add(i)
+            b.add(i)
+        assert a.count() == b.count()
+
+
+class TestWorkingSetEstimator:
+    def test_forgets_old_epoch(self):
+        estimator = WorkingSetEstimator(window=10.0)
+        for i in range(1000):
+            estimator.offer(("old", i), now=1.0)
+        for i in range(50):
+            estimator.offer(("new", i), now=25.0)
+        # Two window rotations later the old keys are gone; the
+        # estimate reflects only the recent phase.
+        assert estimator.estimate() < 300
+
+    def test_tracks_live_population(self):
+        estimator = WorkingSetEstimator(window=10.0)
+        for i in range(500):
+            estimator.offer(i % 100, now=i * 0.01)
+        assert abs(estimator.estimate() - 100) / 100 < 0.25
+
+
+class TestTrainnessFlipsUnderCoalescing:
+    """The acceptance criterion: replaying the *same* recorded stream
+    coalesced vs uncoalesced flips the detector's verdict."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        # Enough concurrent users that arrival order interleaves flows
+        # (the paper's train-free OLTP regime), while a 64-packet batch
+        # still spans each transaction's DATA -> ACK gap so sorting can
+        # manufacture trains.
+        return record_tpca_stream(100, 40.0, 9)
+
+    def _characterize(self, stream, batch_size):
+        algorithm = BSDDemux()
+        for tup in stream.tuples:
+            algorithm.insert(PCB(tup))
+        collector = SpanCollector(sample_every=1).attach(algorithm)
+        characterizer = TrafficCharacterizer().attach(collector)
+        if batch_size == 1:
+            for tup, kind in stream.packets:
+                algorithm.lookup(tup, kind)
+        else:
+            BatchCoalescer(
+                algorithm, batch_size, spans=collector
+            ).replay(stream.packets)
+        return characterizer
+
+    def test_uncoalesced_tpca_is_train_free(self, stream):
+        characterizer = self._characterize(stream, batch_size=1)
+        estimates = characterizer.estimates()
+        assert estimates["train_follower_ratio"] < 0.15
+        assert not estimates["is_trainy"]
+
+    def test_coalesced_replay_is_trainy(self, stream):
+        characterizer = self._characterize(stream, batch_size=64)
+        estimates = characterizer.estimates()
+        assert estimates["train_follower_ratio"] > 0.5
+        assert estimates["is_trainy"]
+
+
+class TestTrafficCharacterizer:
+    def _fed(self, n_keys=50, packets=5000):
+        characterizer = TrafficCharacterizer()
+        for index, key in enumerate(_zipf_keys(n_keys, packets, seed=21)):
+            characterizer.observe(make_tuple(key), (key % 9) + 1,
+                                  now=index * 0.001)
+        return characterizer
+
+    def test_estimates_shape(self):
+        estimates = self._fed().estimates()
+        assert estimates["packets_observed"] == 5000
+        assert set(estimates["examined_quantiles"]) == {"0.5", "0.9", "0.99"}
+        assert estimates["heavy_hitters"]
+        first = estimates["heavy_hitters"][0]
+        assert {"key", "count", "error", "share"} <= set(first)
+        assert 0 < estimates["population"] < 100
+
+    def test_publish_creates_gauges(self):
+        registry = MetricsRegistry()
+        self._fed().publish(registry)
+        snapshot = registry.snapshot()
+        for name in (
+            "traffic_examined_quantile",
+            "traffic_heavy_hitter_share",
+            "traffic_skew",
+            "traffic_train_followers",
+            "traffic_trainness",
+            "traffic_population",
+            "traffic_packets_observed",
+        ):
+            assert name in snapshot, name
+        scopes = {
+            sample["labels"]["scope"]
+            for sample in snapshot["traffic_population"]["samples"]
+        }
+        assert scopes == {"total", "working_set"}
+
+    def test_republish_clears_stale_heavy_hitters(self):
+        registry = MetricsRegistry()
+        characterizer = TrafficCharacterizer(top_n=4)
+        for key in range(4):
+            characterizer.observe(("old", key), 1.0)
+        characterizer.publish(registry)
+        # A new dominant population takes over the top-K.
+        for key in range(4):
+            for _ in range(100):
+                characterizer.observe(("new", key), 1.0)
+        characterizer.publish(registry)
+        samples = registry.snapshot()["traffic_heavy_hitter_share"]["samples"]
+        assert len(samples) == 4
+        assert all("new" in s["labels"]["connection"] for s in samples)
+
+    def test_attach_simulator_publishes_periodically(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        registry = MetricsRegistry()
+        characterizer = self._fed(packets=100)
+        characterizer.attach_simulator(sim, registry, interval=1.0)
+        sim.schedule(5.5, lambda: None)  # run for 5.5 virtual seconds
+        sim.run(until=5.5)
+        assert characterizer.publishes == 5
+        assert "traffic_skew" in registry.snapshot()
+
+    def test_attach_simulator_rejects_bad_interval(self):
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ValueError):
+            TrafficCharacterizer().attach_simulator(
+                Simulator(), MetricsRegistry(), interval=0.0
+            )
+
+    def test_latency_quantiles_appear_when_fed(self):
+        characterizer = self._fed(packets=100)
+        assert "latency_quantiles_ns" not in characterizer.estimates()
+        for value in (500.0, 900.0, 15000.0):
+            characterizer.observe_latency(value)
+        latency = characterizer.estimates()["latency_quantiles_ns"]
+        assert latency["0.5"] >= 500.0
+
+    def test_summary_is_one_line(self):
+        summary = self._fed(packets=200).summary()
+        assert "\n" not in summary
+        assert "examined" in summary

@@ -1,0 +1,241 @@
+"""Tests for repro.obs.watchdog: SLO rules over metric snapshots, the
+folded health state, and transition-only trace events."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import RingBufferSink, Tracer
+from repro.obs.watchdog import (
+    HealthWatchdog,
+    RuleResult,
+    SLORule,
+    counter_total,
+    default_rules,
+    gauge_max,
+    histogram_quantile,
+)
+
+
+def _registry(
+    *,
+    examined=(1, 2, 3),
+    received=1000,
+    drops=None,
+    imbalance=None,
+    retention=None,
+):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("demux_examined")
+    for value in examined:
+        histogram.observe(value, kind="data", algorithm="bsd")
+    registry.counter("packets_received_total").inc(received)
+    for reason, count in (drops or {}).items():
+        registry.counter("packet_drops_total").inc(count, reason=reason)
+    if imbalance is not None:
+        registry.gauge("smp_imbalance_factor").set(imbalance)
+    if retention is not None:
+        gauge = registry.gauge("lifecycle_retention")
+        for (algorithm, population), value in retention.items():
+            gauge.set(value, algorithm=algorithm, population=population)
+    return registry
+
+
+class TestSnapshotHelpers:
+    def test_counter_total_sums_and_filters(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(3, reason="corrupt", host="a")
+        counter.inc(4, reason="corrupt", host="b")
+        counter.inc(9, reason="dup", host="a")
+        snapshot = registry.snapshot()
+        assert counter_total(snapshot, "c") == 16
+        assert counter_total(snapshot, "c", reason="corrupt") == 7
+        assert counter_total(snapshot, "missing") is None
+
+    def test_gauge_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1.5, shard="0")
+        gauge.set(2.5, shard="1")
+        assert gauge_max(registry.snapshot(), "g") == 2.5
+        assert gauge_max(registry.snapshot(), "missing") is None
+
+    def test_histogram_quantile_merges_label_sets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value, kind="data")
+        snapshot = registry.snapshot()
+        assert histogram_quantile(snapshot, "h", 0.5) == pytest.approx(
+            50, abs=1
+        )
+        assert histogram_quantile(snapshot, "h", 0.99) >= 99
+        assert histogram_quantile(snapshot, "missing", 0.5) is None
+
+
+class TestSLORule:
+    def test_absent_metric_is_skipped_and_ok(self):
+        rule = SLORule(
+            name="r", description="", threshold=1.0,
+            value_fn=lambda snapshot: None,
+        )
+        result = rule.evaluate({})
+        assert result.skipped
+        assert result.ok
+
+    def test_value_detail_tuple(self):
+        rule = SLORule(
+            name="r", description="", threshold=1.0,
+            value_fn=lambda snapshot: (2.0, "why"),
+        )
+        result = rule.evaluate({})
+        assert not result.ok
+        assert result.value == 2.0
+        assert result.detail == "why"
+
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            SLORule(
+                name="r", description="", threshold=1.0,
+                value_fn=lambda snapshot: None, severity="fatal",
+            )
+
+    def test_describe_mentions_budget(self):
+        result = RuleResult(
+            name="r", ok=True, value=3.0, threshold=10.0,
+            severity="critical", detail="",
+        )
+        assert "r" in result.describe()
+
+
+class TestDefaultRules:
+    def test_all_ok_on_healthy_run(self):
+        report = HealthWatchdog(default_rules()).evaluate(
+            _registry(drops={"corrupt": 0})
+        )
+        assert report.state == "ok"
+        assert report.ok
+
+    def test_p99_examined_budget(self):
+        registry = _registry(examined=[200] * 100)
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        assert report.state == "failing"
+        assert [r.name for r in report.failing_rules] == ["p99-examined"]
+
+    def test_drop_rate_excludes_injected_loss(self):
+        # Injected loss is the experiment, not the system under test.
+        registry = _registry(
+            drops={"injected-loss": 500, "corrupt": 1}
+        )
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        assert report.state == "ok"
+
+    def test_drop_rate_fails_on_taxonomy_reasons(self):
+        registry = _registry(drops={"table-full": 100})
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        assert report.state == "failing"
+        (failing,) = report.failing_rules
+        assert failing.name == "drop-rate"
+        assert failing.value == pytest.approx(0.1)
+        assert "table-full" in failing.detail
+
+    def test_drop_rate_denominator_falls_back_to_lookups(self):
+        registry = MetricsRegistry()
+        registry.counter("demux_lookups_total").inc(100)
+        registry.counter("packet_drops_total").inc(50, reason="no-listener")
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        assert any(
+            r.name == "drop-rate" and r.value == pytest.approx(0.5)
+            for r in report.results
+        )
+
+    def test_shard_imbalance_is_warning_grade(self):
+        registry = _registry(imbalance=3.5)
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        assert report.state == "degraded"  # warning, not failing
+        assert not report.ok
+
+    def test_retained_entries_growth_fails(self):
+        registry = _registry(
+            retention={
+                ("fast-sequent", "live_pcbs"): 10,
+                ("fast-sequent", "interned_keys"): 25,
+            }
+        )
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        (failing,) = report.failing_rules
+        assert failing.name == "retained-entries"
+        assert failing.value == 15
+        assert "fast-sequent" in failing.detail
+
+    def test_retention_grace_tolerates_overhang(self):
+        registry = _registry(
+            retention={
+                ("fast-sequent", "live_pcbs"): 10,
+                ("fast-sequent", "interned_keys"): 12,
+            }
+        )
+        report = HealthWatchdog(
+            default_rules(retention_grace=4.0)
+        ).evaluate(registry)
+        assert report.state == "ok"
+
+    def test_groups_matched_by_remaining_labels(self):
+        # Only the pairing within one label group may be compared;
+        # another algorithm's live count must not mask the leak.
+        registry = _registry(
+            retention={
+                ("leaky", "live_pcbs"): 0,
+                ("leaky", "interned_keys"): 40,
+                ("clean", "live_pcbs"): 100,
+                ("clean", "interned_keys"): 100,
+            }
+        )
+        report = HealthWatchdog(default_rules()).evaluate(registry)
+        (failing,) = report.failing_rules
+        assert failing.value == 40
+        assert "leaky" in failing.detail
+
+
+class TestHealthWatchdog:
+    def test_accepts_registry_or_dict(self):
+        registry = _registry()
+        watchdog = HealthWatchdog(default_rules())
+        from_registry = watchdog.evaluate(registry)
+        from_dict = watchdog.evaluate(registry.snapshot())
+        assert from_registry.state == from_dict.state == "ok"
+        assert watchdog.evaluations == 2
+
+    def test_report_to_dict_shape(self):
+        report = HealthWatchdog(default_rules()).evaluate(
+            _registry(), now=12.5
+        )
+        data = report.to_dict()
+        assert data["state"] == "ok"
+        assert data["time"] == 12.5
+        assert len(data["rules"]) == 4
+        assert {"name", "ok", "skipped", "value", "threshold"} <= set(
+            data["rules"][0]
+        )
+
+    def test_trace_event_only_on_transition(self):
+        sink = RingBufferSink(64)
+        watchdog = HealthWatchdog(default_rules(), tracer=Tracer(sink))
+        healthy = _registry()
+        sick = _registry(drops={"bad-state": 900})
+
+        watchdog.evaluate(healthy, now=1.0)  # ok -> ok: silent
+        watchdog.evaluate(sick, now=2.0)     # ok -> failing: event
+        watchdog.evaluate(sick, now=3.0)     # failing -> failing: silent
+        watchdog.evaluate(healthy, now=4.0)  # failing -> ok: event
+
+        events = [e for e in sink.events if e.kind == "health"]
+        assert [e.time for e in events] == [2.0, 4.0]
+        assert "ok -> failing" in events[0].detail
+        assert "drop-rate" in events[0].detail
+        assert "failing -> ok" in events[1].detail
+
+    def test_describe_summarizes_evaluated_rules(self):
+        report = HealthWatchdog(default_rules()).evaluate(_registry())
+        text = report.describe()
+        assert "health=ok" in text
