@@ -99,7 +99,46 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "fault-injection spec, e.g."
             " 'ge=0.05:0.45,reorder=0.02:0.005,dup=0.02'"
-            " (implies --full-stack)"
+            " (network terms imply --full-stack); infrastructure terms"
+            " 'crash=K:W', 'stall=K:W:D', 'snapcorrupt=P' compose in"
+            " and need a sharded --algorithm"
+        ),
+    )
+    simulate.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "supervise the (sharded) structure and checkpoint every"
+            " shard each N operations (enables warm recovery)"
+        ),
+    )
+    simulate.add_argument(
+        "--crash-shards",
+        metavar="SPEC",
+        help=(
+            "kill shards mid-run: 'S@P,...' crashes shard S before"
+            " packet P, or 'K[:W]' crashes K seeded shards within the"
+            " first W packets (default window 1000)"
+        ),
+    )
+    simulate.add_argument(
+        "--detect-after",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "packets steered at a dead shard that are dropped before"
+            " the crash is detected (default 0: immediate)"
+        ),
+    )
+    simulate.add_argument(
+        "--slo",
+        metavar="SPEC",
+        help=(
+            "watchdog budget overrides, e.g. 'p99=80,drop=0.1'"
+            " (keys: p99, drop, imbalance, retained)"
         ),
     )
     simulate.add_argument(
@@ -436,6 +475,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--flows", action="store_true", help="per-flow breakdown"
     )
 
+    drill = sub.add_parser(
+        "recovery-drill",
+        help=(
+            "crash a shard mid-run and prove warm restore beats cold"
+            " rebuild (writes recovery_drill.{txt,json})"
+        ),
+    )
+    drill.add_argument(
+        "--algorithms",
+        nargs="+",
+        metavar="SPEC",
+        help="sharded specs to drill (default: the acceptance pair)",
+    )
+    drill.add_argument(
+        "--seeds", type=int, nargs="+", help="drill seeds (default: 1 2)"
+    )
+    drill.add_argument("--users", type=int, default=None)
+    drill.add_argument("--packets", type=int, default=None)
+    drill.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="warm copy's checkpoint cadence in operations",
+    )
+    drill.add_argument(
+        "--mttr-budget",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="fail the drill if any recovery takes longer (milliseconds)",
+    )
+    drill.add_argument("--out", default="results")
+
     runall = sub.add_parser("run-all", help="write all artifacts to a directory")
     runall.add_argument("--out", default="results")
     runall.add_argument("--users", type=int, default=500)
@@ -506,10 +579,66 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         think_model=make_think_model(args.think_model),
     )
+
+    # -- fault spec: network terms drive the injector, infrastructure
+    # terms (crash/stall/snapcorrupt) drive the shard supervisor.
+    fault_models = []
+    infra_faults = []
+    if args.faults:
+        from .faults.infra import parse_mixed_spec
+
+        fault_models, infra_faults = parse_mixed_spec(args.faults)
+
+    supervisor = None
+    if args.checkpoint_every or args.crash_shards or infra_faults:
+        from .faults.infra import ShardCrash, ShardStall, SnapshotCorruption
+        from .recovery import ShardSupervisor
+        from .smp.sharded import ShardedDemux
+
+        if not isinstance(algorithm, ShardedDemux):
+            print(
+                f"error: --checkpoint-every/--crash-shards and"
+                f" crash/stall/snapcorrupt faults need a sharded"
+                f" algorithm, got {args.algorithm!r}",
+                file=sys.stderr,
+            )
+            return 2
+        snapshot_fault = None
+        for fault in infra_faults:
+            if isinstance(fault, SnapshotCorruption):
+                fault.bind_seed(args.seed)
+                snapshot_fault = fault
+        supervisor = ShardSupervisor(
+            algorithm,
+            checkpoint_every=args.checkpoint_every,
+            detect_after=args.detect_after,
+            snapshot_fault=snapshot_fault,
+        )
+        if args.crash_shards:
+            try:
+                supervisor.arm_crashes(
+                    _parse_crash_shards(
+                        args.crash_shards, algorithm.nshards, args.seed
+                    )
+                )
+            except (ValueError, IndexError) as exc:
+                print(f"error: --crash-shards: {exc}", file=sys.stderr)
+                return 2
+        for fault in infra_faults:
+            if isinstance(fault, ShardCrash):
+                supervisor.arm_crashes(
+                    fault.schedule(algorithm.nshards, args.seed)
+                )
+            elif isinstance(fault, ShardStall):
+                supervisor.arm_stalls(
+                    fault.schedule(algorithm.nshards, args.seed)
+                )
+        algorithm = supervisor
+
     lifecycle = (
         args.idle_timeout is not None or args.time_wait is not None
     )
-    full_stack = args.full_stack or bool(args.faults) or lifecycle
+    full_stack = args.full_stack or bool(fault_models) or lifecycle
 
     # -- telemetry plane: spans, sketches, registry ------------------
     # The span collector must exist before the simulation is built:
@@ -536,17 +665,16 @@ def _cmd_simulate(args) -> int:
 
     serve = args.serve_metrics is not None
     registry = None
-    if args.metrics_out or serve or args.sketch:
+    if args.metrics_out or serve or args.sketch or args.slo:
         registry = MetricsRegistry()
 
     if full_stack:
-        from .faults.config import parse_fault_spec
         from .workload.tpca import TPCAFullStackSimulation
 
         simulation = TPCAFullStackSimulation(
             config,
             algorithm,
-            fault_models=parse_fault_spec(args.faults or ""),
+            fault_models=fault_models,
             max_connections=args.max_connections,
             overflow_policy=args.overflow_policy,
             idle_timeout=args.idle_timeout,
@@ -585,11 +713,20 @@ def _cmd_simulate(args) -> int:
             lambda: demux_exporter.publish(algorithm.stats)
         )
         publish_steps.append(lambda: publish_fastpath(registry, algorithm))
-        if getattr(algorithm, "shards", None) is not None:
+        sharded_view = (
+            supervisor.sharded if supervisor is not None else algorithm
+        )
+        if getattr(sharded_view, "shards", None) is not None:
             from .smp.metrics import publish_sharded
 
             publish_steps.append(
-                lambda: publish_sharded(registry, algorithm)
+                lambda: publish_sharded(registry, sharded_view)
+            )
+        if supervisor is not None:
+            from .recovery import publish_recovery
+
+            publish_steps.append(
+                lambda: publish_recovery(registry, supervisor)
             )
         sim_gauges = registry.gauge("sim_run", "simulation run facts")
 
@@ -648,9 +785,14 @@ def _cmd_simulate(args) -> int:
     # -- live telemetry server + watchdog ----------------------------
     watchdog = None
     if registry is not None:
-        from .obs.watchdog import HealthWatchdog, default_rules
+        from .obs.watchdog import HealthWatchdog, default_rules, parse_slo_spec
 
-        watchdog = HealthWatchdog(default_rules(), tracer=tracer)
+        try:
+            slo_kwargs = parse_slo_spec(args.slo) if args.slo else {}
+        except ValueError as exc:
+            print(f"error: --slo: {exc}", file=sys.stderr)
+            return 2
+        watchdog = HealthWatchdog(default_rules(**slo_kwargs), tracer=tracer)
     server = None
     if serve:
         from .obs.live import TelemetryServer
@@ -695,6 +837,23 @@ def _cmd_simulate(args) -> int:
     print(result.summary())
     print(f"  max examined: {result.max_examined}")
     print(f"  structure: {algorithm.describe()}")
+    if supervisor is not None:
+        summary = supervisor.recovery_summary()
+        modes = ", ".join(
+            f"{mode}={count}" for mode, count in summary["modes"].items()
+        )
+        print(
+            f"  recovery: crashes={summary['crashes_injected']}"
+            f" stalls={summary['stalls_injected']}"
+            f" recoveries={summary['recoveries']}"
+            + (f" ({modes})" if modes else "")
+            + f" dropped={summary['packets_dropped']}"
+            f" checkpoints={summary['checkpoints_taken']}"
+            f" corrupt={summary['checkpoint_corruptions_detected']}"
+            f" mttr-max={summary['mttr_ms_max']:.2f}ms"
+        )
+        if summary["dead_shards"]:
+            print(f"  recovery: shards still dead: {summary['dead_shards']}")
     if full_stack:
         from .faults.audit import audit_leaks, audit_stack
 
@@ -1142,6 +1301,71 @@ def _cmd_pcap(args) -> int:
     return 0
 
 
+def _parse_crash_shards(spec: str, nshards: int, seed: int):
+    """``--crash-shards``: explicit ``S@P,...`` pairs, or a seeded
+    ``K[:W]`` count routed through :class:`~repro.faults.infra.ShardCrash`
+    so the CLI and the fault grammar crash identically."""
+    from .faults.infra import ShardCrash
+
+    spec = spec.strip()
+    if "@" in spec:
+        schedule = []
+        for term in spec.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            try:
+                shard_text, packet_text = term.split("@")
+                shard, packet = int(shard_text), int(packet_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad --crash-shards term {term!r}: expected SHARD@PACKET"
+                ) from None
+            schedule.append((packet, shard))
+        return sorted(schedule)
+    count, _, window = spec.partition(":")
+    try:
+        crash = ShardCrash(
+            count=int(count), window=int(window) if window else 1000
+        )
+    except ValueError as exc:
+        raise ValueError(f"bad --crash-shards spec {spec!r}: {exc}") from None
+    return crash.schedule(nshards, seed)
+
+
+def _cmd_recovery_drill(args) -> int:
+    import json as json_module
+    import pathlib
+
+    from .recovery import DrillConfig, run_recovery_drill
+
+    overrides = {}
+    if args.algorithms:
+        overrides["algorithms"] = tuple(args.algorithms)
+    if args.seeds:
+        overrides["seeds"] = tuple(args.seeds)
+    if args.users is not None:
+        overrides["n_users"] = args.users
+    if args.packets is not None:
+        overrides["n_packets"] = args.packets
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if args.mttr_budget is not None:
+        overrides["mttr_budget_ms"] = args.mttr_budget
+    result = run_recovery_drill(DrillConfig(**overrides))
+
+    outdir = pathlib.Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    text = result.render_text()
+    (outdir / "recovery_drill.txt").write_text(text + "\n")
+    (outdir / "recovery_drill.json").write_text(
+        json_module.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    print(text)
+    print(f"  artifacts written to {outdir}/recovery_drill.{{txt,json}}")
+    return 0 if result.ok else 1
+
+
 def _cmd_run_all(args) -> int:
     outdir = run_all(
         args.out,
@@ -1181,6 +1405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "leak-audit": lambda: _cmd_leak_audit(args),
         "hash-balance": lambda: _cmd_hash_balance(args),
         "pcap": lambda: _cmd_pcap(args),
+        "recovery-drill": lambda: _cmd_recovery_drill(args),
         "run-all": lambda: _cmd_run_all(args),
         "report": lambda: _cmd_report(args),
     }

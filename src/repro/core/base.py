@@ -97,6 +97,13 @@ class DemuxAlgorithm(abc.ABC):
     #: Short machine-readable name (registry key, figure legend).
     name: str = "abstract"
 
+    #: The registry spec string this instance was built from, stamped
+    #: by :func:`repro.core.registry.make_algorithm`.  ``None`` for
+    #: directly constructed instances.  Checkpoint/restore
+    #: (:mod:`repro.recovery`) uses it to rebuild an equivalent
+    #: structure before re-imposing the captured decision state.
+    spec: Optional[str] = None
+
     def __init__(self) -> None:
         self.stats = DemuxStats()
         #: Optional :class:`repro.obs.Tracer` receiving per-operation

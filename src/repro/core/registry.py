@@ -118,16 +118,23 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
     name, _, param_text = spec.partition(":")
     name = name.strip().lower()
     if name.startswith("sharded-"):
-        return _make_sharded(name[len("sharded-"):], param_text)
-    if name.startswith("fast-"):
-        return _make_fast(name[len("fast-"):], param_text)
-    if name not in ALGORITHMS:
+        algorithm = _make_sharded(name[len("sharded-"):], param_text)
+    elif name.startswith("fast-"):
+        algorithm = _make_fast(name[len("fast-"):], param_text)
+    elif name not in ALGORITHMS:
         known = ", ".join(available_algorithms())
         raise ValueError(
             f"unknown algorithm {name!r}; known: {known}"
             f" (plus 'fast-' and 'sharded-' prefixed variants)"
         )
-    return _construct(name, _parse_params(param_text), ALGORITHMS[name])
+    else:
+        algorithm = _construct(
+            name, _parse_params(param_text), ALGORITHMS[name]
+        )
+    # Stamp the spec so checkpoint/restore (repro.recovery) can rebuild
+    # an equivalent instance without the caller re-threading the string.
+    algorithm.spec = spec.strip()
+    return algorithm
 
 
 def _construct(
@@ -224,7 +231,10 @@ def _make_sharded(inner_name: str, param_text: str) -> DemuxAlgorithm:
     # not from inside the shard factory.
     make_algorithm(inner_spec)
     return ShardedDemux(
-        lambda: make_algorithm(inner_spec), nshards, steering
+        lambda: make_algorithm(inner_spec),
+        nshards,
+        steering,
+        inner_spec=inner_spec,
     )
 
 

@@ -18,6 +18,14 @@ package asks what happens when the network misbehaves.  It provides:
 
 from .audit import PCBAudit, audit_stack
 from .config import STANDARD_MIXES, FaultSpecError, parse_fault_spec
+from .infra import (
+    InfraFault,
+    ShardCrash,
+    ShardStall,
+    SnapshotCorruption,
+    parse_infra_spec,
+    parse_mixed_spec,
+)
 from .injector import FaultInjector, FaultyLink
 from .matrix import (
     DEFAULT_ALGORITHMS,
@@ -59,15 +67,21 @@ __all__ = [
     "FaultyLink",
     "GilbertElliottLoss",
     "IIDLoss",
+    "InfraFault",
     "InjectorExporter",
     "LinkFlap",
     "PCBAudit",
     "Reorder",
     "STANDARD_MIXES",
+    "ShardCrash",
+    "ShardStall",
+    "SnapshotCorruption",
     "StackFaultExporter",
     "audit_stack",
     "describe_models",
     "parse_fault_spec",
+    "parse_infra_spec",
+    "parse_mixed_spec",
     "publish_injector",
     "publish_stack",
     "run_fault_cell",

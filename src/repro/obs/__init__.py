@@ -82,6 +82,7 @@ from .watchdog import (
     RuleResult,
     SLORule,
     default_rules,
+    parse_slo_spec,
 )
 
 __all__ = [
@@ -121,6 +122,7 @@ __all__ = [
     "default_rules",
     "diff_spans",
     "measure_build",
+    "parse_slo_spec",
     "read_jsonl",
     "read_spans_jsonl",
     "write_spans_jsonl",

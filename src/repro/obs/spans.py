@@ -389,6 +389,34 @@ class SpanCollector:
             observer(span)
         return span
 
+    def note_recovery(
+        self, shard: int, mode: str, **data: object
+    ) -> PacketSpan:
+        """Record a shard recovery as a standalone, unsampled span.
+
+        Like reaps, recoveries are rare and diagnostic gold (which
+        shard, which ladder rung -- warm/resteer/cold -- MTTR, packets
+        dropped), so every one is recorded regardless of sampling.
+        """
+        now = self.now()
+        span = PacketSpan(
+            span_id=next(self._next_id),
+            four_tuple=None,
+            kind="",
+            start=now,
+        )
+        span.stages.append(
+            SpanStage("recover", now, {"shard": shard, "mode": mode, **data})
+        )
+        span.outcome = "recovered"
+        span.end = now
+        self.spans_started += 1
+        self.spans_finished += 1
+        self.recorder.record(span)
+        for observer in self._span_observers:
+            observer(span)
+        return span
+
     # -- output --------------------------------------------------------
 
     def to_jsonl(self, path: object) -> int:

@@ -46,6 +46,7 @@ __all__ = [
     "default_rules",
     "gauge_max",
     "histogram_quantile",
+    "parse_slo_spec",
 ]
 
 _SEVERITIES = ("warning", "critical")
@@ -349,6 +350,60 @@ def _retained_growth(snapshot: Dict[str, Any]) -> Any:
         return None
     detail = ",".join(f"{k}={v}" for k, v in worst_group)
     return worst, f"worst group: {detail or '<unlabelled>'}"
+
+
+#: ``--slo`` spelling -> :func:`default_rules` keyword.  Each budget
+#: accepts the rule's full name and a short alias.
+_SLO_KEYS = {
+    "p99": "max_p99_examined",
+    "p99-examined": "max_p99_examined",
+    "drop": "max_drop_rate",
+    "drop-rate": "max_drop_rate",
+    "imbalance": "max_imbalance",
+    "shard-imbalance": "max_imbalance",
+    "retained": "retention_grace",
+    "retained-entries": "retention_grace",
+}
+
+
+def parse_slo_spec(text: str) -> Dict[str, float]:
+    """Parse ``--slo`` overrides like ``"p99=80,drop=0.1"``.
+
+    Returns keyword arguments for :func:`default_rules`; unknown keys,
+    repeated budgets, and non-numeric or negative thresholds raise
+    ``ValueError`` with the accepted vocabulary spelled out.
+    """
+    kwargs: Dict[str, float] = {}
+    for term in text.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        key, sep, raw = term.partition("=")
+        key = key.strip().lower()
+        if not sep:
+            raise ValueError(
+                f"bad SLO term {term!r}: expected key=value"
+            )
+        if key not in _SLO_KEYS:
+            raise ValueError(
+                f"unknown SLO budget {key!r};"
+                f" expected one of {sorted(set(_SLO_KEYS))}"
+            )
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"bad threshold for SLO budget {key!r}: {raw!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"SLO budget {key!r} must be >= 0, got {value:g}"
+            )
+        keyword = _SLO_KEYS[key]
+        if keyword in kwargs:
+            raise ValueError(f"SLO budget {key!r} given twice")
+        kwargs[keyword] = value
+    return kwargs
 
 
 def default_rules(

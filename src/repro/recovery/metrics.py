@@ -1,0 +1,73 @@
+"""Recovery observability, published through :mod:`repro.obs`.
+
+One call exports what an operator of a crash-tolerant demultiplexer
+watches: how many shards have crashed and recovered (and by which
+ladder rung -- warm, resteer, cold), how long repairs took (an MTTR
+histogram plus the worst case), how many packets the outages cost, and
+whether checkpointing is keeping up (checkpoints written, corrupt ones
+caught by the snapshot checksum).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs.metrics import MetricsRegistry
+from .supervisor import ShardSupervisor
+
+__all__ = ["publish_recovery"]
+
+
+def publish_recovery(
+    registry: MetricsRegistry,
+    supervisor: ShardSupervisor,
+    *,
+    algorithm: Optional[str] = None,
+) -> None:
+    """Publish one snapshot of a :class:`ShardSupervisor` into ``registry``.
+
+    Gauges are set (last snapshot wins), so repeated publishing is safe
+    for both one-shot exports and periodic scrapes; the MTTR histogram
+    accumulates one observation per recovery event.
+    """
+    label = algorithm or supervisor.name
+    summary = supervisor.recovery_summary()
+
+    registry.gauge(
+        "recovery_crashes_injected", "shard crashes injected"
+    ).set(summary["crashes_injected"], algorithm=label)
+    registry.gauge(
+        "recovery_stalls_injected", "shard stalls injected"
+    ).set(summary["stalls_injected"], algorithm=label)
+    registry.gauge(
+        "recovery_events_total", "completed shard recoveries"
+    ).set(summary["recoveries"], algorithm=label)
+    registry.gauge(
+        "recovery_dead_shards", "shards currently dead"
+    ).set(len(summary["dead_shards"]), algorithm=label)
+    registry.gauge(
+        "recovery_packets_dropped",
+        "packets lost to outages (undetected crashes plus stalls)",
+    ).set(summary["packets_dropped"], algorithm=label)
+    registry.gauge(
+        "recovery_checkpoints_taken", "periodic checkpoint rounds completed"
+    ).set(summary["checkpoints_taken"], algorithm=label)
+    registry.gauge(
+        "recovery_checkpoint_corruptions",
+        "checkpoints rejected by the snapshot checksum at restore",
+    ).set(summary["checkpoint_corruptions_detected"], algorithm=label)
+    registry.gauge(
+        "recovery_mttr_ms_max", "worst mean-time-to-repair, milliseconds"
+    ).set(summary["mttr_ms_max"], algorithm=label)
+
+    modes = registry.gauge(
+        "recovery_mode_total", "recoveries by ladder rung"
+    )
+    for mode in ("warm", "resteer", "cold"):
+        modes.set(summary["modes"].get(mode, 0), algorithm=label, mode=mode)
+
+    mttr = registry.histogram(
+        "recovery_mttr_ms", "mean-time-to-repair per recovery, milliseconds"
+    )
+    for event in supervisor.events:
+        mttr.observe(event.mttr_ms, algorithm=label, mode=event.mode)

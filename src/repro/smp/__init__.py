@@ -32,7 +32,14 @@ from .contention import (
     build_report,
 )
 from .metrics import publish_sharded
-from .parallel import ParallelTaskError, Task, run_tasks, task_seed
+from .parallel import (
+    ParallelTaskError,
+    RetryLog,
+    Task,
+    attempt_seed,
+    run_tasks,
+    task_seed,
+)
 from .sharded import ShardedDemux
 from .steering import (
     HashSteering,
@@ -56,6 +63,7 @@ __all__ = [
     "DEFAULT_CONTENTION",
     "HashSteering",
     "ParallelTaskError",
+    "RetryLog",
     "RoundRobinSteering",
     "SMPCostReport",
     "SMPSweepConfig",
@@ -65,6 +73,7 @@ __all__ = [
     "StickyFlowSteering",
     "SweepResult",
     "Task",
+    "attempt_seed",
     "available_steerings",
     "build_report",
     "make_steering",

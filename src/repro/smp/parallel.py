@@ -16,6 +16,17 @@ What must *not* change with the worker count is the answer:
 * **Failure** -- a task that raises (or a worker process that dies)
   surfaces as a :class:`ParallelTaskError` naming the task, instead of
   a hang or a bare traceback from the middle of a pool.
+* **Retry** -- a long sweep should not lose an hour of work to one
+  OOM-killed worker.  ``retries=N`` re-executes failed tasks up to N
+  extra times (rebuilding the pool when a worker death broke it, with
+  optional exponential backoff between rounds) before surfacing the
+  error.  A retried task re-runs with *the same* arguments -- its seed
+  is a pure function of (master seed, task name), not of the attempt
+  -- so a run that needed retries produces byte-identical artifacts to
+  one that did not.  Retry counts land in a :class:`RetryLog` so
+  artifacts can report how bumpy the road was
+  (:func:`attempt_seed` exists for tasks that *want* per-attempt
+  variation, e.g. probing a flaky scenario from a different angle).
 
 Task callables must be module-level functions and their arguments
 picklable (the multiprocessing contract).  ``jobs=1`` runs inline --
@@ -25,13 +36,21 @@ same code path a worker would run, no pool, easier debugging.
 from __future__ import annotations
 
 import dataclasses
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.rng import derive_seed
 
-__all__ = ["Task", "ParallelTaskError", "run_tasks", "task_seed"]
+__all__ = [
+    "Task",
+    "ParallelTaskError",
+    "RetryLog",
+    "attempt_seed",
+    "run_tasks",
+    "task_seed",
+]
 
 
 class ParallelTaskError(RuntimeError):
@@ -56,8 +75,56 @@ class Task:
 
 
 def task_seed(master_seed: int, task_name: str) -> int:
-    """The per-task seed every process derives identically."""
+    """The per-task seed every process derives identically.
+
+    Deliberately attempt-independent: a task that crashed and was
+    retried re-runs the exact same experiment, so artifacts stay
+    byte-identical whether or not retries happened.
+    """
     return derive_seed(master_seed, f"task:{task_name}")
+
+
+def attempt_seed(master_seed: int, task_name: str, attempt: int) -> int:
+    """A deterministic seed for one (task, attempt) pair.
+
+    Attempt 0 equals :func:`task_seed`, so callers that thread the
+    attempt number through their task arguments reproduce the plain
+    seed on the first try and get fresh -- but replayable -- streams
+    on each retry.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if attempt == 0:
+        return task_seed(master_seed, task_name)
+    return derive_seed(master_seed, f"task:{task_name}:attempt{attempt}")
+
+
+@dataclasses.dataclass
+class RetryLog:
+    """Where retries went during one :func:`run_tasks` call.
+
+    ``by_task`` maps task name to *extra* attempts consumed (a task
+    that succeeded first try does not appear).  Sweeps surface
+    :attr:`total` in their artifacts so a result produced over a
+    bumpy pool is distinguishable from a clean one.
+    """
+
+    by_task: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_task.values())
+
+    def record(self, task_name: str) -> None:
+        self.by_task[task_name] = self.by_task.get(task_name, 0) + 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"total": self.total, "by_task": dict(self.by_task)}
+
+
+def _backoff_sleep(backoff: float, completed_rounds: int) -> None:
+    if backoff > 0.0:
+        time.sleep(backoff * (2.0 ** (completed_rounds - 1)))
 
 
 def run_tasks(
@@ -65,18 +132,35 @@ def run_tasks(
     jobs: int = 1,
     *,
     progress: Optional[Callable[[str], None]] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    retry_log: Optional[RetryLog] = None,
 ) -> List[Any]:
     """Run every task; return results in submission order.
 
     ``jobs=1`` executes inline; ``jobs>1`` fans out over a
     :class:`~concurrent.futures.ProcessPoolExecutor`.  Either way the
     returned list is indexed like ``tasks``.
+
+    ``retries`` bounds how many *extra* attempts each failed task
+    gets; ``backoff`` seconds (doubling per round) separate retry
+    rounds.  A worker death (``BrokenProcessPool``) poisons every
+    uncollected future in the pool, so the pool is rebuilt and only
+    the tasks without results re-run.  When a task exhausts its
+    attempts, :class:`ParallelTaskError` names it -- the earliest such
+    task in submission order -- with the underlying failure chained.
+    Pass ``retry_log`` to receive per-task retry counts.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0.0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
     names = [task.name for task in tasks]
     if len(set(names)) != len(names):
         raise ValueError("task names must be unique (they key seeds and errors)")
+    log = retry_log if retry_log is not None else RetryLog()
 
     def note(name: str) -> None:
         if progress:
@@ -85,34 +169,63 @@ def run_tasks(
     if jobs == 1 or len(tasks) <= 1:
         results = []
         for task in tasks:
-            try:
-                results.append(task.run())
-            except Exception as exc:
-                raise ParallelTaskError(task.name, str(exc)) from exc
+            for attempt in range(retries + 1):
+                try:
+                    results.append(task.run())
+                    break
+                except Exception as exc:
+                    if attempt == retries:
+                        raise ParallelTaskError(task.name, str(exc)) from exc
+                    log.record(task.name)
+                    _backoff_sleep(backoff, attempt + 1)
             note(task.name)
         return results
 
-    results = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(task.fn, *task.args, **(task.kwargs or {}))
-            for task in tasks
-        ]
-        # Collect in submission order: determinism beats a marginal
-        # latency win from as_completed, and the pool keeps every core
-        # busy regardless of the order we *wait* in.
-        for index, (task, future) in enumerate(zip(tasks, futures)):
-            try:
-                results[index] = future.result()
-            except BrokenProcessPool as exc:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise ParallelTaskError(
-                    task.name,
-                    "worker process died before finishing (crash or OOM kill);"
-                    " rerun with --jobs 1 to see the failure inline",
-                ) from exc
-            except Exception as exc:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise ParallelTaskError(task.name, str(exc)) from exc
-            note(task.name)
-    return results
+    results: List[Any] = [None] * len(tasks)
+    #: index -> (exception or None, message) for the latest failure.
+    failures: Dict[int, Tuple[Optional[BaseException], str]] = {}
+    pending = list(range(len(tasks)))
+
+    for round_number in range(retries + 1):
+        if round_number:
+            _backoff_sleep(backoff, round_number)
+        failures.clear()
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                index: pool.submit(
+                    tasks[index].fn,
+                    *tasks[index].args,
+                    **(tasks[index].kwargs or {}),
+                )
+                for index in pending
+            }
+            # Collect in submission order: determinism beats a marginal
+            # latency win from as_completed, and the pool keeps every
+            # core busy regardless of the order we *wait* in.  A broken
+            # pool poisons the remaining futures; each is collected
+            # individually so results that finished before the death
+            # are kept and only true casualties re-run.
+            for index in pending:
+                try:
+                    results[index] = futures[index].result()
+                    note(tasks[index].name)
+                except BrokenProcessPool as exc:
+                    failures[index] = (
+                        exc,
+                        "worker process died before finishing (crash or"
+                        " OOM kill); rerun with --jobs 1 to see the"
+                        " failure inline",
+                    )
+                except Exception as exc:
+                    failures[index] = (exc, str(exc))
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not failures:
+            return results
+        pending = sorted(failures)
+        if round_number < retries:
+            for index in pending:
+                log.record(tasks[index].name)
+
+    first = pending[0]
+    cause, message = failures[first]
+    raise ParallelTaskError(tasks[first].name, message) from cause

@@ -51,10 +51,13 @@ class ShardedDemux(DemuxAlgorithm):
         shard_factory: Callable[[], DemuxAlgorithm],
         nshards: int,
         steering: Optional[SteeringFunction] = None,
+        *,
+        inner_spec: Optional[str] = None,
     ):
         super().__init__()
         if nshards <= 0:
             raise ValueError(f"nshards must be positive, got {nshards}")
+        self._shard_factory = shard_factory
         self._shards: List[DemuxAlgorithm] = [
             shard_factory() for _ in range(nshards)
         ]
@@ -64,6 +67,9 @@ class ShardedDemux(DemuxAlgorithm):
         #: PCB moves forced by non-flow-stable steering.
         self.flow_migrations = 0
         self.name = f"sharded-{self._shards[0].name}"
+        #: Registry spec of one shard, when built through the registry.
+        #: Checkpoint/restore needs it to rebuild a crashed shard.
+        self.inner_spec = inner_spec
 
     # -- structure facade --------------------------------------------------
 
@@ -79,6 +85,44 @@ class ShardedDemux(DemuxAlgorithm):
     def shard_of(self, tup: FourTuple) -> int:
         """Where ``tup``'s PCB currently lives (KeyError if absent)."""
         return self._home[tup]
+
+    def home_table(self) -> Dict[FourTuple, int]:
+        """A copy of the flow-director table (tuple -> shard index).
+
+        Iteration order is first-insert order, which is the order a
+        cold rebuild re-installs a crashed shard's flows in.
+        """
+        return dict(self._home)
+
+    def fresh_shard(self) -> DemuxAlgorithm:
+        """A new, empty shard instance from the configured factory."""
+        return self._shard_factory()
+
+    def replace_shard(self, index: int, shard: DemuxAlgorithm) -> None:
+        """Swap in a rebuilt shard instance (crash recovery).
+
+        The dispatcher's flow-director table (``_home``) survives a
+        shard crash -- it lives with the steering CPU, not the shard --
+        so the caller is responsible for the replacement holding
+        exactly the PCBs whose home is ``index`` (warm restore) or for
+        re-homing the orphans first (re-steer/cold paths, see
+        :class:`repro.recovery.ShardSupervisor`).
+        """
+        if not 0 <= index < len(self._shards):
+            raise IndexError(f"no shard {index} (nshards={self.nshards})")
+        self._shards[index] = shard
+
+    def forget_flow(self, tup: FourTuple) -> None:
+        """Drop a flow from the director table without touching shards.
+
+        Used when a crashed shard's PCB is gone and the flow must be
+        re-homed: the structural remove (``_remove``) would try to pull
+        the PCB out of a shard that no longer holds it.  Also releases
+        any sticky-steering pin so the flow can be re-assigned.
+        """
+        self._home.pop(tup, None)
+        if isinstance(self.steering, StickyFlowSteering):
+            self.steering.forget(tup)
 
     def _insert(self, pcb: PCB) -> None:
         tup = pcb.four_tuple

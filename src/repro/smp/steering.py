@@ -155,6 +155,28 @@ class StickyFlowSteering(SteeringFunction):
         if shard is not None and shard < len(self._assigned):
             self._assigned[shard] -= 1
 
+    def pin(self, tup: FourTuple, shard: int) -> None:
+        """Force a flow's assignment (supervised recovery re-steer).
+
+        When a shard dies with no usable checkpoint, the supervisor
+        re-homes its orphaned flows onto survivors; the pin makes the
+        director honour that placement for the flow's remaining
+        packets.  Load accounting moves with the pin.
+        """
+        if shard < 0:
+            raise ValueError(f"shard must be non-negative, got {shard}")
+        self.forget(tup)
+        if len(self._assigned) <= shard:
+            self._assigned.extend(
+                0 for _ in range(shard + 1 - len(self._assigned))
+            )
+        self._flows[tup] = shard
+        self._assigned[shard] += 1
+
+    def assigned_loads(self) -> List[int]:
+        """Flows currently pinned per shard (for placement decisions)."""
+        return list(self._assigned)
+
     def reset(self) -> None:
         self._flows.clear()
         self._assigned = []

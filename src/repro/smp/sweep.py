@@ -35,7 +35,7 @@ from ..core.registry import make_algorithm
 from ..workload.record import record_tpca_stream
 from .coalesce import BatchCoalescer
 from .contention import ContentionModel, build_report
-from .parallel import Task, run_tasks
+from .parallel import RetryLog, Task, run_tasks
 from .sharded import ShardedDemux
 from .steering import make_steering
 
@@ -65,6 +65,12 @@ class SMPSweepConfig:
     seeds: Tuple[int, ...] = (7,)
     jobs: int = 1
     utilization: float = 0.6
+    #: Extra attempts a failed/crashed cell gets before the sweep fails.
+    #: Cells are pure and attempt-independent, so retried results are
+    #: byte-identical -- the count is recorded, not hidden.
+    retries: int = 2
+    #: Seconds between retry rounds (doubling per round).
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.algorithms:
@@ -81,6 +87,10 @@ class SMPSweepConfig:
             raise ValueError("need at least one seed")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -92,6 +102,8 @@ class SMPSweepConfig:
             "batch_sizes": list(self.batch_sizes),
             "seeds": list(self.seeds),
             "utilization": self.utilization,
+            "retries": self.retries,
+            "retry_backoff": self.retry_backoff,
         }
 
 
@@ -205,6 +217,8 @@ class SweepResult:
 
     config: SMPSweepConfig
     cells: Tuple[Dict[str, object], ...]
+    #: Cell name -> extra attempts that cell needed (empty on a clean run).
+    worker_retries: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def cell(self, **match: object) -> Dict[str, object]:
         """The unique cell whose fields equal ``match`` (KeyError if not 1)."""
@@ -328,6 +342,15 @@ class SweepResult:
         for title, checks in self.criteria().items():
             verdict = "ok" if all(c["ok"] for c in checks) else "FAIL"
             lines.append(f"  criterion {title}: {verdict}")
+        total_retries = sum(self.worker_retries.values())
+        lines.append(
+            f"  worker retries: {total_retries}"
+            + (
+                f" ({len(self.worker_retries)} cells affected)"
+                if total_retries
+                else ""
+            )
+        )
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -336,6 +359,10 @@ class SweepResult:
             "config": self.config.as_dict(),
             "criteria": self.criteria(),
             "ok": self.ok,
+            "worker_retries": {
+                "total": sum(self.worker_retries.values()),
+                "by_task": dict(self.worker_retries),
+            },
             "cells": list(self.cells),
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -352,8 +379,20 @@ def run_smp_sweep(
         Task(name=_cell_name(params), fn=_run_cell, args=(params,))
         for params in grid
     ]
-    results = run_tasks(tasks, config.jobs, progress=progress)
-    return SweepResult(config=config, cells=tuple(results))
+    retry_log = RetryLog()
+    results = run_tasks(
+        tasks,
+        config.jobs,
+        progress=progress,
+        retries=config.retries,
+        backoff=config.retry_backoff,
+        retry_log=retry_log,
+    )
+    return SweepResult(
+        config=config,
+        cells=tuple(results),
+        worker_retries=dict(retry_log.by_task),
+    )
 
 
 def write_sweep_artifacts(

@@ -1,0 +1,143 @@
+"""Property-based tests for the snapshot codec and recovery.
+
+Two invariants, driven by Hypothesis across every registered algorithm
+family:
+
+* **round trip** -- after any churn history, a mid-sequence snapshot
+  restores to a structure in lockstep with a never-interrupted twin:
+  every subsequent (found, examined, cache_hit) decision matches;
+* **no silent corruption** -- any byte-level mutation of a snapshot
+  blob is rejected with a clean ``SnapshotError`` subclass, never
+  restored as plausible-but-wrong state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.pcb import PCB
+from repro.core.registry import make_algorithm
+from repro.core.stats import PacketKind
+from repro.fastpath.conformance import churn_tuple, stray_tuple
+from repro.recovery import (
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    restore_bytes,
+    snapshot_bytes,
+)
+
+#: One representative per structural family: list orders, caches,
+#: hashed chains, slot maps, interned fast twins, sharded facades.
+SPECS = [
+    "linear",
+    "bsd",
+    "mtf",
+    "multicache:k=4",
+    "sendrecv",
+    "sequent:h=5",
+    "hashed_mtf:h=3",
+    "connection_id",
+    "fast-mtf",
+    "fast-sequent:h=5",
+    "sharded-fast-mtf:shards=3",
+    "sharded-mtf:shards=2,steer=sticky",
+]
+
+#: A churn program: each element drives one operation against both
+#: twins.  ("op", connection-index) pairs; lookups carry a kind flag.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "hit", "miss", "send"]),
+        st.integers(min_value=0, max_value=30),
+        st.booleans(),
+    ),
+    min_size=5,
+    max_size=80,
+)
+
+
+def apply_op(algorithm, op, live):
+    """Apply one churn op; mutates ``live`` (index -> tuple) in place.
+
+    Returns the decision triple for lookups, None for mutations.
+    """
+    name, index, flag = op
+    kind = PacketKind.DATA if flag else PacketKind.ACK
+    if name == "insert":
+        tup = churn_tuple(index)
+        if tup not in live:
+            algorithm.insert(PCB(tup))
+            live.add(tup)
+    elif name == "remove":
+        tup = churn_tuple(index)
+        if tup in live:
+            algorithm.remove(tup)
+            live.discard(tup)
+    elif name == "send":
+        tup = churn_tuple(index)
+        if tup in live:
+            pcb = algorithm.lookup(tup, PacketKind.DATA).pcb
+            if pcb is not None:
+                algorithm.note_send(pcb)
+    else:
+        tup = churn_tuple(index) if name == "hit" else stray_tuple(index)
+        result = algorithm.lookup(tup, kind)
+        return (result.found, result.examined, result.cache_hit)
+    return None
+
+
+@pytest.mark.parametrize("spec", SPECS)
+@given(ops=ops_strategy, cut=st.integers(min_value=0, max_value=79))
+@settings(max_examples=25, deadline=None)
+def test_snapshot_round_trip_lockstep(spec, ops, cut):
+    """Churn, snapshot at an arbitrary point, restore, and stay in
+    lockstep with a twin that was never interrupted."""
+    cut = min(cut, len(ops))
+    interrupted = make_algorithm(spec)
+    twin = make_algorithm(spec)
+    live_a, live_b = set(), set()
+    for op in ops[:cut]:
+        a = apply_op(interrupted, op, live_a)
+        b = apply_op(twin, op, live_b)
+        assert a == b
+    interrupted = restore_bytes(snapshot_bytes(interrupted, spec))
+    for op in ops[cut:]:
+        a = apply_op(interrupted, op, live_a)
+        b = apply_op(twin, op, live_b)
+        assert a == b
+    assert len(interrupted) == len(twin)
+    assert interrupted.stats.as_dict() == twin.stats.as_dict()
+
+
+@given(
+    ops=ops_strategy,
+    position=st.integers(min_value=0),
+    mask=st.integers(min_value=1, max_value=255),
+)
+@settings(max_examples=50, deadline=None)
+def test_corrupted_snapshot_never_restores(ops, position, mask):
+    """Flipping any bits anywhere in the blob yields a clean rejection
+    -- SnapshotFormatError if the framing breaks, SnapshotIntegrityError
+    if the JSON survives but the checksum does not.  Never a structure."""
+    algorithm = make_algorithm("fast-mtf")
+    live = set()
+    for op in ops:
+        apply_op(algorithm, op, live)
+    blob = bytearray(snapshot_bytes(algorithm, "fast-mtf"))
+    blob[position % len(blob)] ^= mask
+    with pytest.raises((SnapshotFormatError, SnapshotIntegrityError)):
+        restore_bytes(bytes(blob))
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=25, deadline=None)
+def test_snapshot_is_deterministic(ops):
+    """Same state -> byte-identical blob (stable checkpoint diffs)."""
+    algorithm = make_algorithm("bsd")
+    live = set()
+    for op in ops:
+        apply_op(algorithm, op, live)
+    assert snapshot_bytes(algorithm, "bsd") == (
+        snapshot_bytes(algorithm, "bsd")
+    )

@@ -337,3 +337,107 @@ class TestLeakAuditCommand:
         out = capsys.readouterr().out
         assert code == 0, out
         assert "syn-flood" in out
+
+
+class TestRecoveryFlags:
+    def test_parser_knows_recovery_drill(self):
+        args = build_parser().parse_args(["recovery-drill"])
+        assert args.command == "recovery-drill"
+        assert args.out == "results"
+        assert args.algorithms is None and args.seeds is None
+
+    def test_simulate_seeded_crashes_recover(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "sharded-fast-mtf:shards=4",
+             "--users", "120", "--duration", "20",
+             "--checkpoint-every", "200", "--crash-shards", "2:300"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "recovery: crashes=2" in out
+        assert "recoveries=2" in out
+        assert "shards still dead" not in out
+
+    def test_simulate_explicit_crash_schedule_cold(self, capsys):
+        # No checkpoints: both recoveries must fall to a cold rebuild.
+        code = main(
+            ["simulate", "--algorithm", "sharded-mtf:shards=4",
+             "--users", "120", "--duration", "20",
+             "--crash-shards", "1@100,3@250"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "crashes=2" in out and "cold=2" in out
+
+    def test_crash_shards_requires_sharded_algorithm(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "20",
+             "--duration", "10", "--crash-shards", "1:100"]
+        )
+        assert code == 2
+        assert "sharded" in capsys.readouterr().err
+
+    def test_bad_crash_spec_is_a_clean_error(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "sharded-mtf:shards=4",
+             "--users", "20", "--duration", "10",
+             "--crash-shards", "9@50"]  # shard 9 of 4
+        )
+        assert code == 2
+        assert "--crash-shards" in capsys.readouterr().err
+
+    def test_infra_fault_term_in_faults_spec(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "sharded-fast-mtf:shards=4",
+             "--users", "120", "--duration", "20",
+             "--checkpoint-every", "200", "--faults", "crash=1:300"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "recovery: crashes=1" in out
+
+    def test_slo_flag_tightens_health_verdict(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "50",
+             "--duration", "15", "--slo", "p99=1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "health=failing" in out
+
+    def test_slo_flag_default_budgets_healthy(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "50",
+             "--duration", "15", "--slo", "p99=500,drop=0.9"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "health=ok" in out
+
+    def test_bad_slo_spec_is_a_clean_error(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "bsd", "--users", "20",
+             "--duration", "10", "--slo", "latency=5"]
+        )
+        assert code == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_recovery_drill_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["recovery-drill", "--algorithms", "sharded-fast-mtf:shards=4",
+             "--seeds", "1", "--users", "120", "--packets", "3000",
+             "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PASS" in out
+        text = (tmp_path / "recovery_drill.txt").read_text()
+        assert "warm restore vs cold rebuild" in text
+        report = json.loads((tmp_path / "recovery_drill.json").read_text())
+        assert report["ok"] is True
+        assert report["mttr_ms_max"] > 0
+        cell = report["cells"][0]
+        assert cell["warm_divergence"] == 0
+        assert cell["cold_penalty"] > 1.0

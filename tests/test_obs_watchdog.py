@@ -13,6 +13,7 @@ from repro.obs.watchdog import (
     default_rules,
     gauge_max,
     histogram_quantile,
+    parse_slo_spec,
 )
 
 
@@ -239,3 +240,67 @@ class TestHealthWatchdog:
         report = HealthWatchdog(default_rules()).evaluate(_registry())
         text = report.describe()
         assert "health=ok" in text
+
+
+class TestParseSLOSpec:
+    def test_full_spec(self):
+        assert parse_slo_spec("p99=80,drop=0.1,imbalance=3,retained=5") == {
+            "max_p99_examined": 80.0,
+            "max_drop_rate": 0.1,
+            "max_imbalance": 3.0,
+            "retention_grace": 5.0,
+        }
+
+    def test_long_aliases(self):
+        assert parse_slo_spec(
+            "p99-examined=40,drop-rate=0.2,shard-imbalance=2.5,"
+            "retained-entries=1"
+        ) == {
+            "max_p99_examined": 40.0,
+            "max_drop_rate": 0.2,
+            "max_imbalance": 2.5,
+            "retention_grace": 1.0,
+        }
+
+    def test_empty_and_whitespace(self):
+        assert parse_slo_spec("") == {}
+        assert parse_slo_spec(" p99 = 80 , ") == {"max_p99_examined": 80.0}
+
+    def test_kwargs_feed_default_rules(self):
+        rules = default_rules(**parse_slo_spec("p99=7,drop=0.01"))
+        thresholds = {rule.name: rule.threshold for rule in rules}
+        assert thresholds["p99-examined"] == 7.0
+        assert thresholds["drop-rate"] == 0.01
+        # Unmentioned budgets keep their defaults.
+        assert thresholds["shard-imbalance"] == 2.0
+
+    def test_override_changes_verdict(self):
+        # A registry healthy under the defaults fails a tight --slo.
+        registry = _registry(examined=(1, 2, 60))
+        assert HealthWatchdog(default_rules()).evaluate(registry).ok
+        tight = default_rules(**parse_slo_spec("p99=10"))
+        report = HealthWatchdog(tight).evaluate(registry)
+        assert not report.ok
+        assert "p99-examined" in [
+            r.name for r in report.results if not r.ok and not r.skipped
+        ]
+
+    def test_unknown_key_lists_vocabulary(self):
+        with pytest.raises(ValueError, match="p99"):
+            parse_slo_spec("latency=5")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_slo_spec("p99")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            parse_slo_spec("p99=fast")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            parse_slo_spec("drop=-0.1")
+
+    def test_duplicate_budget_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_slo_spec("p99=80,p99-examined=90")

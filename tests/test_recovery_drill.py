@@ -1,0 +1,156 @@
+"""The recovery drill: warm beats cold, with MTTR, deterministically."""
+
+import json
+
+import pytest
+
+from repro.recovery import DrillConfig, DrillResult, run_recovery_drill
+from repro.recovery.drill import hot_set_stream
+
+
+SMALL = DrillConfig(
+    algorithms=("sharded-fast-mtf:shards=4",),
+    seeds=(1,),
+    n_users=120,
+    n_packets=2500,
+    checkpoint_every=300,
+    post_window=900,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_recovery_drill(SMALL)
+
+
+class TestDrill:
+    def test_passes(self, result):
+        assert result.ok, [cell.failures for cell in result.cells]
+
+    def test_one_cell_per_algorithm_seed(self, result):
+        assert len(result.cells) == 1
+        cell = result.cells[0]
+        assert cell.spec == "sharded-fast-mtf:shards=4"
+        assert cell.seed == 1
+
+    def test_warm_is_decision_identical(self, result):
+        cell = result.cells[0]
+        assert cell.warm_divergence == 0
+        assert cell.cold_found_divergence == 0
+
+    def test_warm_beats_cold_on_examined_cost(self, result):
+        cell = result.cells[0]
+        assert cell.window_packets > 0
+        assert cell.warm_cost < cell.cold_cost
+        assert cell.cold_penalty > 1.0
+
+    def test_warm_recovery_used_a_checkpoint(self, result):
+        cell = result.cells[0]
+        assert cell.warm_summary["modes"].get("warm", 0) >= 1
+        assert cell.cold_summary["modes"].get("warm", 0) == 0
+        assert cell.warm_summary["checkpoints_taken"] > 0
+
+    def test_mttr_recorded_and_in_budget(self, result):
+        cell = result.cells[0]
+        assert 0 < cell.mttr_ms <= SMALL.mttr_budget_ms
+        assert result.mttr_ms_max == cell.mttr_ms
+
+    def test_deterministic(self, result):
+        again = run_recovery_drill(SMALL)
+        first = result.to_json()
+        second = again.to_json()
+        # MTTR is wall-clock; everything else must reproduce exactly.
+        for report in (first, second):
+            report.pop("mttr_ms_max")
+            for cell in report["cells"]:
+                cell.pop("mttr_ms")
+                cell["warm_summary"].pop("mttr_ms_max")
+                cell["warm_summary"].pop("mttr_ms_mean")
+                cell["cold_summary"].pop("mttr_ms_max")
+                cell["cold_summary"].pop("mttr_ms_mean")
+                for event in (
+                    cell["warm_summary"]["events"]
+                    + cell["cold_summary"]["events"]
+                ):
+                    event.pop("mttr_ms")
+        assert first == second
+
+    def test_to_json_is_serializable(self, result):
+        report = json.loads(json.dumps(result.to_json()))
+        assert report["ok"] is True
+        assert report["mttr_budget_ms"] == SMALL.mttr_budget_ms
+        assert report["config"]["n_packets"] == 2500
+        cell = report["cells"][0]
+        assert set(cell) >= {
+            "spec", "seed", "crashed_shard", "crash_at",
+            "warm_divergence", "cold_found_divergence",
+            "baseline_cost", "warm_cost", "cold_cost",
+            "window_packets", "mttr_ms", "ok", "cold_penalty",
+        }
+
+    def test_render_text(self, result):
+        text = result.render_text()
+        assert "recovery drill" in text
+        assert "PASS" in text
+        assert "sharded-fast-mtf:shards=4" in text
+
+    def test_render_text_failure_marks_cell(self, result):
+        broken = DrillResult(config=SMALL, cells=[result.cells[0]])
+        broken.cells[0].failures = ["warm restore diverged on 3 packets"]
+        text = broken.render_text()
+        assert "FAIL" in text and "diverged" in text
+
+
+class TestStream:
+    def test_deterministic_per_seed(self):
+        assert hot_set_stream(SMALL, 7) == hot_set_stream(SMALL, 7)
+        assert hot_set_stream(SMALL, 7) != hot_set_stream(SMALL, 8)
+
+    def test_hot_set_receives_most_traffic(self):
+        users, packets = hot_set_stream(SMALL, 3)
+        n_hot = max(1, int(SMALL.n_users * SMALL.hot_fraction))
+        hot = set(users[:n_hot])
+        hot_packets = sum(1 for tup, _ in packets if tup in hot)
+        assert hot_packets / len(packets) > 0.7  # configured 0.8
+
+    def test_shapes(self):
+        users, packets = hot_set_stream(SMALL, 3)
+        assert len(users) == SMALL.n_users
+        assert len(packets) == SMALL.n_packets
+        assert len(set(users)) == len(users)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        DrillConfig()
+
+    def test_empty_algorithms_rejected(self):
+        with pytest.raises(ValueError):
+            DrillConfig(algorithms=())
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            DrillConfig(seeds=())
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValueError):
+            DrillConfig(n_users=1)
+
+    def test_crash_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            DrillConfig(crash_fraction=0.0)
+        with pytest.raises(ValueError):
+            DrillConfig(crash_fraction=1.0)
+
+    def test_hot_set_bounds(self):
+        with pytest.raises(ValueError):
+            DrillConfig(hot_fraction=1.0)
+        with pytest.raises(ValueError):
+            DrillConfig(hot_weight=0.0)
+
+    def test_non_sharded_spec_rejected(self):
+        config = DrillConfig(
+            algorithms=("mtf",), seeds=(1,), n_users=20, n_packets=100
+        )
+        with pytest.raises(ValueError, match="sharded"):
+            run_recovery_drill(config)

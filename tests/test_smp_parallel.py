@@ -5,7 +5,14 @@ import os
 import pytest
 
 from repro.sim.rng import derive_seed
-from repro.smp import ParallelTaskError, Task, run_tasks, task_seed
+from repro.smp import (
+    ParallelTaskError,
+    RetryLog,
+    Task,
+    attempt_seed,
+    run_tasks,
+    task_seed,
+)
 
 
 # Task callables must be module-level so worker processes can pickle them.
@@ -23,6 +30,30 @@ def _die():
 
 def _seed_echo(master, name):
     return task_seed(master, name)
+
+
+def _flaky(sentinel, fail_times):
+    """Fail (raise) until ``sentinel`` has recorded ``fail_times`` attempts.
+
+    The attempt count lives in a file so it survives process boundaries.
+    """
+    attempts = 0
+    if os.path.exists(sentinel):
+        attempts = int(open(sentinel).read())
+    with open(sentinel, "w") as handle:
+        handle.write(str(attempts + 1))
+    if attempts < fail_times:
+        raise RuntimeError(f"transient failure {attempts}")
+    return f"ok after {attempts} failures"
+
+
+def _die_once(sentinel):
+    """Hard-kill the worker on the first attempt only."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("died")
+        os._exit(17)
+    return "survived"
 
 
 def tasks_for(values):
@@ -77,6 +108,94 @@ class TestRunTasks:
         tasks = tasks_for([1, 2]) + [Task(name="crash", fn=_die)]
         with pytest.raises(ParallelTaskError, match="worker process died"):
             run_tasks(tasks, jobs=2)
+
+
+class TestRetries:
+    def test_inline_retry_recovers(self, tmp_path):
+        log = RetryLog()
+        task = Task(name="flaky", fn=_flaky, args=(str(tmp_path / "s"), 2))
+        assert run_tasks([task], jobs=1, retries=2, retry_log=log) == [
+            "ok after 2 failures"
+        ]
+        assert log.by_task == {"flaky": 2}
+        assert log.total == 2
+
+    def test_inline_retries_exhausted(self, tmp_path):
+        task = Task(name="flaky", fn=_flaky, args=(str(tmp_path / "s"), 5))
+        with pytest.raises(ParallelTaskError, match="flaky") as err:
+            run_tasks([task], jobs=1, retries=1)
+        assert err.value.task_name == "flaky"
+
+    def test_pool_soft_failure_retried(self, tmp_path):
+        log = RetryLog()
+        tasks = tasks_for([1, 2]) + [
+            Task(name="flaky", fn=_flaky, args=(str(tmp_path / "s"), 1))
+        ]
+        results = run_tasks(tasks, jobs=2, retries=1, retry_log=log)
+        assert results == [1, 4, "ok after 1 failures"]
+        assert log.by_task == {"flaky": 1}
+
+    def test_pool_worker_death_retried(self, tmp_path):
+        """A killed worker breaks the whole pool; the runner rebuilds it
+        and re-runs only the tasks that never produced a result."""
+        log = RetryLog()
+        tasks = tasks_for([1, 2, 3]) + [
+            Task(name="crash", fn=_die_once, args=(str(tmp_path / "s"),))
+        ]
+        results = run_tasks(tasks, jobs=2, retries=2, retry_log=log)
+        assert results == [1, 4, 9, "survived"]
+        assert log.by_task.get("crash", 0) >= 1
+
+    def test_pool_exhaustion_names_first_failure(self):
+        tasks = tasks_for([1]) + [Task(name="boom", fn=_fail, args=("bad",))]
+        with pytest.raises(ParallelTaskError, match="boom") as err:
+            run_tasks(tasks, jobs=2, retries=1)
+        assert err.value.task_name == "boom"
+
+    def test_retried_results_identical_to_clean_run(self, tmp_path):
+        """A run that needed retries returns the same list as one that
+        did not -- retries must not perturb artifacts."""
+        clean = run_tasks(tasks_for([5, 6]), jobs=1)
+        bumpy_tasks = tasks_for([5, 6])
+        # A flaky extra task exercises the retry loop in the same run.
+        bumpy_tasks.append(
+            Task(name="flaky", fn=_flaky, args=(str(tmp_path / "s"), 1))
+        )
+        bumpy = run_tasks(bumpy_tasks, jobs=2, retries=1)
+        assert bumpy[:2] == clean
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_tasks(tasks_for([1]), jobs=1, retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="backoff"):
+            run_tasks(tasks_for([1]), jobs=1, backoff=-0.5)
+
+    def test_retry_log_as_dict(self):
+        log = RetryLog()
+        log.record("a")
+        log.record("a")
+        log.record("b")
+        assert log.as_dict() == {
+            "total": 3,
+            "by_task": {"a": 2, "b": 1},
+        }
+
+
+class TestAttemptSeeds:
+    def test_attempt_zero_is_task_seed(self):
+        assert attempt_seed(7, "cell", 0) == task_seed(7, "cell")
+
+    def test_later_attempts_differ_and_are_stable(self):
+        first = attempt_seed(7, "cell", 1)
+        assert first != task_seed(7, "cell")
+        assert first == attempt_seed(7, "cell", 1)
+        assert first != attempt_seed(7, "cell", 2)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            attempt_seed(7, "cell", -1)
 
 
 class TestTaskSeeds:
