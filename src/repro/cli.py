@@ -608,12 +608,16 @@ def _cmd_simulate(args) -> int:
             if isinstance(fault, SnapshotCorruption):
                 fault.bind_seed(args.seed)
                 snapshot_fault = fault
-        supervisor = ShardSupervisor(
-            algorithm,
-            checkpoint_every=args.checkpoint_every,
-            detect_after=args.detect_after,
-            snapshot_fault=snapshot_fault,
-        )
+        try:
+            supervisor = ShardSupervisor(
+                algorithm,
+                checkpoint_every=args.checkpoint_every,
+                detect_after=args.detect_after,
+                snapshot_fault=snapshot_fault,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if args.crash_shards:
             try:
                 supervisor.arm_crashes(
@@ -634,6 +638,13 @@ def _cmd_simulate(args) -> int:
                     fault.schedule(algorithm.nshards, args.seed)
                 )
         algorithm = supervisor
+    elif args.detect_after:
+        print(
+            "warning: --detect-after has no effect without"
+            " --checkpoint-every, --crash-shards, or a"
+            " crash/stall/snapcorrupt fault",
+            file=sys.stderr,
+        )
 
     lifecycle = (
         args.idle_timeout is not None or args.time_wait is not None

@@ -85,12 +85,15 @@ class ShardCrash(InfraFault):
 
         Shards are sampled without replacement (a shard crashes at
         most once per schedule); at most ``nshards - 1`` crash so the
-        structure always keeps a survivor.
+        structure always keeps a survivor.  With a single shard there
+        is no survivor to keep, so no crash is scheduled at all.
         """
         if nshards < 1:
             raise ValueError(f"nshards must be >= 1, got {nshards}")
+        if nshards == 1:
+            return []
         rng = random.Random(derive_seed(seed, f"infra:{self.name}"))
-        ncrashes = min(self.count, max(nshards - 1, 1))
+        ncrashes = min(self.count, nshards - 1)
         shards = rng.sample(range(nshards), ncrashes)
         return sorted(
             (rng.randrange(1, self.window + 1), shard) for shard in shards

@@ -387,7 +387,10 @@ class ShardSupervisor(DemuxAlgorithm):
                     shard.note_send(op[1])
             replayed = len(self._delta[index])
             self._sharded.replace_shard(index, shard)
-        elif isinstance(self._sharded.steering, StickyFlowSteering):
+        elif (
+            isinstance(self._sharded.steering, StickyFlowSteering)
+            and self._sharded.nshards > 1
+        ):
             mode = "resteer"
             shard = self._orphans_to_survivors(index)
         else:
@@ -433,6 +436,11 @@ class ShardSupervisor(DemuxAlgorithm):
         recomputed per flow -- deterministic, and it spreads a big
         orphan set instead of dumping it on one survivor.  The fresh
         (empty) shard at ``index`` stays in service for *new* flows.
+
+        Each re-pin is also appended to the *survivor's* delta log:
+        its checkpoint pre-dates the re-steer, so a later warm
+        recovery of that survivor must replay the orphan's insert or
+        the flow would vanish while the director still maps to it.
         """
         steering = self._sharded.steering
         orphans = [
@@ -443,13 +451,18 @@ class ShardSupervisor(DemuxAlgorithm):
         survivors = [
             i for i in range(self._sharded.nshards) if i != index
         ]
+        if not survivors:
+            # Single shard: nowhere to re-steer to; rebuild in place.
+            return self._cold_rebuild(index)
         for tup in orphans:
             self._sharded.forget_flow(tup)
             target = min(
                 survivors, key=lambda i: (len(self._sharded.shards[i]), i)
             )
             steering.pin(tup, target)
-            self._sharded.insert(self._directory[tup])
+            pcb = self._directory[tup]
+            self._sharded.insert(pcb)
+            self._delta[target].append(("insert", pcb))
         return self._sharded.shards[index]
 
     def _cold_rebuild(self, index: int) -> DemuxAlgorithm:
@@ -484,10 +497,17 @@ class ShardSupervisor(DemuxAlgorithm):
             self._fire_armed()
         self._packets_seen += 1
         target = self._sharded.steering.shard_of(tup, self._sharded.nshards)
-        if target in self._dead and self._detect_or_drop(target):
-            # Dropped on the floor by the dead shard: nothing examined,
-            # nothing found.  Counted in this facade's statistics.
-            return LookupResult(None, 0, cache_hit=False, kind=kind)
+        if target in self._dead:
+            if self._detect_or_drop(target):
+                # Dropped on the floor by the dead shard: nothing
+                # examined, nothing found.  Counted in this facade's
+                # statistics.
+                return LookupResult(None, 0, cache_hit=False, kind=kind)
+            # Recovery ran; a re-steer may have re-pinned this flow to
+            # a survivor, so the delta entry must follow it there.
+            target = self._sharded.steering.shard_of(
+                tup, self._sharded.nshards
+            )
         if self._stall_drop(target):
             return LookupResult(None, 0, cache_hit=False, kind=kind)
         result = self._sharded.lookup(tup, kind)
@@ -541,6 +561,11 @@ class ShardSupervisor(DemuxAlgorithm):
             raise KeyError(tup)
         if home in self._dead:
             self.recover(home)
+            # A re-steer recovery moves the flow to a survivor; the
+            # remove happens (and is logged) at its new home.
+            home = self._sharded.home_table().get(tup)
+            if home is None:
+                raise KeyError(tup)
         pcb = self._sharded.remove(tup)
         self._directory.pop(tup, None)
         self._delta[home].append(("remove", tup))
@@ -551,8 +576,13 @@ class ShardSupervisor(DemuxAlgorithm):
         home = self._sharded.home_table().get(pcb.four_tuple)
         if home is None:
             return
-        if home in self._dead and self._detect_or_drop(home):
-            return
+        if home in self._dead:
+            if self._detect_or_drop(home):
+                return
+            # As in _lookup: recovery may have re-homed the flow.
+            home = self._sharded.home_table().get(pcb.four_tuple)
+            if home is None:
+                return
         self._sharded.note_send(pcb)
         self._delta[home].append(("send", pcb))
 

@@ -377,6 +377,27 @@ class TestRecoveryFlags:
         assert code == 2
         assert "sharded" in capsys.readouterr().err
 
+    def test_rr_steering_with_crashes_is_a_clean_error(self, capsys):
+        # Round-robin has no home shard per flow, so supervision is
+        # refused -- as a friendly exit-2 error, not a traceback.
+        code = main(
+            ["simulate", "--algorithm", "sharded-mtf:shards=4,steer=rr",
+             "--users", "20", "--duration", "10",
+             "--crash-shards", "1:100"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "flow-stable" in err
+
+    def test_detect_after_without_supervisor_warns(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "sharded-mtf:shards=2",
+             "--users", "20", "--duration", "10",
+             "--detect-after", "5"]
+        )
+        assert code == 0
+        assert "--detect-after" in capsys.readouterr().err
+
     def test_bad_crash_spec_is_a_clean_error(self, capsys):
         code = main(
             ["simulate", "--algorithm", "sharded-mtf:shards=4",

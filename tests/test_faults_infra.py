@@ -35,6 +35,10 @@ class TestShardCrash:
         assert len(schedule) == 3
         assert len({shard for _, shard in schedule}) == 3
 
+    def test_single_shard_schedules_nothing(self):
+        """nshards=1 has no survivor to keep, so no crash fires."""
+        assert ShardCrash(count=3, window=100).schedule(1, seed=1) == []
+
     def test_shards_distinct(self):
         schedule = ShardCrash(count=3, window=100).schedule(8, seed=5)
         shards = [shard for _, shard in schedule]

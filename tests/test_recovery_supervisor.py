@@ -163,6 +163,16 @@ class TestLadderFallback:
         assert supervised.events[0].mode == "cold"
         assert not supervised.events[0].checkpoint_used
 
+    def test_single_shard_sticky_falls_back_to_cold(self):
+        """With one shard there is no survivor to re-steer to: the
+        ladder must land on cold rebuild, not crash mid-recovery."""
+        supervised = build("sharded-mtf:shards=1,steer=sticky")
+        tuples = populate(supervised, n=8)
+        supervised.crash_shard(0)
+        for tup in tuples:
+            assert supervised.lookup(tup, PacketKind.DATA).found
+        assert [e.mode for e in supervised.events] == ["cold"]
+
     def test_corrupt_checkpoint_detected_and_ladder_falls_through(self):
         fault = SnapshotCorruption(1.0, bits=4)
         fault.bind_seed(3)
@@ -179,6 +189,55 @@ class TestLadderFallback:
         assert event.mode == "cold"
         assert event.checkpoint_corrupt
         assert supervised.checkpoint_corruptions_detected == 1
+
+
+class TestResteerDeltaConsistency:
+    """A re-steer rewrites flow homes behind the survivors'
+    checkpoints; their delta logs must record the adoption or a later
+    warm recovery of a survivor silently loses the re-pinned flows."""
+
+    def test_survivor_warm_recovery_keeps_repinned_flows(self):
+        supervised = build("sharded-mtf:shards=4,steer=sticky")
+        tuples = populate(supervised)
+        supervised.checkpoint()
+        victim = shard_of(supervised, tuples[0])
+        orphans = [t for t in tuples if shard_of(supervised, t) == victim]
+        # The victim's blob is lost (per-shard storage rot), forcing
+        # the re-steer rung; the survivors' checkpoints stay good.
+        supervised._checkpoints[victim] = None
+        supervised.crash_shard(victim)
+        assert supervised.lookup(tuples[0], PacketKind.DATA).found
+        assert supervised.events[0].mode == "resteer"
+        # Crash the survivor that adopted an orphan: its warm restore
+        # is the pre-re-steer checkpoint plus its delta, which must
+        # replay the adoption for the flow to still exist.
+        adopter = shard_of(supervised, orphans[0])
+        supervised.crash_shard(adopter)
+        assert supervised.lookup(orphans[0], PacketKind.DATA).found
+        assert [e.mode for e in supervised.events] == ["resteer", "warm"]
+        for tup in tuples:
+            assert supervised.lookup(tup, PacketKind.ACK).found
+        # And the structural remove happens at the new home (no
+        # KeyError from a shard that never held the flow).
+        supervised.remove(orphans[0])
+        assert orphans[0] not in supervised
+
+    def test_lookup_delta_follows_resteered_flow(self):
+        """The lookup that *triggers* a re-steer recovery is served by
+        the survivor and must be logged to the survivor's delta, not
+        to the old (now empty) home shard's."""
+        supervised = build("sharded-mtf:shards=4,steer=sticky")
+        tuples = populate(supervised)
+        victim = shard_of(supervised, tuples[0])
+        supervised.crash_shard(victim)
+        assert supervised.lookup(tuples[0], PacketKind.DATA).found
+        new_home = shard_of(supervised, tuples[0])
+        assert new_home != victim
+        assert (
+            ("lookup", tuples[0], PacketKind.DATA)
+            in supervised._delta[new_home]
+        )
+        assert supervised._delta[victim] == []
 
 
 class TestDetectionAndStalls:
