@@ -11,6 +11,9 @@ Subcommands::
     fault-matrix          robustness campaign: algorithms x faults x seeds
     smp-sweep             sharded demux: shard count x steering x batch size
     bench-gate            fast-path throughput sweep + cross-PR regression gate
+    serve                 live asyncio front end serving real TCP clients
+    record-info           validate a recorded capture and print its header
+    canary                A/B a candidate algorithm against the incumbent
     leak-audit            churn + SYN-flood memory-bounds audit of the fast path
     hash-balance          chain-balance comparison of the hash functions
     pcap                  summarize a capture written by the simulator
@@ -424,6 +427,166 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="fractional packets/sec drop that fails the gate",
+    )
+    gate.add_argument(
+        "--canary",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "canary mode: A/B this candidate spec against --incumbent"
+            " on mirrored recorded traffic instead of the sweep"
+            " (exit 1 = blocked)"
+        ),
+    )
+    gate.add_argument(
+        "--incumbent",
+        metavar="SPEC",
+        default="fast-sequent:h=19",
+        help="incumbent spec the canary must beat (canary mode only)",
+    )
+    gate.add_argument(
+        "--capture",
+        metavar="PATH",
+        default=None,
+        help=(
+            "recorded capture to replay in canary mode (e.g. from"
+            " 'serve --record'); default: a synthetic TPC/A stream"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "bind a real TCP socket, route every arriving frame through"
+            " a demux algorithm, and drive it with a seeded loop-back"
+            " client swarm"
+        ),
+    )
+    serve.add_argument(
+        "--algorithm",
+        default="fast-sequent:h=19",
+        help=f"spec, e.g. {', '.join(available_algorithms())}",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=10, help="loop-back swarm size"
+    )
+    serve.add_argument(
+        "--frames", type=int, default=20, help="frames per client"
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="max clients connected at once (default: all)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="shed connections beyond this many live sessions",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain before cancelling handlers",
+    )
+    serve.add_argument(
+        "--record",
+        metavar="PATH",
+        default=None,
+        help="write the served traffic as a recorded-stream capture",
+    )
+    serve.add_argument(
+        "--record-order",
+        choices=("canonical", "arrival"),
+        default="canonical",
+        help=(
+            "capture ordering: canonical replays byte-identically"
+            " across runs; arrival keeps true interleaving"
+        ),
+    )
+    serve.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics, /snapshot.json and /healthz over HTTP"
+            " during the run (0 picks a free port)"
+        ),
+    )
+
+    record_info = sub.add_parser(
+        "record-info",
+        help="validate a recorded capture and print its header",
+    )
+    record_info.add_argument("file", help="path to a capture .json")
+
+    canary = sub.add_parser(
+        "canary",
+        help=(
+            "A/B a candidate algorithm against the incumbent on one"
+            " capture; exit 1 blocks the promotion"
+        ),
+    )
+    canary.add_argument("candidate", help="candidate algorithm spec")
+    canary.add_argument(
+        "--incumbent",
+        metavar="SPEC",
+        default="fast-sequent:h=19",
+        help="incumbent spec the candidate must beat",
+    )
+    canary.add_argument(
+        "--capture",
+        metavar="PATH",
+        default=None,
+        help=(
+            "recorded capture to replay (e.g. from 'serve --record');"
+            " default: a synthetic TPC/A stream"
+        ),
+    )
+    canary.add_argument("--seed", type=int, default=7)
+    canary.add_argument(
+        "--users",
+        type=int,
+        default=300,
+        help="connections in the synthetic fallback stream",
+    )
+    canary.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="synthetic fallback stream's simulated seconds",
+    )
+    canary.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed replays per side (best-of-R)",
+    )
+    canary.add_argument(
+        "--pps-margin",
+        type=float,
+        default=0.05,
+        help="fractional packets/sec shortfall tolerated",
+    )
+    canary.add_argument(
+        "--examined-margin",
+        type=float,
+        default=0.10,
+        help="fractional p99-examined excess tolerated",
+    )
+    canary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the verdict as JSON instead of text",
     )
 
     leak = sub.add_parser(
@@ -1131,10 +1294,169 @@ def _cmd_smp_sweep(args) -> int:
     return 0 if result.ok else 1
 
 
+def _canary_stream(capture, *, users, duration, seed, quick=False):
+    """The capture behind a canary run: a recorded file, or synthetic
+    TPC/A traffic when none is given (``quick`` shrinks the fallback)."""
+    from .workload.record import load_stream, record_tpca_stream
+
+    if capture is not None:
+        return load_stream(capture)
+    if quick:
+        users, duration = min(users, 200), min(duration, 10.0)
+    return record_tpca_stream(n_users=users, duration=duration, seed=seed)
+
+
+def _run_canary_cli(
+    *,
+    candidate,
+    incumbent,
+    capture,
+    users,
+    duration,
+    seed,
+    repeats,
+    pps_margin,
+    examined_margin,
+    as_json=False,
+    quick=False,
+) -> int:
+    import json as json_module
+
+    from .fastpath.gate import CanaryConfig, run_canary
+    from .workload.record import CaptureFormatError
+
+    try:
+        stream = _canary_stream(
+            capture, users=users, duration=duration, seed=seed,
+            quick=quick,
+        )
+    except (CaptureFormatError, OSError) as exc:
+        print(f"error: --capture: {exc}", file=sys.stderr)
+        return 2
+    try:
+        config = CanaryConfig(
+            candidate=candidate,
+            incumbent=incumbent,
+            repeats=repeats,
+            pps_margin=pps_margin,
+            examined_margin=examined_margin,
+        )
+        report = run_canary(
+            stream,
+            config,
+            progress=lambda msg: print(f"  ... {msg}", file=sys.stderr),
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json_module.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.promoted else 1
+
+
+def _cmd_canary(args) -> int:
+    return _run_canary_cli(
+        candidate=args.candidate,
+        incumbent=args.incumbent,
+        capture=args.capture,
+        users=args.users,
+        duration=args.duration,
+        seed=args.seed,
+        repeats=args.repeats,
+        pps_margin=args.pps_margin,
+        examined_margin=args.examined_margin,
+        as_json=args.json,
+    )
+
+
+def _cmd_record_info(args) -> int:
+    from .workload.record import CaptureFormatError, stream_info
+
+    try:
+        info = stream_info(args.file)
+    except (CaptureFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"  {key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import LoadConfig, ServeConfig, run_self_drive
+
+    try:
+        serve_config = ServeConfig(
+            algorithm=args.algorithm,
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            drain_timeout=args.drain_timeout,
+            record_order=args.record_order,
+        )
+        load = LoadConfig(
+            clients=args.clients,
+            frames=args.frames,
+            seed=args.seed,
+            concurrency=args.concurrency,
+        )
+        algorithm = make_algorithm(args.algorithm)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def on_telemetry(telemetry) -> None:
+        print(
+            f"  telemetry: {telemetry.url('/metrics')}"
+            " (/snapshot.json, /healthz)",
+            file=sys.stderr,
+        )
+
+    report = asyncio.run(
+        run_self_drive(
+            serve_config,
+            load,
+            record_path=args.record,
+            telemetry_port=args.serve_metrics,
+            algorithm=algorithm,
+            on_telemetry=(
+                on_telemetry if args.serve_metrics is not None else None
+            ),
+        )
+    )
+    print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_gate(args) -> int:
     import dataclasses
 
     from .fastpath.gate import GateConfig, QUICK_CONFIG, run_gate
+
+    if args.canary is not None:
+        return _run_canary_cli(
+            candidate=args.canary,
+            incumbent=args.incumbent,
+            capture=args.capture,
+            users=300,
+            duration=30.0,
+            seed=args.seed if args.seed is not None else 7,
+            repeats=args.repeats if args.repeats is not None else 3,
+            pps_margin=0.05,
+            examined_margin=0.10,
+            quick=args.quick,
+        )
+    if args.capture is not None:
+        print(
+            "error: --capture only applies to canary mode (--canary)",
+            file=sys.stderr,
+        )
+        return 2
 
     config = QUICK_CONFIG if args.quick else GateConfig()
     overrides = {}
@@ -1413,6 +1735,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fault-matrix": lambda: _cmd_fault_matrix(args),
         "smp-sweep": lambda: _cmd_smp_sweep(args),
         "bench-gate": lambda: _cmd_bench_gate(args),
+        "serve": lambda: _cmd_serve(args),
+        "record-info": lambda: _cmd_record_info(args),
+        "canary": lambda: _cmd_canary(args),
         "leak-audit": lambda: _cmd_leak_audit(args),
         "hash-balance": lambda: _cmd_hash_balance(args),
         "pcap": lambda: _cmd_pcap(args),

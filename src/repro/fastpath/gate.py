@@ -35,11 +35,14 @@ from ..core.registry import make_algorithm
 from ..workload.record import RecordedStream, record_tpca_stream
 
 __all__ = [
+    "CanaryConfig",
+    "CanaryReport",
     "DEFAULT_PAIRS",
     "GateConfig",
     "GateReport",
     "Measurement",
     "measure_replay",
+    "run_canary",
     "run_gate",
     "QUICK_CONFIG",
 ]
@@ -100,6 +103,9 @@ class Measurement:
     best_seconds: float
     packets_per_sec: float
     mean_examined: float
+    #: 99th percentile of PCBs examined per lookup -- deterministic
+    #: (unlike the clock), so the canary's second axis.
+    p99_examined: float = 0.0
 
     def key(self, config: GateConfig) -> str:
         """Baseline-matching key: spec + workload parameters."""
@@ -116,6 +122,7 @@ class Measurement:
             "best_seconds": round(self.best_seconds, 6),
             "packets_per_sec": round(self.packets_per_sec, 1),
             "mean_examined": round(self.mean_examined, 4),
+            "p99_examined": round(self.p99_examined, 1),
         }
 
 
@@ -139,6 +146,7 @@ def measure_replay(
     ]
     best = float("inf")
     mean_examined = 0.0
+    p99_examined = 0.0
     for _ in range(repeats):
         algorithm = make_algorithm(spec)
         for tup in stream.tuples:
@@ -150,6 +158,9 @@ def measure_replay(
         elapsed = time.perf_counter() - start_time
         best = min(best, elapsed)
         mean_examined = algorithm.stats.mean_examined
+        p99_examined = float(
+            algorithm.stats.combined().percentile(0.99)
+        )
     return Measurement(
         algorithm=spec,
         n_users=stream.n_users,
@@ -157,6 +168,7 @@ def measure_replay(
         best_seconds=best,
         packets_per_sec=len(packets) / best if best > 0 else 0.0,
         mean_examined=mean_examined,
+        p99_examined=p99_examined,
     )
 
 
@@ -328,4 +340,206 @@ def run_gate(
         entry=entry,
         regressions=regressions,
         trajectory_path=trajectory_path,
+    )
+
+
+# -- the canary gate ----------------------------------------------------
+#
+# ``bench-gate --canary`` answers a different question from the sweep:
+# not "did the code get slower since last run" but "is this *candidate*
+# algorithm safe to promote over the incumbent, on this traffic".  Both
+# specs replay the same capture (mirrored traffic: common packets, down
+# to the byte), and promotion requires the candidate to hold three
+# lines at once:
+#
+# 1. **decisions** -- found/not-found per packet must match the
+#    incumbent exactly; an algorithm that resolves different PCBs is
+#    broken, not slow, and no throughput number redeems it;
+# 2. **throughput** -- candidate packets/sec within ``pps_margin`` of
+#    the incumbent (best-of-R timing, the noisy axis);
+# 3. **p99 examined** -- within ``examined_margin`` of the incumbent
+#    (plus a 1-PCB absolute grace for tiny tails), the deterministic
+#    axis from the paper's own figure of merit.
+#
+# Live captures recorded by ``repro serve`` are the intended diet --
+# this is how a structure earns its promotion on *real* traffic -- but
+# any capture file (or a synthetic stream) works.
+
+@dataclasses.dataclass(frozen=True)
+class CanaryConfig:
+    """Parameters of one canary comparison."""
+
+    candidate: str
+    incumbent: str = "fast-sequent:h=19"
+    repeats: int = 3
+    chunk: int = 256
+    #: Fractional packets/sec shortfall the candidate may show.
+    pps_margin: float = 0.05
+    #: Fractional p99-examined excess the candidate may show.
+    examined_margin: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.candidate:
+            raise ValueError("candidate spec must be non-empty")
+        if not self.incumbent:
+            raise ValueError("incumbent spec must be non-empty")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if not 0.0 <= self.pps_margin < 1.0:
+            raise ValueError(
+                f"pps_margin must be in [0, 1), got {self.pps_margin}"
+            )
+        if self.examined_margin < 0.0:
+            raise ValueError(
+                f"examined_margin must be >= 0,"
+                f" got {self.examined_margin}"
+            )
+
+
+def _found_trace(spec: str, stream: RecordedStream) -> List[bool]:
+    """Per-packet found/not-found through ``spec`` (deterministic)."""
+    algorithm = make_algorithm(spec)
+    for tup in stream.tuples:
+        algorithm.insert(PCB(tup))
+    return [
+        result.found
+        for result in algorithm.lookup_batch(list(stream.packets))
+    ]
+
+
+@dataclasses.dataclass
+class CanaryReport:
+    """Verdict of one canary comparison."""
+
+    config: CanaryConfig
+    incumbent: Measurement
+    candidate: Measurement
+    decisions_match: bool
+    blockers: List[str]
+    capture: Dict[str, object]
+
+    @property
+    def promoted(self) -> bool:
+        return not self.blockers
+
+    @property
+    def pps_ratio(self) -> float:
+        return self.candidate.packets_per_sec / max(
+            self.incumbent.packets_per_sec, 1e-9
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "verdict": "promote" if self.promoted else "block",
+            "incumbent": self.incumbent.as_dict(),
+            "candidate": self.candidate.as_dict(),
+            "decisions_match": self.decisions_match,
+            "pps_ratio": round(self.pps_ratio, 4),
+            "blockers": list(self.blockers),
+            "capture": dict(self.capture),
+            "margins": {
+                "pps": self.config.pps_margin,
+                "examined": self.config.examined_margin,
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"canary: {self.config.candidate}"
+            f" vs incumbent {self.config.incumbent}",
+            f"  capture: {self.capture.get('kind', '?')},"
+            f" {self.capture.get('packet_count', '?')} packets,"
+            f" {self.capture.get('connections', '?')} connections"
+            f" (digest {str(self.capture.get('digest', ''))[:12]}...)",
+            f"  {'':<12} {'pkts/sec':>12} {'PCBs/pkt':>9} {'p99':>6}",
+        ]
+        for label, m in (
+            ("incumbent", self.incumbent),
+            ("candidate", self.candidate),
+        ):
+            lines.append(
+                f"  {label:<12} {m.packets_per_sec:>12,.0f}"
+                f" {m.mean_examined:>9.2f} {m.p99_examined:>6.0f}"
+            )
+        lines.append(
+            f"  throughput ratio: {self.pps_ratio:.2f}x"
+            f" (floor {1.0 - self.config.pps_margin:.2f}x),"
+            f" decisions {'match' if self.decisions_match else 'DIFFER'}"
+        )
+        if self.promoted:
+            lines.append("  verdict: PROMOTE")
+        else:
+            lines.append("  verdict: BLOCK")
+            lines.extend(f"    - {reason}" for reason in self.blockers)
+        return "\n".join(lines)
+
+
+def run_canary(
+    stream: RecordedStream,
+    config: CanaryConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CanaryReport:
+    """A/B the candidate against the incumbent on one capture."""
+    from ..workload.record import stream_digest
+
+    say = progress if progress is not None else (lambda message: None)
+    say(f"replaying capture through incumbent {config.incumbent}")
+    incumbent = measure_replay(
+        config.incumbent, stream,
+        repeats=config.repeats, chunk=config.chunk,
+    )
+    say(f"replaying capture through candidate {config.candidate}")
+    candidate = measure_replay(
+        config.candidate, stream,
+        repeats=config.repeats, chunk=config.chunk,
+    )
+    say("comparing decision traces")
+    decisions_match = _found_trace(
+        config.incumbent, stream
+    ) == _found_trace(config.candidate, stream)
+
+    blockers: List[str] = []
+    if not decisions_match:
+        blockers.append(
+            "decision mismatch: candidate resolves different PCBs"
+            " than the incumbent on this capture"
+        )
+    pps_floor = (1.0 - config.pps_margin) * incumbent.packets_per_sec
+    if candidate.packets_per_sec < pps_floor:
+        shortfall = 1.0 - candidate.packets_per_sec / max(
+            incumbent.packets_per_sec, 1e-9
+        )
+        blockers.append(
+            f"throughput: {candidate.packets_per_sec:,.0f} pkts/sec is"
+            f" {shortfall:.1%} below incumbent"
+            f" {incumbent.packets_per_sec:,.0f}"
+            f" (margin {config.pps_margin:.0%})"
+        )
+    examined_ceiling = max(
+        incumbent.p99_examined * (1.0 + config.examined_margin),
+        incumbent.p99_examined + 1.0,
+    )
+    if candidate.p99_examined > examined_ceiling:
+        blockers.append(
+            f"p99 examined: {candidate.p99_examined:.0f} PCBs exceeds"
+            f" ceiling {examined_ceiling:.1f}"
+            f" (incumbent {incumbent.p99_examined:.0f},"
+            f" margin {config.examined_margin:.0%})"
+        )
+
+    return CanaryReport(
+        config=config,
+        incumbent=incumbent,
+        candidate=candidate,
+        decisions_match=decisions_match,
+        blockers=blockers,
+        capture={
+            "kind": stream.kind,
+            "seed": stream.seed,
+            "connections": len(stream.tuples),
+            "packet_count": len(stream.packets),
+            "duration": stream.duration,
+            "digest": stream_digest(stream),
+        },
     )

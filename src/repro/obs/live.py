@@ -58,6 +58,9 @@ class TelemetryServer:
         self.histogram_buckets = tuple(histogram_buckets)
         self.extra_snapshot = extra_snapshot
         self.clock = clock
+        # Named snapshot sections (register_section); ordered by
+        # registration so /snapshot.json output is stable.
+        self._sections: Dict[str, Callable[[], Dict[str, Any]]] = {}
         #: Publishers must hold this around registry writes; the
         #: handler holds it around rendering.
         self.lock = threading.Lock()
@@ -116,6 +119,43 @@ class TelemetryServer:
     def url(self, path: str = "/metrics") -> str:
         return f"http://{self.host}:{self.port}{path}"
 
+    # -- snapshot sections ---------------------------------------------
+
+    #: Section names the server itself produces; never registrable.
+    RESERVED_SECTIONS = ("metrics", "health", "run")
+
+    def register_section(
+        self, name: str, provider: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Add a named section to ``/snapshot.json``.
+
+        ``provider()`` is called per render, under :attr:`lock` --
+        the same publisher-lock contract registry writers follow, so a
+        section provider may read state that publishers mutate.  Names
+        must be unique and must not shadow the built-in sections
+        (``metrics``, ``health``, ``run``).  Hosts use this to expose
+        run-specific state -- e.g. the serving front end's socket and
+        session stats -- without the server growing a field per
+        subsystem.
+        """
+        if name in self.RESERVED_SECTIONS:
+            raise ValueError(
+                f"section name {name!r} is reserved"
+                f" (reserved: {list(self.RESERVED_SECTIONS)})"
+            )
+        if name in self._sections:
+            raise ValueError(f"section {name!r} already registered")
+        if not callable(provider):
+            raise TypeError(
+                f"section provider must be callable,"
+                f" got {type(provider).__name__}"
+            )
+        self._sections[name] = provider
+
+    def unregister_section(self, name: str) -> None:
+        """Remove a registered section; unknown names raise KeyError."""
+        del self._sections[name]
+
     # -- rendering (all under self.lock) -------------------------------
 
     def _now(self) -> float:
@@ -136,6 +176,8 @@ class TelemetryServer:
             snapshot["health"] = report.to_dict()
         if self.extra_snapshot is not None:
             snapshot["run"] = self.extra_snapshot()
+        for name, provider in self._sections.items():
+            snapshot[name] = provider()
         return snapshot
 
     def render_health(self) -> Tuple[int, Dict[str, Any]]:

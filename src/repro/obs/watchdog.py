@@ -325,6 +325,35 @@ def _shard_imbalance(snapshot: Dict[str, Any]) -> Optional[float]:
     return gauge_max(snapshot, "smp_imbalance_factor")
 
 
+def _serve_error_rate(snapshot: Dict[str, Any]) -> Any:
+    """Serving-plane errors per accepted connection.
+
+    Covers handler failures, session errors, and protocol errors (the
+    ``serve_totals`` gauge folds them); absent outside serving runs,
+    so simulations skip the rule.
+    """
+    errors = gauge_max(snapshot, "serve_totals", what="errors")
+    accepted = gauge_max(snapshot, "serve_totals", what="accepted")
+    if errors is None or not accepted:
+        return None
+    return errors / accepted, f"{errors:g} errors / {accepted:g} accepted"
+
+
+def _serve_rejected_rate(snapshot: Dict[str, Any]) -> Any:
+    """Connections shed (capacity/duplicate) per connection attempt."""
+    rejected = gauge_max(snapshot, "serve_totals", what="rejected")
+    accepted = gauge_max(snapshot, "serve_totals", what="accepted")
+    if rejected is None or accepted is None:
+        return None
+    attempts = accepted + rejected
+    if not attempts:
+        return None
+    return (
+        rejected / attempts,
+        f"{rejected:g} shed / {attempts:g} attempts",
+    )
+
+
 def _retained_growth(snapshot: Dict[str, Any]) -> Any:
     """Max (interned keys - live PCBs) over matching label groups."""
     samples = _samples(snapshot, "lifecycle_retention", "gauge")
@@ -363,6 +392,10 @@ _SLO_KEYS = {
     "shard-imbalance": "max_imbalance",
     "retained": "retention_grace",
     "retained-entries": "retention_grace",
+    "serve-error": "max_serve_error_rate",
+    "serve-error-rate": "max_serve_error_rate",
+    "serve-rejected": "max_serve_rejected_rate",
+    "serve-rejected-rate": "max_serve_rejected_rate",
 }
 
 
@@ -412,8 +445,15 @@ def default_rules(
     max_drop_rate: float = 0.05,
     max_imbalance: float = 2.0,
     retention_grace: float = 0.0,
+    max_serve_error_rate: float = 0.05,
+    max_serve_rejected_rate: float = 0.5,
 ) -> List[SLORule]:
-    """The four budgets the tentpole names, with tunable thresholds."""
+    """The standard budgets, with tunable thresholds.
+
+    The two ``serve-*`` rules only evaluate against snapshots the
+    live-serving front end publishes (``serve_totals`` gauges);
+    simulation snapshots skip them, like every absent-metric rule.
+    """
     return [
         SLORule(
             name="p99-examined",
@@ -439,5 +479,18 @@ def default_rules(
             description="interned keys outliving their PCBs",
             threshold=retention_grace,
             value_fn=_retained_growth,
+        ),
+        SLORule(
+            name="serve-error-rate",
+            description="serving-plane errors per accepted connection",
+            threshold=max_serve_error_rate,
+            value_fn=_serve_error_rate,
+        ),
+        SLORule(
+            name="serve-rejected-rate",
+            description="connections shed per connection attempt",
+            threshold=max_serve_rejected_rate,
+            value_fn=_serve_rejected_rate,
+            severity="warning",
         ),
     ]

@@ -1,0 +1,88 @@
+"""The wall-clock <-> virtual-clock adapter.
+
+Every consumer below the serving layer -- tracers, span collectors,
+sketch publishers, the telemetry server's ``time`` field -- takes a
+``clock`` callable and expects *virtual* seconds: monotone,
+starting near zero, and free of the pathologies real clocks have
+(NTP steps, laptop suspends, container freezes).  The simulations get
+this for free from the event loop; the serving front end has to
+manufacture it from ``time.monotonic()``.
+
+:class:`WallClockAdapter` is that manufacture.  It integrates observed
+wall-clock deltas into a virtual timeline with two guarantees:
+
+* **monotonicity** -- a backwards wall step contributes zero, never a
+  negative delta (``backward_steps`` counts the occurrences);
+* **drift clamping** -- a single observed delta larger than
+  ``max_step`` (a suspend, a stopped container) is clamped to
+  ``max_step``, so one 2-hour lid-close does not teleport the virtual
+  clock past every timeout in the system (``clamped_seconds``
+  accumulates what was discarded).
+
+The adapter is also the bridge *into* recorded artifacts: a live
+capture's ``duration`` is the adapter's elapsed virtual time, which is
+what lets wall-recorded streams sit beside virtual-time synthetic
+streams in the same file format.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["WallClockAdapter"]
+
+
+class WallClockAdapter:
+    """Integrates a wall clock into a monotone virtual timeline.
+
+    ``wall`` defaults to :func:`time.monotonic`; tests inject a fake.
+    The first observation anchors the origin: ``now()`` returns 0.0
+    there, and advances by clamped deltas afterwards.
+    """
+
+    def __init__(
+        self,
+        *,
+        wall: Callable[[], float] = time.monotonic,
+        max_step: float = 60.0,
+    ):
+        if max_step <= 0:
+            raise ValueError(f"max_step must be > 0, got {max_step:g}")
+        self._wall = wall
+        self.max_step = max_step
+        self._virtual = 0.0
+        self._last_wall: Optional[float] = None
+        #: Wall seconds discarded by clamping (suspends, freezes).
+        self.clamped_seconds = 0.0
+        #: Observations where the wall clock ran backwards.
+        self.backward_steps = 0
+
+    def now(self) -> float:
+        """Current virtual time; observes (and advances by) the wall."""
+        wall = self._wall()
+        if self._last_wall is None:
+            self._last_wall = wall
+            return self._virtual
+        delta = wall - self._last_wall
+        self._last_wall = wall
+        if delta < 0.0:
+            self.backward_steps += 1
+            return self._virtual
+        if delta > self.max_step:
+            self.clamped_seconds += delta - self.max_step
+            delta = self.max_step
+        self._virtual += delta
+        return self._virtual
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual seconds accumulated so far (without re-observing)."""
+        return self._virtual
+
+    def __repr__(self) -> str:
+        return (
+            f"<WallClockAdapter virtual={self._virtual:.6f}s"
+            f" clamped={self.clamped_seconds:.3f}s"
+            f" backward={self.backward_steps}>"
+        )

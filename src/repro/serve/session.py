@@ -1,0 +1,177 @@
+"""The session table: one live socket = one demux connection.
+
+The serving front end's contract with the demux engine is exactly the
+simulations': a connection is *installed* (``insert``) when it is
+accepted, every inbound frame is a ``lookup`` under its four-tuple,
+and teardown is a ``remove``.  :class:`SessionTable` owns that
+mapping -- socket lifetime to PCB lifetime -- plus the accounting the
+telemetry plane exports (active/peak sessions, frames and bytes by
+direction, rejects and errors).
+
+The table never touches the event loop; it is plain bookkeeping the
+server calls from its connection handlers, so it is directly unit
+testable without sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from ..core.base import DemuxAlgorithm, DuplicateConnectionError
+from ..core.pcb import PCB
+from ..packet.addresses import FourTuple
+
+__all__ = ["Session", "SessionTable", "SessionRejected"]
+
+
+class SessionRejected(Exception):
+    """A new connection was refused (capacity or duplicate key)."""
+
+
+@dataclasses.dataclass
+class Session:
+    """One accepted connection's identity and counters."""
+
+    four_tuple: FourTuple
+    #: Stable client id from the HELLO handshake; ``None`` for raw
+    #: (non-handshaken) peers keyed by their socket address.
+    client_id: Optional[int]
+    pcb: PCB
+    frames_in: int = 0
+    frames_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    closed: bool = False
+
+    @property
+    def handshaken(self) -> bool:
+        return self.client_id is not None
+
+
+class SessionTable:
+    """Maps live connections onto an algorithm's PCB population."""
+
+    def __init__(
+        self,
+        algorithm: DemuxAlgorithm,
+        *,
+        max_sessions: Optional[int] = None,
+    ):
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        self.algorithm = algorithm
+        self.max_sessions = max_sessions
+        self._sessions: Dict[FourTuple, Session] = {}
+        # Cumulative facts (survive session teardown).
+        self.accepted = 0
+        self.rejected_capacity = 0
+        self.rejected_duplicate = 0
+        self.closed = 0
+        self.errors = 0
+        self.peak_active = 0
+        self.total_frames_in = 0
+        self.total_frames_out = 0
+        self.total_bytes_in = 0
+        self.total_bytes_out = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(
+        self, tup: FourTuple, *, client_id: Optional[int] = None
+    ) -> Session:
+        """Install a connection; raises :class:`SessionRejected`.
+
+        Capacity rejects are silent sheds (the SYN-flood discipline:
+        the peer sees a close, the table stays bounded); duplicate
+        keys mean a client reused a live identity, which is a protocol
+        violation, not a capacity problem -- counted separately.
+        """
+        if (
+            self.max_sessions is not None
+            and len(self._sessions) >= self.max_sessions
+        ):
+            self.rejected_capacity += 1
+            raise SessionRejected(
+                f"at capacity ({self.max_sessions} sessions)"
+            )
+        if tup in self._sessions:
+            self.rejected_duplicate += 1
+            raise SessionRejected(f"duplicate session key {tup}")
+        pcb = PCB(tup)
+        try:
+            self.algorithm.insert(pcb)
+        except DuplicateConnectionError:
+            # The structure knows a connection the table does not --
+            # e.g. a pre-installed synthetic population.  Same verdict.
+            self.rejected_duplicate += 1
+            raise SessionRejected(
+                f"four-tuple already installed: {tup}"
+            ) from None
+        session = Session(four_tuple=tup, client_id=client_id, pcb=pcb)
+        self._sessions[tup] = session
+        self.accepted += 1
+        self.peak_active = max(self.peak_active, len(self._sessions))
+        return session
+
+    def close(self, session: Session) -> None:
+        """Tear down a connection; removing is idempotent per session."""
+        if session.closed:
+            return
+        session.closed = True
+        self._sessions.pop(session.four_tuple, None)
+        self.closed += 1
+        try:
+            self.algorithm.remove(session.four_tuple)
+        except KeyError:
+            # Already gone (e.g. reaped by a lifecycle policy between
+            # the last frame and the close) -- teardown still counts.
+            pass
+
+    # -- accounting ----------------------------------------------------
+
+    def note_inbound(self, session: Session, nbytes: int) -> None:
+        session.frames_in += 1
+        session.bytes_in += nbytes
+        self.total_frames_in += 1
+        self.total_bytes_in += nbytes
+
+    def note_outbound(self, session: Session, nbytes: int) -> None:
+        session.frames_out += 1
+        session.bytes_out += nbytes
+        self.total_frames_out += 1
+        self.total_bytes_out += nbytes
+
+    def note_error(self) -> None:
+        self.errors += 1
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        return len(self._sessions)
+
+    def get(self, tup: FourTuple) -> Optional[Session]:
+        return self._sessions.get(tup)
+
+    def __iter__(self):
+        return iter(list(self._sessions.values()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready stats: the ``serve`` telemetry section."""
+        return {
+            "active_sessions": self.active,
+            "peak_sessions": self.peak_active,
+            "accepted": self.accepted,
+            "rejected_capacity": self.rejected_capacity,
+            "rejected_duplicate": self.rejected_duplicate,
+            "closed": self.closed,
+            "errors": self.errors,
+            "frames_in": self.total_frames_in,
+            "frames_out": self.total_frames_out,
+            "bytes_in": self.total_bytes_in,
+            "bytes_out": self.total_bytes_out,
+            "max_sessions": self.max_sessions,
+        }

@@ -7,21 +7,60 @@ to the individual packet.  :class:`PacketRecorder` is a demux algorithm
 that stores nothing but the arrival sequence; driving the ordinary
 TPC/A simulation with it yields a :class:`RecordedStream` that any
 configuration can replay deterministically, in any process.
+
+Streams also persist to disk as *capture files*
+(:func:`save_stream` / :func:`load_stream`): versioned JSON with a
+SHA-256 content digest over the tuples and packets.  The live-serving
+front end (:mod:`repro.serve`) records real socket traffic into the
+same format, so a capture's provenance -- synthetic TPC/A or a live
+run -- is carried in its header (``kind``) while every consumer
+(``bench-gate`` replays, golden decision traces, the canary gate)
+reads both identically.  ``load_stream`` re-verifies the digest and
+the structure, so a truncated or hand-edited capture is rejected at
+the door rather than silently replaying garbage.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Tuple
+import hashlib
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.base import DemuxAlgorithm, DuplicateConnectionError, LookupResult
 from ..core.pcb import PCB
 from ..core.stats import PacketKind
-from ..packet.addresses import FourTuple
+from ..packet.addresses import AddressError, FourTuple
 from .thinktime import ThinkTimeModel
 from .tpca import TPCAConfig, TPCADemuxSimulation
 
-__all__ = ["PacketRecorder", "RecordedStream", "record_tpca_stream"]
+__all__ = [
+    "CAPTURE_FORMAT",
+    "CAPTURE_VERSION",
+    "CaptureFormatError",
+    "PacketRecorder",
+    "RecordedStream",
+    "load_stream",
+    "record_tpca_stream",
+    "save_stream",
+    "stream_digest",
+    "stream_info",
+]
+
+#: Format tag every capture file carries; anything else is rejected.
+CAPTURE_FORMAT = "repro-recorded-stream"
+
+#: Current capture format version.  Readers accept exactly the versions
+#: in :data:`SUPPORTED_CAPTURE_VERSIONS`; bump this when the payload
+#: layout changes so old tools fail loudly on new files (and vice
+#: versa) instead of misreading them.
+CAPTURE_VERSION = 1
+
+SUPPORTED_CAPTURE_VERSIONS = (1,)
+
+
+class CaptureFormatError(ValueError):
+    """A capture file is malformed, unsupported, or corrupt."""
 
 
 class PacketRecorder(DemuxAlgorithm):
@@ -74,6 +113,10 @@ class RecordedStream:
     n_users: int
     duration: float
     seed: int
+    #: Provenance: ``"synthetic-tpca"`` for streams manufactured by
+    #: :func:`record_tpca_stream`, ``"live-capture"`` for traffic the
+    #: serving front end recorded off real sockets.
+    kind: str = "synthetic-tpca"
 
     def __len__(self) -> int:
         return len(self.packets)
@@ -117,3 +160,189 @@ def record_tpca_stream(
         duration=duration,
         seed=seed,
     )
+
+
+# -- the capture file format -------------------------------------------
+
+
+def _tuple_payload(tup: FourTuple) -> List[object]:
+    return [
+        str(tup.local_addr),
+        tup.local_port,
+        str(tup.remote_addr),
+        tup.remote_port,
+    ]
+
+
+def _stream_payload(stream: RecordedStream) -> Dict[str, Any]:
+    """The digestable body: tuples plus index-compressed packets."""
+    index = {tup: position for position, tup in enumerate(stream.tuples)}
+    packets = []
+    for tup, kind in stream.packets:
+        slot = index.get(tup)
+        if slot is None:
+            # A packet for a never-installed connection (live strays);
+            # carried inline so replay sees the same miss.
+            packets.append([_tuple_payload(tup), kind.value])
+        else:
+            packets.append([slot, kind.value])
+    return {
+        "tuples": [_tuple_payload(tup) for tup in stream.tuples],
+        "packets": packets,
+    }
+
+
+def stream_digest(stream: RecordedStream) -> str:
+    """SHA-256 over the canonical JSON body.
+
+    Two streams with equal digests replay identically through every
+    structure -- the byte-identity check the record/replay determinism
+    tests (and ``record-info``) rely on.
+    """
+    body = json.dumps(
+        _stream_payload(stream), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def save_stream(stream: RecordedStream, path: str) -> str:
+    """Write ``stream`` as a versioned capture file; returns the digest."""
+    digest = stream_digest(stream)
+    document = {
+        "format": CAPTURE_FORMAT,
+        "version": CAPTURE_VERSION,
+        "kind": stream.kind,
+        "seed": stream.seed,
+        "n_users": stream.n_users,
+        "duration": stream.duration,
+        "packet_count": len(stream.packets),
+        "digest": digest,
+    }
+    document.update(_stream_payload(stream))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ": "), indent=0)
+        handle.write("\n")
+    return digest
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CaptureFormatError(message)
+
+
+def _parse_capture(document: Any, *, source: str) -> RecordedStream:
+    _require(isinstance(document, dict), f"{source}: not a JSON object")
+    fmt = document.get("format")
+    _require(
+        fmt == CAPTURE_FORMAT,
+        f"{source}: format {fmt!r} is not {CAPTURE_FORMAT!r}",
+    )
+    version = document.get("version")
+    _require(
+        version in SUPPORTED_CAPTURE_VERSIONS,
+        f"{source}: unsupported capture version {version!r}"
+        f" (supported: {list(SUPPORTED_CAPTURE_VERSIONS)})",
+    )
+    for field, kind_ in (("seed", int), ("n_users", int),
+                         ("duration", (int, float)), ("kind", str),
+                         ("tuples", list), ("packets", list)):
+        _require(
+            isinstance(document.get(field), kind_)
+            and not isinstance(document.get(field), bool),
+            f"{source}: missing or malformed {field!r} field",
+        )
+
+    def parse_tuple(payload: object, what: str) -> FourTuple:
+        _require(
+            isinstance(payload, list) and len(payload) == 4,
+            f"{source}: malformed {what} {payload!r}",
+        )
+        try:
+            return FourTuple(payload[0], payload[1], payload[2], payload[3])
+        except (AddressError, TypeError) as exc:
+            raise CaptureFormatError(
+                f"{source}: bad {what} {payload!r}: {exc}"
+            ) from None
+
+    tuples = tuple(
+        parse_tuple(payload, "connection tuple")
+        for payload in document["tuples"]
+    )
+    kinds = {kind.value: kind for kind in PacketKind}
+    packets: List[Tuple[FourTuple, PacketKind]] = []
+    for entry in document["packets"]:
+        _require(
+            isinstance(entry, list) and len(entry) == 2,
+            f"{source}: malformed packet entry {entry!r}",
+        )
+        target, kind_text = entry
+        _require(
+            kind_text in kinds,
+            f"{source}: unknown packet kind {kind_text!r}",
+        )
+        if isinstance(target, int) and not isinstance(target, bool):
+            _require(
+                0 <= target < len(tuples),
+                f"{source}: packet references tuple {target},"
+                f" but only {len(tuples)} are installed",
+            )
+            tup = tuples[target]
+        else:
+            tup = parse_tuple(target, "stray packet tuple")
+        packets.append((tup, kinds[kind_text]))
+
+    stream = RecordedStream(
+        tuples=tuples,
+        packets=tuple(packets),
+        n_users=document["n_users"],
+        duration=float(document["duration"]),
+        seed=document["seed"],
+        kind=document["kind"],
+    )
+    declared_count = document.get("packet_count")
+    if declared_count is not None:
+        _require(
+            declared_count == len(packets),
+            f"{source}: header says {declared_count} packets,"
+            f" body has {len(packets)}",
+        )
+    declared_digest = document.get("digest")
+    if declared_digest is not None:
+        actual = stream_digest(stream)
+        _require(
+            actual == declared_digest,
+            f"{source}: content digest mismatch"
+            f" (header {declared_digest[:12]}..., body {actual[:12]}...)"
+            " -- the capture was truncated or edited",
+        )
+    return stream
+
+
+def load_stream(path: str) -> RecordedStream:
+    """Read and validate a capture file written by :func:`save_stream`.
+
+    Raises :class:`CaptureFormatError` for anything that is not a
+    well-formed, digest-clean capture of a supported version.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise CaptureFormatError(f"{path}: not valid JSON: {exc}") from None
+    return _parse_capture(document, source=path)
+
+
+def stream_info(path: str) -> Dict[str, Any]:
+    """Validated header facts of a capture (the ``record-info`` view)."""
+    stream = load_stream(path)
+    return {
+        "path": path,
+        "format": CAPTURE_FORMAT,
+        "version": CAPTURE_VERSION,
+        "kind": stream.kind,
+        "seed": stream.seed,
+        "digest": stream_digest(stream),
+        "connections": len(stream.tuples),
+        "packet_count": len(stream.packets),
+        "duration": stream.duration,
+    }

@@ -129,6 +129,75 @@ class TestTelemetryServer:
                 assert status == 200
 
 
+class TestSnapshotSections:
+    def test_registered_section_appears_in_snapshot(self, registry):
+        server = TelemetryServer(registry)
+        server.register_section(
+            "serve", lambda: {"active_sessions": 3, "accepted": 9}
+        )
+        with server:
+            _, _, body = _get(server.url("/snapshot.json"))
+        data = json.loads(body)
+        assert data["serve"] == {"active_sessions": 3, "accepted": 9}
+
+    def test_sections_render_under_the_publisher_lock(self, registry):
+        server = TelemetryServer(registry)
+        held = {}
+
+        def provider():
+            # The handler holds server.lock while rendering, so the
+            # provider must see it taken.
+            held["locked"] = server.lock.locked()
+            return {}
+
+        server.register_section("probe", provider)
+        with server:
+            _get(server.url("/snapshot.json"))
+        assert held["locked"] is True
+
+    def test_reserved_names_rejected(self, registry):
+        server = TelemetryServer(registry)
+        for name in ("metrics", "health", "run"):
+            with pytest.raises(ValueError, match="reserved"):
+                server.register_section(name, dict)
+
+    def test_duplicate_name_rejected(self, registry):
+        server = TelemetryServer(registry)
+        server.register_section("serve", dict)
+        with pytest.raises(ValueError, match="already"):
+            server.register_section("serve", dict)
+
+    def test_non_callable_rejected(self, registry):
+        server = TelemetryServer(registry)
+        with pytest.raises(TypeError):
+            server.register_section("serve", {"not": "callable"})
+
+    def test_unregister(self, registry):
+        server = TelemetryServer(registry)
+        server.register_section("serve", lambda: {"x": 1})
+        server.unregister_section("serve")
+        assert "serve" not in server.render_snapshot()
+        with pytest.raises(KeyError):
+            server.unregister_section("serve")
+
+    def test_snapshot_unchanged_when_no_sections_registered(self, registry):
+        """Regression: with no sections registered, /snapshot.json is
+        exactly the shape earlier consumers (obs-report, dashboards)
+        were built against -- metrics, health, run, nothing else."""
+        extra = {"algorithm": "bsd"}
+        server = TelemetryServer(
+            registry,
+            watchdog=HealthWatchdog(default_rules()),
+            extra_snapshot=lambda: dict(extra),
+        )
+        with server:
+            _, _, body = _get(server.url("/snapshot.json"))
+        data = json.loads(body)
+        assert set(data) == {"metrics", "health", "run"}
+        assert data["run"] == extra
+        assert data["metrics"]["packets_received_total"]["type"] == "counter"
+
+
 class TestMidRunScrape:
     def test_scrape_from_inside_a_simulation_event(self):
         """A real HTTP client scrapes /metrics and /healthz while the

@@ -214,7 +214,7 @@ class TestHealthWatchdog:
         data = report.to_dict()
         assert data["state"] == "ok"
         assert data["time"] == 12.5
-        assert len(data["rules"]) == 4
+        assert len(data["rules"]) == 6  # 4 sim budgets + 2 serve budgets
         assert {"name", "ok", "skipped", "value", "threshold"} <= set(
             data["rules"][0]
         )

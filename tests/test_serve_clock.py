@@ -1,0 +1,87 @@
+"""Tests for repro.serve.clock: the wall-to-virtual adapter's
+monotonicity and drift-clamping guarantees."""
+
+import pytest
+
+from repro.serve.clock import WallClockAdapter
+
+
+class FakeWall:
+    """A scriptable wall clock."""
+
+    def __init__(self, *readings):
+        self.readings = list(readings)
+
+    def __call__(self):
+        return self.readings.pop(0)
+
+    def push(self, *readings):
+        self.readings.extend(readings)
+
+
+class TestWallClockAdapter:
+    def test_first_observation_anchors_origin(self):
+        adapter = WallClockAdapter(wall=FakeWall(1000.0, 1000.5))
+        assert adapter.now() == 0.0
+        assert adapter.now() == pytest.approx(0.5)
+
+    def test_integrates_deltas(self):
+        adapter = WallClockAdapter(wall=FakeWall(0.0, 1.0, 1.25, 4.25))
+        adapter.now()
+        assert adapter.now() == pytest.approx(1.0)
+        assert adapter.now() == pytest.approx(1.25)
+        assert adapter.now() == pytest.approx(4.25)
+        assert adapter.elapsed == pytest.approx(4.25)
+
+    def test_monotone_under_backwards_wall_step(self):
+        adapter = WallClockAdapter(wall=FakeWall(10.0, 12.0, 9.0, 9.5))
+        adapter.now()
+        assert adapter.now() == pytest.approx(2.0)
+        # The wall stepped back 3s: virtual time holds, counted once.
+        assert adapter.now() == pytest.approx(2.0)
+        assert adapter.backward_steps == 1
+        # And resumes integrating from the new wall anchor.
+        assert adapter.now() == pytest.approx(2.5)
+
+    def test_clamps_oversized_steps(self):
+        adapter = WallClockAdapter(
+            wall=FakeWall(0.0, 7200.0, 7200.5), max_step=60.0
+        )
+        adapter.now()
+        # A 2-hour suspend advances virtual time by max_step only.
+        assert adapter.now() == pytest.approx(60.0)
+        assert adapter.clamped_seconds == pytest.approx(7140.0)
+        assert adapter.now() == pytest.approx(60.5)
+
+    def test_steps_at_the_clamp_boundary_pass_whole(self):
+        adapter = WallClockAdapter(wall=FakeWall(0.0, 60.0), max_step=60.0)
+        adapter.now()
+        assert adapter.now() == pytest.approx(60.0)
+        assert adapter.clamped_seconds == 0.0
+
+    def test_sequence_is_monotone_under_adversarial_wall(self):
+        readings = [0.0, 5.0, 2.0, 2.5, 500.0, 499.0, 501.0]
+        wall = FakeWall(*readings)
+        adapter = WallClockAdapter(wall=wall, max_step=10.0)
+        seen = [adapter.now() for _ in readings]
+        assert seen == sorted(seen)
+
+    def test_elapsed_does_not_observe(self):
+        wall = FakeWall(0.0, 1.0)
+        adapter = WallClockAdapter(wall=wall)
+        adapter.now()
+        before = adapter.elapsed
+        assert adapter.elapsed == before  # no reading consumed
+        assert len(wall.readings) == 1
+
+    def test_max_step_validated(self):
+        with pytest.raises(ValueError):
+            WallClockAdapter(max_step=0.0)
+        with pytest.raises(ValueError):
+            WallClockAdapter(max_step=-5.0)
+
+    def test_real_default_wall_is_usable(self):
+        adapter = WallClockAdapter()
+        first = adapter.now()
+        second = adapter.now()
+        assert 0.0 <= first <= second

@@ -1,0 +1,79 @@
+"""Tests for repro.serve.loadgen: the seeded client swarm's
+deterministic frame plans and configuration validation."""
+
+import pytest
+
+from repro.serve.loadgen import LoadConfig, LoadReport, frame_plan
+from repro.serve.protocol import FRAME_ACK, FRAME_DATA
+
+
+class TestFramePlan:
+    def test_pure_function_of_seed_and_client(self):
+        config = LoadConfig(clients=4, frames=50, seed=11)
+        assert frame_plan(config, 2) == frame_plan(config, 2)
+
+    def test_clients_get_distinct_plans(self):
+        config = LoadConfig(clients=4, frames=50, seed=11)
+        plans = [frame_plan(config, cid) for cid in range(4)]
+        assert len({tuple(plan) for plan in plans}) == 4
+
+    def test_seed_changes_the_plan(self):
+        a = frame_plan(LoadConfig(frames=50, seed=1), 0)
+        b = frame_plan(LoadConfig(frames=50, seed=2), 0)
+        assert a != b
+
+    def test_respects_frame_count_and_payload_bounds(self):
+        config = LoadConfig(
+            frames=200, ack_ratio=0.5, payload_min=10, payload_max=20
+        )
+        plan = frame_plan(config, 0)
+        assert len(plan) == 200
+        for kind, length in plan:
+            if kind == FRAME_ACK:
+                assert length == 0
+            else:
+                assert kind == FRAME_DATA
+                assert 10 <= length <= 20
+
+    def test_ack_ratio_extremes(self):
+        all_acks = frame_plan(LoadConfig(frames=30, ack_ratio=1.0), 0)
+        assert all(kind == FRAME_ACK for kind, _ in all_acks)
+        no_acks = frame_plan(LoadConfig(frames=30, ack_ratio=0.0), 0)
+        assert all(kind == FRAME_DATA for kind, _ in no_acks)
+
+    def test_ack_ratio_roughly_respected(self):
+        plan = frame_plan(LoadConfig(frames=1000, ack_ratio=0.3), 5)
+        acks = sum(1 for kind, _ in plan if kind == FRAME_ACK)
+        assert 200 < acks < 400
+
+
+class TestLoadConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients": 0},
+            {"frames": -1},
+            {"ack_ratio": 1.5},
+            {"ack_ratio": -0.1},
+            {"payload_min": -1},
+            {"payload_min": 100, "payload_max": 10},
+            {"concurrency": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        config = LoadConfig()
+        assert config.clients == 10
+        assert config.concurrency is None
+
+
+class TestLoadReport:
+    def test_ok_requires_every_frame_acked(self):
+        assert LoadReport(clients=2, frames_sent=5, acks_received=5).ok
+        assert not LoadReport(clients=2, frames_sent=5, acks_received=4).ok
+        assert not LoadReport(
+            clients=2, frames_sent=5, acks_received=5, errors=1
+        ).ok

@@ -1,0 +1,220 @@
+"""Tests for repro.serve.protocol and repro.serve.session: the wire
+frame codec, the logical flow keys that make live traffic replayable,
+and the socket-to-PCB session table."""
+
+import asyncio
+
+import pytest
+
+from conftest import make_tuple
+from repro.core.sequent import SequentDemux
+from repro.core.stats import PacketKind
+from repro.serve.protocol import (
+    FRAME_ACK,
+    FRAME_DATA,
+    FRAME_HELLO,
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD,
+    SERVE_LOCAL_ADDR,
+    SERVE_LOCAL_PORT,
+    Frame,
+    FrameError,
+    decode_header,
+    encode_frame,
+    kind_of,
+    logical_tuple,
+    peer_tuple,
+    read_frame,
+)
+from repro.serve.session import SessionRejected, SessionTable
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    """A StreamReader preloaded with ``data`` then EOF.  Must be built
+    inside a running loop (StreamReader binds one at construction)."""
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_one(data: bytes):
+    async def scenario():
+        return await read_frame(_feed(data))
+
+    return asyncio.run(scenario())
+
+
+class TestFrameCodec:
+    def test_round_trip_with_payload(self):
+        wire = encode_frame(FRAME_DATA, 17, 3, b"hello")
+        frame = _read_one(wire)
+        assert frame == Frame(FRAME_DATA, 17, 3, b"hello")
+        assert not frame.is_hello
+
+    def test_round_trip_empty_payload(self):
+        frame = _read_one(encode_frame(FRAME_ACK, 0, 9))
+        assert frame.kind == FRAME_ACK
+        assert frame.payload == b""
+
+    def test_hello_flag(self):
+        assert _read_one(encode_frame(FRAME_HELLO, 5, 0)).is_hello
+
+    def test_header_is_twelve_bytes(self):
+        assert HEADER.size == 12
+        assert len(encode_frame(FRAME_DATA, 1, 2, b"xy")) == 14
+
+    def test_encode_rejects_bad_kind(self):
+        with pytest.raises(FrameError):
+            encode_frame(0x7F, 1, 0)
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(FrameError):
+            encode_frame(FRAME_DATA, 1, 0, b"x" * (MAX_PAYLOAD + 1))
+
+    def test_encode_rejects_bad_client_id(self):
+        with pytest.raises(FrameError):
+            encode_frame(FRAME_DATA, -1, 0)
+
+    def test_decode_rejects_bad_magic(self):
+        bad = bytes([MAGIC ^ 0xFF]) + encode_frame(FRAME_DATA, 1, 0)[1:]
+        with pytest.raises(FrameError, match="magic"):
+            decode_header(bad[: HEADER.size])
+
+    def test_decode_rejects_bad_kind(self):
+        bad = bytearray(encode_frame(FRAME_DATA, 1, 0))
+        bad[1] = 0x7F
+        with pytest.raises(FrameError, match="kind"):
+            decode_header(bytes(bad[: HEADER.size]))
+
+    def test_read_returns_none_on_clean_eof(self):
+        assert _read_one(b"") is None
+
+    def test_read_raises_on_truncated_header(self):
+        with pytest.raises(FrameError, match="header"):
+            _read_one(encode_frame(FRAME_DATA, 1, 0)[:5])
+
+    def test_read_raises_on_truncated_payload(self):
+        wire = encode_frame(FRAME_DATA, 1, 0, b"abcdef")
+        with pytest.raises(FrameError, match="payload"):
+            _read_one(wire[:-2])
+
+    def test_two_frames_back_to_back(self):
+        wire = encode_frame(FRAME_DATA, 1, 0, b"a") + encode_frame(
+            FRAME_ACK, 1, 1
+        )
+
+        async def read_both():
+            reader = _feed(wire)  # inside the loop asyncio.run owns
+            return await read_frame(reader), await read_frame(reader)
+
+        first, second = asyncio.run(read_both())
+        assert (first.kind, first.seq) == (FRAME_DATA, 0)
+        assert (second.kind, second.seq) == (FRAME_ACK, 1)
+
+    def test_kind_of_maps_onto_packet_classes(self):
+        assert kind_of(Frame(FRAME_ACK, 0, 0)) is PacketKind.ACK
+        assert kind_of(Frame(FRAME_DATA, 0, 0)) is PacketKind.DATA
+
+
+class TestLogicalTuple:
+    def test_stable_and_distinct(self):
+        first = [logical_tuple(i) for i in range(600)]
+        second = [logical_tuple(i) for i in range(600)]
+        assert first == second
+        assert len(set(first)) == 600
+
+    def test_terminates_at_fixed_server_endpoint(self):
+        tup = logical_tuple(42)
+        assert tup.local_addr == SERVE_LOCAL_ADDR
+        assert tup.local_port == SERVE_LOCAL_PORT
+
+    def test_rejects_out_of_range_id(self):
+        with pytest.raises(FrameError):
+            logical_tuple(-1)
+        with pytest.raises(FrameError):
+            logical_tuple(1 << 32)
+
+    def test_disjoint_from_tpca_addresses(self):
+        # Live flows live in 10.9/16; the synthetic workload does not,
+        # so mixed captures never collide.
+        synthetic = {make_tuple(i) for i in range(500)}
+        live = {logical_tuple(i) for i in range(500)}
+        assert not synthetic & live
+
+    def test_peer_tuple_from_socket_addresses(self):
+        tup = peer_tuple(("127.0.0.1", 9009), ("127.0.0.1", 54321))
+        assert tup.local_port == 9009
+        assert tup.remote_port == 54321
+
+
+class TestSessionTable:
+    def test_open_installs_into_algorithm(self):
+        algorithm = SequentDemux(7)
+        table = SessionTable(algorithm)
+        session = table.open(logical_tuple(3), client_id=3)
+        assert len(algorithm) == 1
+        assert session.handshaken
+        assert table.active == 1
+        assert table.get(logical_tuple(3)) is session
+        result = algorithm.lookup(session.four_tuple, PacketKind.DATA)
+        assert result.found
+
+    def test_close_removes_and_is_idempotent(self):
+        algorithm = SequentDemux(7)
+        table = SessionTable(algorithm)
+        session = table.open(logical_tuple(1), client_id=1)
+        table.close(session)
+        table.close(session)
+        assert len(algorithm) == 0
+        assert table.active == 0
+        assert table.closed == 1
+
+    def test_capacity_reject(self):
+        table = SessionTable(SequentDemux(7), max_sessions=2)
+        table.open(logical_tuple(0), client_id=0)
+        table.open(logical_tuple(1), client_id=1)
+        with pytest.raises(SessionRejected):
+            table.open(logical_tuple(2), client_id=2)
+        assert table.rejected_capacity == 1
+        assert table.accepted == 2
+
+    def test_duplicate_key_reject(self):
+        algorithm = SequentDemux(7)
+        table = SessionTable(algorithm)
+        table.open(logical_tuple(5), client_id=5)
+        with pytest.raises(SessionRejected):
+            table.open(logical_tuple(5), client_id=5)
+        assert table.rejected_duplicate == 1
+        assert len(algorithm) == 1
+
+    def test_close_tolerates_already_removed(self):
+        algorithm = SequentDemux(7)
+        table = SessionTable(algorithm)
+        session = table.open(logical_tuple(9), client_id=9)
+        algorithm.remove(session.four_tuple)  # e.g. reaped externally
+        table.close(session)
+        assert table.closed == 1
+
+    def test_peak_and_traffic_accounting(self):
+        table = SessionTable(SequentDemux(7))
+        a = table.open(logical_tuple(0), client_id=0)
+        b = table.open(logical_tuple(1), client_id=1)
+        table.close(a)
+        c = table.open(logical_tuple(2), client_id=2)
+        table.note_inbound(c, 20)
+        table.note_outbound(c, 12)
+        table.note_error()
+        snapshot = table.snapshot()
+        assert snapshot["peak_sessions"] == 2
+        assert snapshot["active_sessions"] == 2
+        assert snapshot["accepted"] == 3
+        assert snapshot["frames_in"] == 1
+        assert snapshot["bytes_out"] == 12
+        assert snapshot["errors"] == 1
+        assert b.frames_in == 0  # per-session counters stay per-session
+
+    def test_max_sessions_validated(self):
+        with pytest.raises(ValueError):
+            SessionTable(SequentDemux(7), max_sessions=0)
