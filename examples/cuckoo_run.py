@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""The O(1) tier, end to end: flat cost where every chain grows.
+
+Walks the million-connection story at a (tamer) N=20,000:
+
+* populates the best chained structure (``fast-sequent:h=19``) and the
+  cuckoo table with the same connections, replays the same packets,
+  and prints PCBs examined per packet -- the paper's own figure of
+  merit -- side by side;
+* shows the pre-filter doing its job on miss-heavy traffic (strays
+  that never touch the second bucket);
+* snapshots the cuckoo table, restores it from bytes, and verifies the
+  decision trace is unchanged (the layout, not the kickout history, is
+  what's saved);
+* prints the table's own health gauges: load factor, resizes,
+  kickouts, stash traffic, pre-filter skip rate.
+
+Run:  python examples/cuckoo_run.py
+"""
+
+import time
+
+from repro.core.pcb import PCB
+from repro.core.registry import make_algorithm
+from repro.fastpath.conformance import stray_tuple
+from repro.recovery.snapshot import restore_bytes, snapshot_bytes
+from repro.workload import record_tpca_stream
+
+N_USERS = 20_000
+DURATION = 3.0
+SEED = 7
+CHAINED = "fast-sequent:h=19"
+CUCKOO = "fast-cuckoo"
+
+
+def populate(spec, stream):
+    algorithm = make_algorithm(spec)
+    for tup in stream.tuples:
+        algorithm.insert(PCB(tup))
+    return algorithm
+
+
+def replay(algorithm, packets, chunk=512):
+    start = time.perf_counter()
+    for begin in range(0, len(packets), chunk):
+        algorithm.lookup_batch(packets[begin:begin + chunk])
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    stream = record_tpca_stream(N_USERS, DURATION, SEED)
+    packets = list(stream.packets)
+    print(
+        f"TPC/A, {N_USERS:,} users, {DURATION:g}s, seed {SEED}:"
+        f" {len(packets):,} inbound packets\n"
+    )
+
+    print(f"{'structure':<20} {'PCBs/pkt':>9} {'p99':>6} {'pkts/sec':>12}")
+    for spec in (CHAINED, CUCKOO):
+        algorithm = populate(spec, stream)
+        elapsed = replay(algorithm, packets)
+        stats = algorithm.stats.combined()
+        print(
+            f"{spec:<20} {stats.mean_examined:>9.2f}"
+            f" {stats.percentile(0.99):>6d}"
+            f" {len(packets) / elapsed:>12,.0f}"
+        )
+    print(
+        "\nThe chained structure examines ~N/(2H) PCBs per packet and"
+        " grows with the\nconnection count; the cuckoo table stays at"
+        " ~1 regardless of N.\n"
+    )
+
+    # -- the pre-filter on miss-heavy traffic ---------------------------
+    cuckoo = populate(CUCKOO, stream)
+    strays = [
+        (stray_tuple(index), kind)
+        for index, (_tup, kind) in enumerate(packets[:2000])
+    ]
+    cuckoo.lookup_batch(strays)
+    metrics = cuckoo.cuckoo_metrics()
+    print(
+        f"2,000 stray lookups (guaranteed misses): the per-bucket"
+        f" pre-filter proved\nthe second bucket irrelevant"
+        f" {int(metrics['prefilter_skips']):,} times"
+        f" (skip rate {metrics['prefilter_skip_rate']:.0%})\n"
+    )
+
+    # -- snapshot / restore: the layout survives ------------------------
+    probe = packets[:4_000]
+    blob = snapshot_bytes(cuckoo)
+    before = [(r.found, r.examined) for r in cuckoo.lookup_batch(probe)]
+    restored = restore_bytes(blob)
+    after = [(r.found, r.examined) for r in restored.lookup_batch(probe)]
+    print(
+        f"snapshot -> {len(blob):,} bytes -> restore:"
+        f" {len(restored):,} connections back,"
+        f" decision trace {'IDENTICAL' if before == after else 'DIVERGED'}"
+    )
+    assert before == after
+
+    # -- the table's own gauges ----------------------------------------
+    print(f"\n{restored.describe()}")
+    for name, value in sorted(restored.cuckoo_metrics().items()):
+        print(f"  {name:<22} {value}")
+
+
+if __name__ == "__main__":
+    main()

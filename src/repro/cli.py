@@ -392,6 +392,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced sweep (smaller N, shorter streams; the CI smoke)",
     )
     gate.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "million-connection tier: chained incumbent vs the O(1)"
+            " fast-cuckoo table at N=10^4-10^5 (override with --users,"
+            " up to 10^6)"
+        ),
+    )
+    gate.add_argument(
+        "--reap-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "attach a connection reaper during replays (idle timeout in"
+            " simulated seconds) so huge sweeps stay memory-bounded;"
+            " reaped runs gate against their own baselines"
+        ),
+    )
+    gate.add_argument(
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (for jittery shared runners)",
@@ -1436,7 +1456,12 @@ def _cmd_serve(args) -> int:
 def _cmd_bench_gate(args) -> int:
     import dataclasses
 
-    from .fastpath.gate import GateConfig, QUICK_CONFIG, run_gate
+    from .fastpath.gate import (
+        GateConfig,
+        QUICK_CONFIG,
+        SCALE_CONFIG,
+        run_gate,
+    )
 
     if args.canary is not None:
         return _run_canary_cli(
@@ -1458,7 +1483,18 @@ def _cmd_bench_gate(args) -> int:
         )
         return 2
 
-    config = QUICK_CONFIG if args.quick else GateConfig()
+    if args.scale and args.quick:
+        # --quick shrinks the scale tier too: the smallest interesting
+        # N with one repeat, for CI smoke runs.
+        config = dataclasses.replace(
+            SCALE_CONFIG, n_sweep=(10_000,), duration=2.0
+        )
+    elif args.scale:
+        config = SCALE_CONFIG
+    elif args.quick:
+        config = QUICK_CONFIG
+    else:
+        config = GateConfig()
     overrides = {}
     if args.seed is not None:
         overrides["seed"] = args.seed
@@ -1470,8 +1506,14 @@ def _cmd_bench_gate(args) -> int:
         overrides["repeats"] = args.repeats
     if args.threshold is not None:
         overrides["threshold"] = args.threshold
+    if args.reap_idle is not None:
+        overrides["reap_idle"] = args.reap_idle
     if overrides:
-        config = dataclasses.replace(config, **overrides)
+        try:
+            config = dataclasses.replace(config, **overrides)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     report = run_gate(
         config,

@@ -55,6 +55,7 @@ ACCEPTED_OPTIONS: Dict[str, tuple] = {
     "sequent": ("h", "hash", "overload"),
     "hashed_mtf": ("h", "hash", "cache"),
     "connection_id": ("max",),
+    "cuckoo": ("buckets", "slots", "stash", "kick"),
 }
 
 
@@ -64,11 +65,17 @@ ACCEPTED_OPTIONS: Dict[str, tuple] = {
 #: at module scope.
 FAST_VARIANT_NAMES = ("linear", "bsd", "mtf", "sequent", "hashed_mtf")
 
+#: Fast-path-only structures with no reference twin (the paper has no
+#: O(1) structure to mirror); reachable only via the ``fast-`` prefix:
+#: ``fast-cuckoo:buckets=64,slots=4,stash=8,kick=64``.
+FAST_ONLY_NAMES = ("cuckoo",)
+
 
 def available_algorithms() -> Iterable[str]:
     """Registered algorithm names (including ``fast-`` twins), sorted."""
     names = list(ALGORITHMS)
     names.extend(f"fast-{name}" for name in FAST_VARIANT_NAMES)
+    names.extend(f"fast-{name}" for name in FAST_ONLY_NAMES)
     return sorted(names)
 
 
@@ -96,6 +103,7 @@ def make_algorithm(spec: str) -> DemuxAlgorithm:
         make_algorithm("hashed_mtf:h=19,cache=no")
         make_algorithm("multicache:k=16")
         make_algorithm("fast-sequent:h=19,overload=64")
+        make_algorithm("fast-cuckoo:buckets=64,slots=4,stash=8")
         make_algorithm("sharded-sequent:shards=8,steer=hash,h=19")
         make_algorithm("sharded-fast-sequent:shards=8,h=19")
 
@@ -182,6 +190,14 @@ def _construct(
         kwargs = {}
         if "k" in params:
             kwargs["cache_size"] = int(params.pop("k"))
+        _reject_leftovers(name, params, display=display)
+        return factory(**kwargs)
+
+    if name == "cuckoo":
+        kwargs = {}
+        for option in ("buckets", "slots", "stash", "kick"):
+            if option in params:
+                kwargs[option] = int(params.pop(option))
         _reject_leftovers(name, params, display=display)
         return factory(**kwargs)
 

@@ -7,11 +7,15 @@ that swamps the algorithmic differences the paper is about.  This
 package re-implements the hot family -- linear, BSD, MTF, Sequent
 hashed, hashed-MTF -- on flat array-backed slot tables with interned
 integer keys and batched lookups, provably decision-identical to the
-references:
+references, plus the fast-path-only O(1) cuckoo table for the
+million-connection tier:
 
 * :mod:`~repro.fastpath.keycache` -- four-tuple interning + chain memo;
-* :mod:`~repro.fastpath.tables` -- flat slot tables and cache slots;
+* :mod:`~repro.fastpath.tables` -- flat slot tables and cache slots
+  (with the numpy-vectorized batch scan);
 * :mod:`~repro.fastpath.algorithms` -- the five ``fast-*`` structures;
+* :mod:`~repro.fastpath.cuckoo` -- the two-choice cuckoo table with
+  per-bucket pre-filters (``fast-cuckoo``, no reference twin);
 * :mod:`~repro.fastpath.batch` -- the amortized ``lookup_batch`` loop;
 * :mod:`~repro.fastpath.conformance` -- golden decision traces;
 * :mod:`~repro.fastpath.gate` -- the cross-PR ``bench-gate`` harness;
@@ -32,13 +36,23 @@ from .algorithms import (
     FastSequentDemux,
 )
 from .batch import BatchLookupMixin, as_packets
-from .conformance import decision_trace, golden_stream, stray_tuple
+from .conformance import (
+    decision_trace,
+    golden_stream,
+    resumed_decision_trace,
+    resumed_mutation_trace,
+    stray_tuple,
+)
+from .cuckoo import CuckooCounters, FastCuckooDemux
 from .gate import (
     DEFAULT_PAIRS,
     GateConfig,
     GateReport,
+    MAX_SWEEP_USERS,
     Measurement,
     QUICK_CONFIG,
+    SCALE_CONFIG,
+    SCALE_PAIRS,
     measure_replay,
     run_gate,
 )
@@ -49,9 +63,11 @@ from .tables import CachedSlot, SlotTable
 __all__ = [
     "BatchLookupMixin",
     "CachedSlot",
+    "CuckooCounters",
     "DEFAULT_PAIRS",
     "FAST_ALGORITHMS",
     "FastBSDDemux",
+    "FastCuckooDemux",
     "FastHashedMTFDemux",
     "FastLinearDemux",
     "FastMTFDemux",
@@ -60,14 +76,19 @@ __all__ = [
     "GateConfig",
     "GateReport",
     "KeyCache",
+    "MAX_SWEEP_USERS",
     "Measurement",
     "QUICK_CONFIG",
+    "SCALE_CONFIG",
+    "SCALE_PAIRS",
     "SlotTable",
     "as_packets",
     "decision_trace",
     "golden_stream",
     "measure_replay",
     "publish_fastpath",
+    "resumed_decision_trace",
+    "resumed_mutation_trace",
     "run_gate",
     "stray_tuple",
 ]

@@ -35,7 +35,7 @@ from ..core.sequent import DEFAULT_HASH_CHAINS
 from ..core.stats import PacketKind
 from ..hashing.functions import HashFunction, default_hash
 from ..packet.addresses import FourTuple
-from .batch import BatchLookupMixin
+from .batch import BatchLookupMixin, Packet
 from .keycache import FastpathCounters, KeyCache
 from .tables import CachedSlot, SlotTable
 
@@ -45,19 +45,59 @@ __all__ = [
     "FastMTFDemux",
     "FastSequentDemux",
     "FastHashedMTFDemux",
+    "FastCuckooDemux",
     "FAST_ALGORITHMS",
 ]
 
 
-class _FastDemux(BatchLookupMixin, DemuxAlgorithm):
-    """Shared plumbing: key cache, membership set, slot tables."""
+class _FastDemuxBase(BatchLookupMixin, DemuxAlgorithm):
+    """Fast-path plumbing every backend shares: key cache, membership.
 
-    def __init__(self, nchains: int = 1, chain_fn=None) -> None:
+    Subclasses add their own storage -- :class:`_FastDemux` the
+    list-shaped :class:`~repro.fastpath.tables.SlotTable` family,
+    :class:`~repro.fastpath.cuckoo.FastCuckooDemux` its bucket arrays
+    -- but interning, the membership set, counters, and the leak
+    contract (interned entries == live connections) live here, as does
+    the snapshot machinery's type anchor.
+    """
+
+    def __init__(self, chain_fn=None) -> None:
         super().__init__()
         self.fastpath_counters = FastpathCounters()
         self._keycache = KeyCache(chain_fn, self.fastpath_counters)
-        self._tables = [SlotTable() for _ in range(nchains)]
         self._present: Set[int] = set()
+
+    def _lookup_batch(
+        self, packets: Sequence[Packet]
+    ) -> Optional[List[LookupResult]]:
+        """Hook for vectorized whole-batch lookups.
+
+        Return the results (decision-identical to looping ``_lookup``,
+        side effects included) or ``None`` to take the generic tight
+        loop.  Statistics are recorded by the mixin either way.
+        """
+        return None
+
+    @property
+    def interned_entries(self) -> int:
+        """Interned-key count; equals ``len(self)`` by the memory-bounds
+        contract (one memo per live connection, none for dead ones)."""
+        return len(self._keycache)
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __contains__(self, tup: FourTuple) -> bool:
+        """Membership without perturbing caches, stats, or counters."""
+        return tup.key_bits() in self._present
+
+
+class _FastDemux(_FastDemuxBase):
+    """Shared plumbing of the list-shaped structures: slot tables."""
+
+    def __init__(self, nchains: int = 1, chain_fn=None) -> None:
+        super().__init__(chain_fn)
+        self._tables = [SlotTable() for _ in range(nchains)]
 
     def _insert(self, pcb: PCB) -> None:
         key, chain = self._keycache.entry(pcb.four_tuple)
@@ -84,22 +124,9 @@ class _FastDemux(BatchLookupMixin, DemuxAlgorithm):
     def _invalidate_cache(self, chain: int, key: int) -> None:
         """Hook for cached subclasses (default: no cache to clear)."""
 
-    @property
-    def interned_entries(self) -> int:
-        """Interned-key count; equals ``len(self)`` by the memory-bounds
-        contract (one memo per live connection, none for dead ones)."""
-        return len(self._keycache)
-
-    def __len__(self) -> int:
-        return len(self._present)
-
     def __iter__(self) -> Iterator[PCB]:
         for table in self._tables:
             yield from table.pcbs
-
-    def __contains__(self, tup: FourTuple) -> bool:
-        """Membership without perturbing caches, stats, or counters."""
-        return tup.key_bits() in self._present
 
 
 class FastLinearDemux(_FastDemux):
@@ -116,6 +143,27 @@ class FastLinearDemux(_FastDemux):
         index, examined = table.scan(key)
         pcb = table.pcbs[index] if index >= 0 else None
         return LookupResult(pcb, examined, cache_hit=False, kind=kind)
+
+    def _lookup_batch(
+        self, packets: Sequence[Packet]
+    ) -> Optional[List[LookupResult]]:
+        # Lookups never mutate this table, so the whole batch resolves
+        # against one vectorized scan (decision-identical by the
+        # scan_batch contract).
+        table = self._tables[0]
+        probe = self._keycache.probe
+        keys = [probe(tup)[0] for tup, _ in packets]
+        scans = table.scan_batch(keys)
+        pcbs = table.pcbs
+        return [
+            LookupResult(
+                pcbs[index] if index >= 0 else None,
+                examined,
+                cache_hit=False,
+                kind=kind,
+            )
+            for (index, examined), (_, kind) in zip(scans, packets)
+        ]
 
 
 class FastBSDDemux(_FastDemux):
@@ -153,6 +201,44 @@ class FastBSDDemux(_FastDemux):
             cache.set(key, pcb)
             return LookupResult(pcb, examined, cache_hit=False, kind=kind)
         return LookupResult(None, examined, cache_hit=False, kind=kind)
+
+    def _lookup_batch(
+        self, packets: Sequence[Packet]
+    ) -> Optional[List[LookupResult]]:
+        # The one-entry cache mutates per lookup but never the table,
+        # so scans vectorize up front and the cache logic replays
+        # sequentially over the precomputed results.
+        table = self._tables[0]
+        probe = self._keycache.probe
+        keys = [probe(tup)[0] for tup, _ in packets]
+        scans = table.scan_batch(keys)
+        pcbs = table.pcbs
+        cache = self._cache
+        results: List[LookupResult] = []
+        append = results.append
+        for key, (index, scanned), (_, kind) in zip(keys, scans, packets):
+            examined = 0
+            if cache.key is not None:
+                examined = 1
+                if cache.key == key:
+                    append(
+                        LookupResult(
+                            cache.pcb, examined, cache_hit=True, kind=kind
+                        )
+                    )
+                    continue
+            examined += scanned
+            if index >= 0:
+                pcb = pcbs[index]
+                cache.set(key, pcb)
+                append(
+                    LookupResult(pcb, examined, cache_hit=False, kind=kind)
+                )
+            else:
+                append(
+                    LookupResult(None, examined, cache_hit=False, kind=kind)
+                )
+        return results
 
 
 class FastMTFDemux(_FastDemux):
@@ -276,6 +362,55 @@ class FastSequentDemux(_FastChained):
             return LookupResult(pcb, examined, cache_hit=False, kind=kind)
         return LookupResult(None, examined, cache_hit=False, kind=kind)
 
+    def _lookup_batch(
+        self, packets: Sequence[Packet]
+    ) -> Optional[List[LookupResult]]:
+        # Chains never mutate during lookups; group the batch by chain,
+        # vectorize one scan per chain, then replay the per-chain cache
+        # logic sequentially in packet order.
+        probe = self._keycache.probe
+        entries = [probe(tup) for tup, _ in packets]
+        by_chain: dict = {}
+        for position, (_key, chain) in enumerate(entries):
+            by_chain.setdefault(chain, []).append(position)
+        scans: List = [None] * len(packets)
+        for chain, positions in by_chain.items():
+            chain_scans = self._tables[chain].scan_batch(
+                [entries[position][0] for position in positions]
+            )
+            for position, scan in zip(positions, chain_scans):
+                scans[position] = scan
+        caches = self._caches
+        tables = self._tables
+        results: List[LookupResult] = []
+        append = results.append
+        for (key, chain), (index, scanned), (_, kind) in zip(
+            entries, scans, packets
+        ):
+            cache = caches[chain]
+            examined = 0
+            if cache.key is not None:
+                examined = 1
+                if cache.key == key:
+                    append(
+                        LookupResult(
+                            cache.pcb, examined, cache_hit=True, kind=kind
+                        )
+                    )
+                    continue
+            examined += scanned
+            if index >= 0:
+                pcb = tables[chain].pcbs[index]
+                cache.set(key, pcb)
+                append(
+                    LookupResult(pcb, examined, cache_hit=False, kind=kind)
+                )
+            else:
+                append(
+                    LookupResult(None, examined, cache_hit=False, kind=kind)
+                )
+        return results
+
     def describe(self) -> str:
         lengths = self.chain_lengths()
         longest = max(lengths) if lengths else 0
@@ -332,11 +467,18 @@ class FastHashedMTFDemux(_FastChained):
         return f"{self.name} (H={self._nchains}, {cache}, {len(self)} PCBs)"
 
 
-#: Fast twins, keyed by the *reference* registry name they mirror.
+# Imported late: cuckoo.py subclasses _FastDemuxBase from this module,
+# so its import must come after the class definitions above.
+from .cuckoo import FastCuckooDemux  # noqa: E402
+
+#: Fast structures, keyed by the *reference* registry name they mirror
+#: -- except ``cuckoo``, which has no reference twin (the paper has no
+#: O(1) structure) and exists only as ``fast-cuckoo``.
 FAST_ALGORITHMS = {
     "linear": FastLinearDemux,
     "bsd": FastBSDDemux,
     "mtf": FastMTFDemux,
     "sequent": FastSequentDemux,
     "hashed_mtf": FastHashedMTFDemux,
+    "cuckoo": FastCuckooDemux,
 }

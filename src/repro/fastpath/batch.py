@@ -18,7 +18,7 @@ observes, only how fast the bare hot path runs.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.base import LookupResult
 from ..core.stats import LookupRecord, PacketKind
@@ -69,12 +69,17 @@ class BatchLookupMixin:
         ):
             # Hooks are per-lookup by contract; take the exact path.
             return [self.lookup(tup, kind) for tup, kind in packets]
-        lookup = self._lookup
+        # A structure may resolve the whole batch at once (the numpy
+        # scan path); it returns None to take the generic tight loop.
+        batch_impl = getattr(self, "_lookup_batch", None)
+        results: Optional[List[LookupResult]] = (
+            batch_impl(packets) if batch_impl is not None else None
+        )
+        if results is None:
+            lookup = self._lookup
+            results = [lookup(tup, kind) for tup, kind in packets]
         record = self.stats.record
-        results: List[LookupResult] = []
-        append = results.append
-        for tup, kind in packets:
-            result = lookup(tup, kind)
+        for result in results:
             record(
                 LookupRecord(
                     examined=result.examined,
@@ -83,7 +88,6 @@ class BatchLookupMixin:
                     kind=result.kind,
                 )
             )
-            append(result)
         counters = self.fastpath_counters
         counters.batch_calls += 1
         counters.batched_lookups += len(results)

@@ -36,6 +36,8 @@ __all__ = [
     "decision_trace",
     "golden_stream",
     "mutation_trace",
+    "resumed_decision_trace",
+    "resumed_mutation_trace",
     "stray_tuple",
 ]
 
@@ -83,12 +85,56 @@ def decision_trace(
     """
     from ..core.pcb import PCB  # local: keep module import light
 
-    if stray_every < 1:
-        raise ValueError(f"stray_every must be >= 1, got {stray_every}")
     algorithm = make_algorithm(spec)
     for tup in stream.tuples:
         algorithm.insert(PCB(tup))
+    packets = _packets_with_strays(stream, stray_every)
+    return _replay(algorithm, packets, use_batch, batch_size)
 
+
+def resumed_decision_trace(
+    spec: str,
+    stream: RecordedStream,
+    *,
+    split: float = 0.5,
+    stray_every: int = 13,
+    use_batch: bool = False,
+    batch_size: int = 64,
+) -> List[Decision]:
+    """:func:`decision_trace` with a snapshot/restore mid-stream.
+
+    Replays the first ``split`` fraction of the packets, snapshots the
+    structure through :mod:`repro.recovery.snapshot`, restores a fresh
+    instance from the bytes, and replays the rest on the restored
+    structure.  By the restore guarantee, the concatenated trace must
+    equal the uninterrupted :func:`decision_trace` -- the golden suite
+    asserts exactly that, making every committed golden also a restore
+    conformance witness.
+    """
+    from ..core.pcb import PCB  # local: keep module import light
+    from ..recovery.snapshot import (  # lazy: recovery sits above fastpath
+        restore_bytes,
+        snapshot_bytes,
+    )
+
+    if not 0.0 <= split <= 1.0:
+        raise ValueError(f"split must be in [0, 1], got {split}")
+    algorithm = make_algorithm(spec)
+    for tup in stream.tuples:
+        algorithm.insert(PCB(tup))
+    packets = _packets_with_strays(stream, stray_every)
+    cut = int(len(packets) * split)
+    head = _replay(algorithm, packets[:cut], use_batch, batch_size)
+    algorithm = restore_bytes(snapshot_bytes(algorithm))
+    return head + _replay(algorithm, packets[cut:], use_batch, batch_size)
+
+
+def _packets_with_strays(
+    stream: RecordedStream, stray_every: int
+) -> List[Tuple[FourTuple, PacketKind]]:
+    """The stream's packets with the deterministic stray interleave."""
+    if stray_every < 1:
+        raise ValueError(f"stray_every must be >= 1, got {stray_every}")
     packets: List[Tuple[FourTuple, PacketKind]] = []
     for position, (tup, kind) in enumerate(stream.packets):
         packets.append((tup, kind))
@@ -97,7 +143,15 @@ def decision_trace(
                 PacketKind.DATA if (position // stray_every) % 2 else PacketKind.ACK
             )
             packets.append((stray_tuple(position), stray_kind))
+    return packets
 
+
+def _replay(
+    algorithm,
+    packets: List[Tuple[FourTuple, PacketKind]],
+    use_batch: bool,
+    batch_size: int,
+) -> List[Decision]:
     if use_batch:
         results = []
         for start in range(0, len(packets), batch_size):
@@ -188,9 +242,54 @@ def mutation_trace(
     ``batch_size`` chunks; mutations flush the pending batch first,
     preserving op order exactly.
     """
+    algorithm = make_algorithm(spec)
+    decisions = _replay_ops(algorithm, ops, use_batch, batch_size)
+    return decisions, algorithm
+
+
+def resumed_mutation_trace(
+    spec: str,
+    ops: List[ChurnOp],
+    *,
+    split: float = 0.5,
+    use_batch: bool = False,
+    batch_size: int = 32,
+):
+    """:func:`mutation_trace` with a snapshot/restore mid-churn.
+
+    Replays the first ``split`` fraction of the op list, snapshots,
+    restores a fresh structure from the bytes, and replays the rest on
+    it.  Returns ``(decisions, algorithm)`` like
+    :func:`mutation_trace`; the concatenated decisions must equal the
+    uninterrupted replay's.  This is the hardest restore case for
+    layout-carrying structures (cuckoo kickout state, MTF recency
+    order): the churn keeps mutating *after* the restore.
+    """
+    from ..recovery.snapshot import (  # lazy: recovery sits above fastpath
+        restore_bytes,
+        snapshot_bytes,
+    )
+
+    if not 0.0 <= split <= 1.0:
+        raise ValueError(f"split must be in [0, 1], got {split}")
+    algorithm = make_algorithm(spec)
+    cut = int(len(ops) * split)
+    decisions = _replay_ops(algorithm, ops[:cut], use_batch, batch_size)
+    algorithm = restore_bytes(snapshot_bytes(algorithm))
+    decisions.extend(
+        _replay_ops(algorithm, ops[cut:], use_batch, batch_size)
+    )
+    return decisions, algorithm
+
+
+def _replay_ops(
+    algorithm,
+    ops: List[ChurnOp],
+    use_batch: bool,
+    batch_size: int,
+) -> List[Decision]:
     from ..core.pcb import PCB  # local: keep module import light
 
-    algorithm = make_algorithm(spec)
     decisions: List[Decision] = []
     pending: List[Tuple[FourTuple, PacketKind]] = []
 
@@ -223,4 +322,4 @@ def mutation_trace(
         else:
             raise ValueError(f"unknown churn op {op!r}")
     flush()
-    return decisions, algorithm
+    return decisions

@@ -40,11 +40,14 @@ __all__ = [
     "DEFAULT_PAIRS",
     "GateConfig",
     "GateReport",
+    "MAX_SWEEP_USERS",
     "Measurement",
     "measure_replay",
     "run_canary",
     "run_gate",
     "QUICK_CONFIG",
+    "SCALE_CONFIG",
+    "SCALE_PAIRS",
 ]
 
 #: (reference spec, fast twin spec) pairs the standard sweep compares.
@@ -55,6 +58,13 @@ DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("sequent:h=19", "fast-sequent:h=19"),
     ("hashed_mtf:h=19", "fast-hashed_mtf:h=19"),
 )
+
+#: Largest connection count the sweep accepts.  The TPC/A address plan
+#: (``TPCAConfig.user_tuple``) assigns injective four-tuples well past
+#: this, and the O(1) tier is specified to 10^6 connections; anything
+#: larger is almost certainly a typo that would grind for hours, so it
+#: is rejected up front instead of discovered at the third repeat.
+MAX_SWEEP_USERS = 1_000_000
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,10 +83,30 @@ class GateConfig:
     chunk: int = 256
     #: Fractional packets/sec drop that fails the gate.
     threshold: float = 0.10
+    #: When set, every replay runs with a :class:`ConnectionReaper`
+    #: (idle timeout in simulated seconds) advancing virtual time
+    #: alongside the packet stream, so idle flows are reaped and the
+    #: structure's memory stays bounded during million-connection
+    #: sweeps.  Reaped runs get their own baseline key: reaping
+    #: changes the workload, so they never gate against unreaped runs.
+    reap_idle: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.pairs:
             raise ValueError("need at least one (reference, fast) pair")
+        if not self.n_sweep:
+            raise ValueError("need at least one connection count to sweep")
+        for n_users in self.n_sweep:
+            if not isinstance(n_users, int) or n_users < 1:
+                raise ValueError(
+                    f"connection counts must be positive integers,"
+                    f" got {n_users!r}"
+                )
+            if n_users > MAX_SWEEP_USERS:
+                raise ValueError(
+                    f"connection count {n_users} exceeds the sweep bound"
+                    f" {MAX_SWEEP_USERS}"
+                )
         if self.repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {self.repeats}")
         if self.chunk < 1:
@@ -85,11 +115,33 @@ class GateConfig:
             raise ValueError(
                 f"threshold must be in (0, 1), got {self.threshold}"
             )
+        if self.reap_idle is not None and self.reap_idle <= 0:
+            raise ValueError(
+                f"reap_idle must be positive, got {self.reap_idle}"
+            )
 
 
 #: The reduced configuration behind ``bench-gate --quick``.
 QUICK_CONFIG = GateConfig(
     n_sweep=(60, 200), duration=10.0, repeats=2
+)
+
+#: The million-connection tier behind ``bench-gate --scale``: the best
+#: chained structure against the O(1) cuckoo table at 10^4-10^5
+#: connections (pass ``--users 1000000`` for the full tier).  Short
+#: streams and one repeat -- at this N the point is the *scaling shape*
+#: (chained p99 examined grows with N/H, cuckoo stays flat), not
+#: clock precision.
+SCALE_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("fast-sequent:h=19", "fast-cuckoo"),
+)
+
+SCALE_CONFIG = GateConfig(
+    pairs=SCALE_PAIRS,
+    n_sweep=(10_000, 100_000),
+    duration=4.0,
+    repeats=1,
+    chunk=512,
 )
 
 
@@ -109,10 +161,13 @@ class Measurement:
 
     def key(self, config: GateConfig) -> str:
         """Baseline-matching key: spec + workload parameters."""
-        return (
+        key = (
             f"{self.algorithm}@n={self.n_users}"
             f";d={config.duration:g};seed={config.seed}"
         )
+        if config.reap_idle is not None:
+            key += f";reap={config.reap_idle:g}"
+        return key
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -132,13 +187,25 @@ def measure_replay(
     *,
     repeats: int = 3,
     chunk: int = 256,
+    reap_idle: Optional[float] = None,
 ) -> Measurement:
     """Time ``spec`` demultiplexing ``stream``; best-of-``repeats``.
 
     The structure is rebuilt and repopulated for every repeat (outside
     the timed region), so each timing starts from an identical cold
     state and only the lookup hot path is on the clock.
+
+    With ``reap_idle`` set, a :class:`~repro.lifecycle.reaper
+    .ConnectionReaper` rides along: virtual time advances uniformly
+    across the replay (``stream.duration`` spread over the chunks) and
+    flows idle longer than ``reap_idle`` simulated seconds are removed
+    mid-replay, bounding the structure's live population the way a real
+    stack's timers would.  Lifecycle hooks are per-lookup by contract,
+    so reaped replays time the per-call path; the reaped/unreaped split
+    in :meth:`Measurement.key` keeps their baselines separate.
     """
+    from ..lifecycle.reaper import ConnectionReaper  # lazy: layering
+
     packets = list(stream.packets)
     chunks = [
         packets[start:start + chunk]
@@ -151,10 +218,18 @@ def measure_replay(
         algorithm = make_algorithm(spec)
         for tup in stream.tuples:
             algorithm.insert(PCB(tup))
+        reaper = (
+            ConnectionReaper(algorithm, idle_timeout=reap_idle)
+            if reap_idle is not None
+            else None
+        )
+        dt = stream.duration / len(chunks) if chunks else 0.0
         lookup_batch = algorithm.lookup_batch
         start_time = time.perf_counter()
-        for batch in chunks:
+        for position, batch in enumerate(chunks):
             lookup_batch(batch)
+            if reaper is not None:
+                reaper.advance((position + 1) * dt)
         elapsed = time.perf_counter() - start_time
         best = min(best, elapsed)
         mean_examined = algorithm.stats.mean_examined
@@ -248,6 +323,9 @@ def _baselines(
                 f";d={config.get('duration', 0):g}"
                 f";seed={config.get('seed', 0)}"
             )
+            reap_idle = config.get("reap_idle")
+            if reap_idle is not None:
+                key += f";reap={reap_idle:g}"
             value = float(result["packets_per_sec"])
             baselines[key] = max(baselines.get(key, value), value)
     return baselines
@@ -284,6 +362,7 @@ def run_gate(
                     stream,
                     repeats=config.repeats,
                     chunk=config.chunk,
+                    reap_idle=config.reap_idle,
                 )
                 results.append(measurement)
                 pair_measurements[spec] = measurement
@@ -326,6 +405,7 @@ def run_gate(
             "repeats": config.repeats,
             "chunk": config.chunk,
             "threshold": config.threshold,
+            "reap_idle": config.reap_idle,
         },
         "results": [measurement.as_dict() for measurement in results],
         "speedups": speedups,

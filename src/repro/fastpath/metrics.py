@@ -40,10 +40,14 @@ def publish_fastpath(
         for counter_name, value in counters.as_dict().items():
             gauges.set(value, algorithm=name, counter=counter_name)
         published = True
+    published |= _publish_cuckoo(registry, algorithm, name, shard=None)
 
     shards = getattr(algorithm, "shards", None)
     if shards is not None:
         for index, shard in enumerate(shards):
+            published |= _publish_cuckoo(
+                registry, shard, name, shard=str(index)
+            )
             shard_counters = getattr(shard, "fastpath_counters", None)
             if shard_counters is None:
                 continue
@@ -60,3 +64,25 @@ def publish_fastpath(
                 )
             published = True
     return published
+
+
+def _publish_cuckoo(registry, algorithm, name: str, *, shard) -> bool:
+    """Export cuckoo table health (kickouts, stash, pre-filter rate).
+
+    Duck-typed on ``cuckoo_metrics`` like the rest of the exporter;
+    shardless structures publish without a ``shard`` label so existing
+    dashboards keying on (algorithm, metric) keep working.
+    """
+    metrics_fn = getattr(algorithm, "cuckoo_metrics", None)
+    if metrics_fn is None:
+        return False
+    gauges = registry.gauge(
+        "cuckoo_table",
+        "cuckoo table health: kickouts, stash, pre-filter, load",
+    )
+    labels = {"algorithm": name}
+    if shard is not None:
+        labels["shard"] = shard
+    for metric_name, value in metrics_fn().items():
+        gauges.set(value, metric=metric_name, **labels)
+    return True

@@ -17,11 +17,29 @@ with a single integer comparison.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.pcb import PCB
 
+try:  # numpy is a hard dependency, but the fallback keeps the demux
+    import numpy as _np  # alive (and decision-identical) without it.
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
+
 __all__ = ["CachedSlot", "SlotTable"]
+
+#: The interned key is 96 bits; numpy has no uint96, so the mirror
+#: arrays split it into two uint64 halves of 48 bits each (both halves
+#: fit with headroom, and equality of both halves is key equality).
+_HALF_BITS = 48
+_HALF_MASK = (1 << _HALF_BITS) - 1
+
+#: Below this table size ``list.index`` beats the mirror upkeep.
+_VECTOR_MIN_TABLE = 16
+
+#: Comparison-matrix budget (query rows x table columns) per block, so
+#: a huge batch against a huge table stays cache- and memory-friendly.
+_VECTOR_BLOCK = 1 << 22
 
 
 class SlotTable:
@@ -30,13 +48,27 @@ class SlotTable:
     Invariant: ``keys[i]`` is always ``pcbs[i].four_tuple.key_bits()``;
     both arrays mutate together, head-first like the historical BSD
     list (new entries at index 0).
+
+    For batched lookups the table lazily maintains a numpy mirror of
+    ``keys`` (two uint64 half-key arrays, rebuilt only after a
+    mutation), so :meth:`scan_batch` resolves a whole chunk with one
+    vectorized comparison instead of one ``list.index`` per packet.
     """
 
-    __slots__ = ("keys", "pcbs")
+    __slots__ = (
+        "keys", "pcbs", "_version", "_mirror_version",
+        "_mirror_lo", "_mirror_hi",
+    )
 
     def __init__(self) -> None:
         self.keys: List[int] = []
         self.pcbs: List[PCB] = []
+        #: Bumped on every mutation; the numpy mirror notes the version
+        #: it was built at and rebuilds only when stale.
+        self._version = 0
+        self._mirror_version = -1
+        self._mirror_lo = None
+        self._mirror_hi = None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -54,10 +86,65 @@ class SlotTable:
             return -1, len(self.keys)
         return index, index + 1
 
+    def scan_batch(
+        self, keys: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """Vectorized :meth:`scan` of many keys against one table state.
+
+        Returns one ``(index, examined)`` pair per query key with
+        *exactly* the semantics of calling :meth:`scan` in a loop --
+        first-match index (or -1) and the pinned examined count -- so
+        callers may substitute it freely anywhere the table is not
+        mutated between the scans.  Uses the numpy mirror when numpy is
+        available and the table is big enough to profit; otherwise (or
+        when numpy is absent) falls back to the loop, decision-
+        identically.
+        """
+        n = len(self.keys)
+        if _np is None or n < _VECTOR_MIN_TABLE or len(keys) < 2:
+            return [self.scan(key) for key in keys]
+        mirror_lo, mirror_hi = self._mirrors()
+        nqueries = len(keys)
+        query_lo = _np.fromiter(
+            (key & _HALF_MASK for key in keys),
+            dtype=_np.uint64, count=nqueries,
+        )
+        query_hi = _np.fromiter(
+            (key >> _HALF_BITS for key in keys),
+            dtype=_np.uint64, count=nqueries,
+        )
+        results: List[Tuple[int, int]] = []
+        step = max(1, _VECTOR_BLOCK // n)
+        for start in range(0, nqueries, step):
+            equal = mirror_lo[None, :] == query_lo[start:start + step, None]
+            equal &= mirror_hi[None, :] == query_hi[start:start + step, None]
+            found = equal.any(axis=1)
+            first = equal.argmax(axis=1)
+            for hit, index in zip(found.tolist(), first.tolist()):
+                results.append((index, index + 1) if hit else (-1, n))
+        return results
+
+    def _mirrors(self):
+        """The (lo, hi) uint64 half-key arrays, rebuilt if stale."""
+        if self._mirror_version != self._version:
+            keys = self.keys
+            n = len(keys)
+            self._mirror_lo = _np.fromiter(
+                (key & _HALF_MASK for key in keys),
+                dtype=_np.uint64, count=n,
+            )
+            self._mirror_hi = _np.fromiter(
+                (key >> _HALF_BITS for key in keys),
+                dtype=_np.uint64, count=n,
+            )
+            self._mirror_version = self._version
+        return self._mirror_lo, self._mirror_hi
+
     def push_front(self, key: int, pcb: PCB) -> None:
         """Insert at the head (historical BSD insert position)."""
         self.keys.insert(0, key)
         self.pcbs.insert(0, pcb)
+        self._version += 1
 
     def remove_key(self, key: int) -> PCB:
         """Remove and return the PCB stored under ``key``.
@@ -69,6 +156,7 @@ class SlotTable:
         del self.keys[index]
         pcb = self.pcbs[index]
         del self.pcbs[index]
+        self._version += 1
         return pcb
 
     def move_to_front(self, index: int) -> None:
@@ -80,6 +168,7 @@ class SlotTable:
             pcb = self.pcbs[index]
             del self.pcbs[index]
             self.pcbs.insert(0, pcb)
+            self._version += 1
 
 
 class CachedSlot:

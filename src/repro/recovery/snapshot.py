@@ -64,9 +64,10 @@ from ..core.sequent import SequentDemux
 from ..core.stats import DemuxStats
 from ..fastpath.algorithms import (
     FastBSDDemux,
+    FastCuckooDemux,
     FastHashedMTFDemux,
     FastSequentDemux,
-    _FastDemux,
+    _FastDemuxBase,
 )
 from ..hashing.functions import HASH_FUNCTIONS
 from ..packet.addresses import FourTuple
@@ -252,7 +253,27 @@ def _capture_extra(algorithm: DemuxAlgorithm) -> Dict[str, Any]:
         ]
         if isinstance(algorithm, FastSequentDemux):
             extra["overload_events"] = algorithm.chain_overload_events
-    if isinstance(algorithm, _FastDemux):
+    elif isinstance(algorithm, FastCuckooDemux):
+        # The physical layout *is* the decision state: slot placement
+        # came from kickout history that an insert replay cannot
+        # reproduce, so capture it verbatim.  Pre-filters are a pure
+        # function of the placement and are re-derived on restore.
+        extra["cuckoo"] = {
+            "nbuckets": algorithm.nbuckets,
+            "bucket_size": algorithm.bucket_size,
+            "kick_cursor": algorithm._kick_cursor,
+            "slots": [
+                [index, _tuple_to_wire(pcb.four_tuple)]
+                for index, pcb in enumerate(algorithm._slot_pcbs)
+                if algorithm._slot_fps[index]
+            ],
+            "stash": [
+                _tuple_to_wire(pcb.four_tuple)
+                for _key, pcb, _fp in algorithm._stash
+            ],
+            "counters": algorithm.cuckoo_counters.as_dict(),
+        }
+    if isinstance(algorithm, _FastDemuxBase):
         # The KeyCache intern census: one memo per live connection by
         # the memory-bounds contract.  Recorded for post-restore
         # verification; counters for observability continuity.
@@ -379,6 +400,9 @@ def _restore_single(
     extra = payload.get("extra", {})
     if isinstance(algorithm, ConnectionIdDemux):
         _restore_connection_id(algorithm, payload, extra, resolver)
+    elif isinstance(algorithm, FastCuckooDemux):
+        _restore_cuckoo(algorithm, payload, extra, resolver)
+        _restore_extra(algorithm, extra, resolver)
     else:
         # Every list/chain structure head-inserts, so replaying the
         # captured structure order *in reverse* reproduces it exactly
@@ -434,6 +458,71 @@ def _restore_connection_id(
     algorithm._ids = ids
 
 
+def _restore_cuckoo(
+    algorithm: FastCuckooDemux,
+    payload: Dict[str, Any],
+    extra: Dict[str, Any],
+    resolver: _Resolver,
+) -> None:
+    # Slot placement is kickout history that an insert replay cannot
+    # reproduce, so -- like connection IDs -- the physical layout is
+    # restored verbatim.  Pre-filters are re-derived by the restore
+    # hooks (they are a pure function of the placement).
+    data = extra.get("cuckoo")
+    if data is None:
+        raise SnapshotFormatError(
+            "cuckoo snapshot is missing its layout block"
+        )
+    nbuckets = int(data["nbuckets"])
+    if nbuckets < 2:
+        raise SnapshotFormatError(
+            f"cuckoo snapshot has {nbuckets} buckets (need >= 2)"
+        )
+    if int(data["bucket_size"]) != algorithm.bucket_size:
+        raise SnapshotFormatError(
+            f"cuckoo snapshot has {data['bucket_size']}-slot buckets"
+            f" but spec {payload.get('spec')!r} builds"
+            f" {algorithm.bucket_size}-slot buckets"
+        )
+    wires = {tuple(wire["tuple"]): wire for wire in payload["pcbs"]}
+    algorithm._alloc(nbuckets)
+    restored = 0
+    try:
+        for index, tup_wire in data.get("slots", []):
+            pcb_wire = wires.get(tuple(tup_wire))
+            if pcb_wire is None:
+                raise SnapshotFormatError(
+                    f"cuckoo slot {index} references a PCB missing"
+                    " from the population"
+                )
+            algorithm.restore_slot(int(index), resolver.resolve(pcb_wire))
+            restored += 1
+        for tup_wire in data.get("stash", []):
+            pcb_wire = wires.get(tuple(tup_wire))
+            if pcb_wire is None:
+                raise SnapshotFormatError(
+                    "cuckoo stash references a PCB missing from the"
+                    " population"
+                )
+            algorithm.restore_stash(resolver.resolve(pcb_wire))
+            restored += 1
+    except (ValueError, IndexError) as exc:
+        raise SnapshotFormatError(
+            f"cuckoo layout does not restore: {exc}"
+        ) from exc
+    if restored != len(payload["pcbs"]):
+        raise SnapshotFormatError(
+            f"cuckoo layout places {restored} PCBs but the population"
+            f" holds {len(payload['pcbs'])}"
+        )
+    algorithm._kick_cursor = int(data.get("kick_cursor", 0))
+    counters = data.get("counters")
+    if counters:
+        for field, value in counters.items():
+            if hasattr(algorithm.cuckoo_counters, field):
+                setattr(algorithm.cuckoo_counters, field, int(value))
+
+
 def _restore_extra(
     algorithm: DemuxAlgorithm,
     extra: Dict[str, Any],
@@ -478,7 +567,7 @@ def _restore_extra(
             algorithm.chain_overload_events = int(
                 extra.get("overload_events", 0)
             )
-    if isinstance(algorithm, _FastDemux):
+    if isinstance(algorithm, _FastDemuxBase):
         counters = extra.get("fastpath", {}).get("counters")
         if counters:
             for field, value in counters.items():
@@ -496,7 +585,7 @@ def _check_chain(chains: List[Any], index: Any) -> None:
 def _verify_fastpath_census(
     algorithm: DemuxAlgorithm, extra: Dict[str, Any]
 ) -> None:
-    if not isinstance(algorithm, _FastDemux):
+    if not isinstance(algorithm, _FastDemuxBase):
         return
     interned = algorithm.interned_entries
     if interned != len(algorithm):

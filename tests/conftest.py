@@ -17,6 +17,7 @@ from repro.core.sendrecv import SendRecvDemux
 from repro.core.sequent import SequentDemux
 from repro.fastpath.algorithms import (
     FastBSDDemux,
+    FastCuckooDemux,
     FastHashedMTFDemux,
     FastLinearDemux,
     FastMTFDemux,
@@ -42,6 +43,11 @@ ALL_ALGORITHM_FACTORIES = {
     "fast-mtf": FastMTFDemux,
     "fast-sequent": lambda: FastSequentDemux(7),
     "fast-hashed_mtf": lambda: FastHashedMTFDemux(7),
+    # Small geometry so interface-level churn also exercises kickouts,
+    # the stash, and resizes (not just the easy free-slot path).
+    "fast-cuckoo": lambda: FastCuckooDemux(
+        buckets=2, slots=2, stash=2, kick=4
+    ),
 }
 
 

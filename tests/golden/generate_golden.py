@@ -53,6 +53,27 @@ ALGORITHMS = (
     "hashed_mtf:h=5",
 )
 
+#: Cuckoo goldens live in the ``cuckoo/`` subdirectory -- they have no
+#: reference twin, so the main suite's prefixing convention does not
+#: apply (tests/test_cuckoo_golden.py owns them).  Geometries are
+#: chosen to pin different behaviours: the default table, a tiny table
+#: that must resize (and kick, and stash) under the stream, and the
+#: sharded composition.
+CUCKOO_STREAMS = (
+    ("cuckoo_seed101", {"seed": 101, "n_users": 48, "duration": 40.0}),
+    ("cuckoo_seed202", {"seed": 202, "n_users": 96, "duration": 30.0}),
+)
+
+CUCKOO_CHURN_STREAMS = (
+    ("cuckoo_churn_seed404", {"seed": 404, "steps": 4000}),
+)
+
+CUCKOO_ALGORITHMS = (
+    "fast-cuckoo",
+    "fast-cuckoo:buckets=2,slots=2,stash=2,kick=4",
+    "sharded-fast-cuckoo:shards=4,buckets=4",
+)
+
 
 def build_golden(seed: int, n_users: int, duration: float) -> dict:
     stream = golden_stream(seed, n_users=n_users, duration=duration)
@@ -65,14 +86,26 @@ def build_golden(seed: int, n_users: int, duration: float) -> dict:
     }
 
 
-def build_churn_golden(seed: int, steps: int) -> dict:
+def build_churn_golden(seed: int, steps: int, algorithms=ALGORITHMS) -> dict:
     ops = churn_ops(seed, steps=steps)
     return {
         "mode": "churn",
         "churn": {"seed": seed, "steps": steps},
         "lookups": sum(1 for op in ops if op[0] == "lookup"),
         "decisions": {
-            spec: mutation_trace(spec, ops)[0] for spec in ALGORITHMS
+            spec: mutation_trace(spec, ops)[0] for spec in algorithms
+        },
+    }
+
+
+def build_cuckoo_golden(seed: int, n_users: int, duration: float) -> dict:
+    stream = golden_stream(seed, n_users=n_users, duration=duration)
+    return {
+        "stream": {"seed": seed, "n_users": n_users, "duration": duration},
+        "packets": len(stream.packets),
+        "decisions": {
+            spec: decision_trace(spec, stream)
+            for spec in CUCKOO_ALGORITHMS
         },
     }
 
@@ -91,6 +124,24 @@ def main() -> int:
         path.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
         print(f"wrote {path.name}: {golden['churn']['steps']} churn ops,"
               f" {golden['lookups']} decisions x {len(ALGORITHMS)} algorithms")
+    cuckoo_dir = HERE / "cuckoo"
+    cuckoo_dir.mkdir(exist_ok=True)
+    for stem, params in CUCKOO_STREAMS:
+        path = cuckoo_dir / f"{stem}.json"
+        golden = build_cuckoo_golden(**params)
+        path.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+        ndecisions = len(next(iter(golden["decisions"].values())))
+        print(f"wrote cuckoo/{path.name}: {golden['packets']} packets,"
+              f" {ndecisions} decisions x {len(CUCKOO_ALGORITHMS)} specs")
+    for stem, params in CUCKOO_CHURN_STREAMS:
+        path = cuckoo_dir / f"{stem}.json"
+        golden = build_churn_golden(
+            **params, algorithms=CUCKOO_ALGORITHMS
+        )
+        path.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+        print(f"wrote cuckoo/{path.name}: {golden['churn']['steps']} churn"
+              f" ops, {golden['lookups']} decisions"
+              f" x {len(CUCKOO_ALGORITHMS)} specs")
     return 0
 
 
