@@ -324,14 +324,15 @@ def _steering_spec(steering: Any) -> str:
 def _capture_sharded(algorithm: ShardedDemux, spec: str) -> Dict[str, Any]:
     inner_spec = algorithm.inner_spec
     shards = []
-    for shard in algorithm.shards:
-        shard_spec = shard.spec or inner_spec
-        if not shard_spec:
+    for index, shard in enumerate(algorithm.shards):
+        if not (shard.spec or inner_spec):
             raise SnapshotError(
                 "sharded structure's shards carry no registry spec;"
                 " build it through make_algorithm or pass inner_spec"
             )
-        shards.append(_capture_single(shard, shard_spec))
+        # Route through the facade so worker-resident shards (the
+        # shared-memory workers mode) are captured by their workers.
+        shards.append(algorithm.capture_shard_payload(index))
     steering = algorithm.steering
     steering_state: Dict[str, Any] = {"spec": _steering_spec(steering)}
     if isinstance(steering, RoundRobinSteering):
@@ -354,6 +355,7 @@ def _capture_sharded(algorithm: ShardedDemux, spec: str) -> Dict[str, Any]:
         ],
         "steering": steering_state,
         "flow_migrations": algorithm.flow_migrations,
+        "migration_relookups": list(algorithm.migration_loads()),
         "stats": algorithm.stats.as_dict(),
         "shards": shards,
         "lifecycle": _capture_lifecycle(algorithm),
@@ -676,6 +678,9 @@ def _restore_sharded(
             int(load) for load in steering_state.get("sticky_assigned", [])
         ]
     algorithm.flow_migrations = int(payload.get("flow_migrations", 0))
+    relookups = payload.get("migration_relookups")
+    if relookups is not None:  # absent in pre-attribution snapshots
+        algorithm._migration_relookups = [int(n) for n in relookups]
     try:
         algorithm.stats = DemuxStats.from_dict(payload["stats"])
     except (KeyError, TypeError, ValueError) as exc:

@@ -42,7 +42,7 @@ memory operations into time estimates.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "ContentionModel",
@@ -200,12 +200,20 @@ def build_report(
     per_shard_mean_examined: Sequence[float],
     per_shard_p99: Sequence[int],
     model: ContentionModel = DEFAULT_CONTENTION,
+    per_shard_steered: Optional[Sequence[int]] = None,
 ) -> SMPCostReport:
     """Assemble an :class:`SMPCostReport` from per-shard measurements.
 
     Kept free of any demux-structure type so an unsharded baseline can
     be priced through the same formula (one shard, no steering cost):
     the comparison "sharded vs. not" is then internally consistent.
+
+    ``per_shard_lookups`` is every lookup a shard *served* (including
+    migration second hops) and prices service/queueing; when
+    ``per_shard_steered`` is given it carries the loads the steering
+    function actually dealt -- excluding migration re-lookups -- and
+    the imbalance factor is computed from it, so a migration-heavy
+    run does not report a steering skew the steering never produced.
     """
     total = sum(per_shard_lookups)
     shards: List[ShardCost] = []
@@ -226,9 +234,14 @@ def build_report(
                 wait_ops=model.wait_ops(rho, service),
             )
         )
-    loads = [s.lookups for s in shards]
-    mean_load = total / len(loads) if loads else 0.0
-    imbalance = max(loads) / mean_load if total else 1.0
+    loads = (
+        list(per_shard_steered)
+        if per_shard_steered is not None
+        else [s.lookups for s in shards]
+    )
+    steered_total = sum(loads)
+    mean_load = steered_total / len(loads) if loads else 0.0
+    imbalance = max(loads) / mean_load if steered_total else 1.0
     mean_examined = (
         sum(s.lookups * s.mean_examined for s in shards) / total if total else 0.0
     )

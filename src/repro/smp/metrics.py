@@ -41,7 +41,11 @@ def publish_sharded(
         "distribution of per-shard PCB occupancy",
     )
     loads = registry.gauge(
-        "smp_shard_lookups", "lookups served per shard"
+        "smp_shard_lookups", "lookups steered to each shard"
+    )
+    migration_loads = registry.gauge(
+        "smp_shard_migration_relookups",
+        "migration second hops served per shard",
     )
     p99 = registry.gauge(
         "smp_shard_p99_examined", "p99 PCBs examined per shard"
@@ -51,6 +55,8 @@ def publish_sharded(
         occupancy_histogram.observe(count, algorithm=label)
     for index, load in enumerate(sharded.shard_loads()):
         loads.set(load, algorithm=label, shard=index)
+    for index, load in enumerate(sharded.migration_loads()):
+        migration_loads.set(load, algorithm=label, shard=index)
     for index, value in enumerate(sharded.per_shard_p99()):
         p99.set(value, algorithm=label, shard=index)
 

@@ -127,6 +127,34 @@ def _backoff_sleep(backoff: float, completed_rounds: int) -> None:
         time.sleep(backoff * (2.0 ** (completed_rounds - 1)))
 
 
+def _probe() -> None:
+    """No-op worker task used to check whether a pool is still alive."""
+
+
+def _pool_is_broken(pool: ProcessPoolExecutor) -> bool:
+    """Whether ``pool`` itself is broken (a worker process died).
+
+    A task that *raises* ``BrokenProcessPool`` is indistinguishable,
+    at ``future.result()``, from the pool delivering its own breakage
+    -- but the two need different handling (the former is an ordinary
+    task failure; the latter poisons every sibling future).  A broken
+    executor refuses new submissions with ``BrokenProcessPool``
+    synchronously, so submitting a no-op discriminates the cases
+    without touching executor internals.
+    """
+    try:
+        future = pool.submit(_probe)
+    except (BrokenProcessPool, RuntimeError):
+        # RuntimeError: the pool raced into shutdown; either way it
+        # cannot run tasks any more.
+        return True
+    try:
+        future.result()
+    except BrokenProcessPool:
+        return True
+    return False
+
+
 def run_tasks(
     tasks: Sequence[Task],
     jobs: int = 1,
@@ -190,7 +218,13 @@ def run_tasks(
         if round_number:
             _backoff_sleep(backoff, round_number)
         failures.clear()
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # No ``with`` block: the context manager's exit calls
+        # ``shutdown(wait=True)``, which joins worker processes -- on a
+        # poisoned pool that blocks the retry rebuild behind dead or
+        # wedged workers.  The only shutdown this loop ever issues is
+        # the non-waiting one in the ``finally``.
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
             futures = {
                 index: pool.submit(
                     tasks[index].fn,
@@ -210,14 +244,20 @@ def run_tasks(
                     results[index] = futures[index].result()
                     note(tasks[index].name)
                 except BrokenProcessPool as exc:
-                    failures[index] = (
-                        exc,
-                        "worker process died before finishing (crash or"
-                        " OOM kill); rerun with --jobs 1 to see the"
-                        " failure inline",
-                    )
+                    if _pool_is_broken(pool):
+                        failures[index] = (
+                            exc,
+                            "worker process died before finishing (crash"
+                            " or OOM kill); rerun with --jobs 1 to see"
+                            " the failure inline",
+                        )
+                    else:
+                        # The *task* raised BrokenProcessPool; the pool
+                        # is fine and this is an ordinary task failure.
+                        failures[index] = (exc, str(exc))
                 except Exception as exc:
                     failures[index] = (exc, str(exc))
+        finally:
             pool.shutdown(wait=False, cancel_futures=True)
         if not failures:
             return results

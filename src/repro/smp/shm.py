@@ -1,0 +1,987 @@
+"""Shared-memory shard workers: true process-parallel demultiplexing.
+
+:mod:`repro.smp.sharded` prices SMP contention analytically;
+everything still runs on one CPU.  This module makes the shards
+actually concurrent: each worker *process* owns one or more shard
+structures and serves packets out of the flat fast-path arrays --
+:class:`~repro.fastpath.tables.SlotTable` key mirrors and the cuckoo
+slot layout -- exported into :mod:`multiprocessing.shared_memory`.
+The dispatcher process keeps the roles a receive-side-scaling NIC
+keeps in hardware: it runs the steering function, owns the
+flow-director table and the PCB directory, and pushes steering
+decisions to workers over one bounded SPSC ring pair per worker.
+
+Wire protocol (fixed-size slots, bulk-packed so a whole batch costs
+one ``struct`` call per ring segment):
+
+* request slot ``<QQQQ``: ``(meta, key_lo48, key_hi48, seq)`` where
+  ``meta`` packs op, packet kind, batch flags, and the worker-local
+  shard slot;
+* response slot ``<QQQ``: ``(examined, flags, seq)`` with found/
+  cache-hit bits -- exactly the decision triple the conformance
+  machinery records, which is what makes golden-trace verification of
+  the shared-memory mode possible.
+
+The trailing ``seq`` word in every slot is ring-internal (see
+:class:`SpscRing`): a slot is valid only when its sequence stamp
+equals ``1 + its absolute ring index``.  Consumption is driven by the
+stamps and process-local cursors, never by raw reads of the shared
+cursor words, so a transient corrupt read of the header (observed in
+the wild as spurious zeros on hot shared pages under some
+hypervisors) degrades to a brief stall instead of silently
+re-delivering or dropping records.
+
+Determinism contract: the dispatcher steers in input order (identical
+to the single-process facade), each shard sees exactly the op
+subsequence it would have seen in-process, and rings are FIFO -- so
+every decision, per-call or batched, is byte-identical to
+``ShardedDemux`` with no workers, for any worker count.  Control
+traffic (bootstrap, snapshot/restore for supervised recovery, stats,
+shutdown) rides a pipe per worker, off the hot path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.base import DemuxAlgorithm, LookupResult
+from ..core.pcb import PCB
+from ..core.stats import DemuxStats, LookupRecord, PacketKind
+from ..packet.addresses import FourTuple
+
+__all__ = ["ShardMirror", "ShmWorkerError", "ShmWorkerPool", "SpscRing"]
+
+_U64 = struct.Struct("<Q")
+#: Request slot: meta word, key low half, key high half, sequence stamp.
+REQUEST_SLOT = struct.Struct("<QQQQ")
+#: Response slot: examined count, decision flags, sequence stamp.
+RESPONSE_SLOT = struct.Struct("<QQQ")
+
+_HALF_BITS = 48
+_HALF_MASK = (1 << _HALF_BITS) - 1
+
+# meta word layout: op | kind << 4 | flags << 8 | shard slot << 16
+OP_LOOKUP = 1
+OP_INSERT = 2
+OP_REMOVE = 3
+OP_NOTE_SEND = 4
+FLAG_BATCHED = 1
+FLAG_FLUSH = 2
+
+RESP_FOUND = 1
+RESP_CACHE_HIT = 2
+
+#: Ring capacity in slots (power of two not required; the cursors are
+#: free-running uint64 counters).
+DEFAULT_RING_SLOTS = 4096
+
+
+class ShmWorkerError(RuntimeError):
+    """A shard worker died or timed out; carries the worker index."""
+
+    def __init__(self, worker: int, message: str):
+        super().__init__(f"shm worker {worker}: {message}")
+        self.worker = worker
+
+
+def _meta(op: int, kind: int = 0, flags: int = 0, slot: int = 0) -> int:
+    return op | (kind << 4) | (flags << 8) | (slot << 16)
+
+
+class SpscRing:
+    """Bounded single-producer single-consumer ring over shared bytes.
+
+    ``buffer`` is any writable buffer (a ``SharedMemory.buf``); the
+    first 16 bytes hold two free-running uint64 cursors -- ``head``
+    (consumer) at offset 0 and ``tail`` (producer) at offset 8 --
+    followed by ``capacity`` fixed-size slots whose *last* uint64 is a
+    sequence stamp written by the producer after the payload words.
+
+    Correctness does not rest on the shared cursor words.  Each side
+    keeps its own cursor in process-local memory; slot validity is
+    decided by the sequence stamp (``seq == 1 + absolute index``), and
+    the shared words are only *hints* -- the consumer publishes
+    ``head`` so the producer can compute free space, the producer
+    publishes ``tail`` for introspection.  Hints are folded in
+    monotonically and clamped to the protocol invariants (``head <=
+    tail``, ``tail - head <= capacity``), so a corrupt read -- a torn
+    store on an exotic platform, or the transient zero reads of hot
+    shared pages we have observed under virtualized memory reclaim --
+    can only make a side briefly *conservative* (push returns 0, pop
+    returns nothing), never deliver a record twice or skip one.  The
+    failure mode for a *persistently* lost page is a stall that
+    surfaces as a pool timeout: fail-stop, not silent corruption.
+
+    Bulk push/pop still pack a whole contiguous run of slots with one
+    ``struct`` call (two on wrap-around).  Payload records exclude the
+    stamp: a ``<QQQQ`` slot carries 3-tuple records.
+    """
+
+    HEADER = 16
+
+    def __init__(self, buffer, slot: struct.Struct, capacity: int):
+        self._buf = buffer
+        self._slot = slot
+        self._capacity = capacity
+        self._width = len(slot.unpack_from(bytes(slot.size), 0))
+        if self._width < 2:
+            raise ValueError("slot must carry at least payload + stamp")
+        #: Process-local cursors: authoritative for the role this
+        #: process plays (producer owns tail, consumer owns head).
+        self._local_head = 0
+        self._local_tail = 0
+        #: Producer's clamped-monotonic view of the consumer's head.
+        self._head_hint = 0
+
+    @staticmethod
+    def bytes_needed(slot: struct.Struct, capacity: int) -> int:
+        return SpscRing.HEADER + slot.size * capacity
+
+    # Cursor hint accessors: plain loads/stores through struct.
+    def _head(self) -> int:
+        return _U64.unpack_from(self._buf, 0)[0]
+
+    def _tail(self) -> int:
+        return _U64.unpack_from(self._buf, 8)[0]
+
+    def _refresh_head_hint(self) -> int:
+        """Fold the consumer's published head into the local view.
+
+        Monotonic and clamped to ``<= local tail``: the consumer can
+        never be ahead of what this producer wrote, so any reading
+        outside that range is corruption and is ignored.
+        """
+        seen = self._head()
+        if self._head_hint < seen <= self._local_tail:
+            self._head_hint = seen
+        return self._head_hint
+
+    def free(self) -> int:
+        """Producer-side free slots (authoritative for the producer)."""
+        return self._capacity - (self._local_tail - self._refresh_head_hint())
+
+    def available(self) -> int:
+        """Consumer-side ready estimate (stamp-verified on pop)."""
+        tail = self._tail()
+        if tail < self._local_head:
+            return 0
+        return min(tail - self._local_head, self._capacity)
+
+    def push(self, records: Sequence[Tuple[int, ...]]) -> int:
+        """Push up to ``len(records)``; returns how many were written.
+
+        Never blocks: the caller decides how to wait (and what else to
+        service -- e.g. draining its own inbound ring) when full.
+        """
+        tail = self._local_tail
+        space = self._capacity - (tail - self._refresh_head_hint())
+        count = min(len(records), space)
+        if count <= 0:
+            return 0
+        payload = self._width - 1
+        written = 0
+        while written < count:
+            index = (tail + written) % self._capacity
+            run = min(count - written, self._capacity - index)
+            flat: List[int] = []
+            for offset, record in enumerate(
+                records[written:written + run]
+            ):
+                if len(record) != payload:
+                    raise ValueError(
+                        f"record has {len(record)} fields, slot carries"
+                        f" {payload}"
+                    )
+                flat.extend(record)
+                # Stamp: the payload words precede it in memory, so a
+                # reader that sees the stamp sees the payload.
+                flat.append(tail + written + offset + 1)
+            struct.pack_into(
+                f"<{self._width * run}Q",
+                self._buf,
+                self.HEADER + index * self._slot.size,
+                *flat,
+            )
+            written += run
+        self._local_tail = tail + count
+        _U64.pack_into(self._buf, 8, self._local_tail)
+        return count
+
+    def pop(self, limit: int) -> List[Tuple[int, ...]]:
+        """Pop up to ``limit`` records (possibly empty; never blocks).
+
+        Consumption is stamp-driven: a slot is taken only if its
+        sequence word matches the local head exactly, so stale or
+        zeroed slots (and any bogus tail reading) terminate the scan
+        instead of yielding phantom records.
+        """
+        head = self._local_head
+        count = min(limit, self.available())
+        if count <= 0:
+            # The tail hint may lag (or read as garbage) even though
+            # records are ready; probe one stamp directly so a lost
+            # hint degrades to polling, not a stall.
+            if limit <= 0 or not self._stamp_valid(head):
+                return []
+            count = 1
+        records: List[Tuple[int, ...]] = []
+        consumed = 0
+        width = self._width
+        while consumed < count:
+            index = (head + consumed) % self._capacity
+            run = min(count - consumed, self._capacity - index)
+            flat = struct.unpack_from(
+                f"<{width * run}Q",
+                self._buf,
+                self.HEADER + index * self._slot.size,
+            )
+            good = 0
+            for position in range(run):
+                base = position * width
+                if flat[base + width - 1] != head + consumed + position + 1:
+                    break
+                good += 1
+            records.extend(
+                flat[position:position + width - 1]
+                for position in range(0, width * good, width)
+            )
+            consumed += good
+            if good < run:
+                break
+        if consumed:
+            self._local_head = head + consumed
+            _U64.pack_into(self._buf, 0, self._local_head)
+        return records
+
+    def _stamp_valid(self, head: int) -> bool:
+        index = head % self._capacity
+        offset = (
+            self.HEADER + index * self._slot.size + (self._width - 1) * 8
+        )
+        return _U64.unpack_from(self._buf, offset)[0] == head + 1
+
+
+def _sleep_briefly(spins: int) -> None:
+    """Escalating wait: yield first, then park for tens of microseconds."""
+    if spins < 64:
+        time.sleep(0)
+    else:
+        time.sleep(0.00005)
+
+
+# -- shard state handover ----------------------------------------------
+
+def _export_shards(
+    shards: Sequence[DemuxAlgorithm], specs: Sequence[str]
+) -> Tuple[List[Tuple[Any, ...]], Optional[bytes]]:
+    """Describe every shard for a worker bootstrap.
+
+    Fast structures export their flat arrays into one block of bytes
+    (placed in shared memory by the caller); anything else -- and any
+    fast structure whose single-entry caches are already populated,
+    since the flat arrays do not carry them -- falls back to a
+    snapshot payload over the control pipe.  Returns
+    ``(descriptors, state_bytes_or_None)``.
+    """
+    from ..fastpath.algorithms import _FastDemux  # layering: smp > fastpath
+    from ..fastpath.cuckoo import FastCuckooDemux
+
+    def flat_mode(shard: DemuxAlgorithm) -> Optional[str]:
+        if isinstance(shard, FastCuckooDemux):
+            return "cuckoo"  # the slot layout is the whole decision state
+        if not isinstance(shard, _FastDemux):
+            return None
+        cache = getattr(shard, "_cache", None)
+        if cache is not None and cache.key is not None:
+            return None
+        caches = getattr(shard, "_caches", None)
+        if caches and any(slot.key is not None for slot in caches):
+            return None
+        return "tables"
+
+    modes = [flat_mode(shard) for shard in shards]
+    total = 0
+    for shard, mode in zip(shards, modes):
+        if mode == "cuckoo":
+            total += shard.shared_size()
+        elif mode == "tables":
+            total += sum(t.shared_size() for t in shard._tables)
+    state = bytearray(total) if total else None
+    descriptors: List[Tuple[Any, ...]] = []
+    offset = 0
+    for shard, spec, mode in zip(shards, specs, modes):
+        if mode == "cuckoo":
+            offset = shard.export_shared(state, offset)
+            descriptors.append(("cuckoo", spec, offset - shard.shared_size()))
+        elif mode == "tables":
+            start = offset
+            counts = []
+            for table in shard._tables:
+                counts.append(len(table))
+                offset = table.export_shared(state, offset)
+            descriptors.append(("tables", spec, start, counts))
+        else:
+            from ..recovery.snapshot import capture_state  # lazy: layering
+
+            descriptors.append(
+                ("payload", capture_state(shard, spec=spec or shard.spec))
+            )
+    return descriptors, bytes(state) if state is not None else None
+
+
+def _attach_shard(
+    descriptor: Tuple[Any, ...],
+    state_buf,
+    pcbs: Dict[int, PCB],
+) -> DemuxAlgorithm:
+    """Build one worker-side shard from its bootstrap descriptor."""
+    from ..core.registry import make_algorithm
+    from ..fastpath.cuckoo import FastCuckooDemux
+
+    mode = descriptor[0]
+    if mode == "payload":
+        from ..recovery.snapshot import restore_state  # lazy: layering
+
+        shard = restore_state(descriptor[1])
+        for pcb in shard:
+            pcbs[pcb.four_tuple.key_bits()] = pcb
+        return shard
+
+    def pcb_for(key: int) -> PCB:
+        pcb = PCB(FourTuple.from_key_bits(key))
+        pcbs[key] = pcb
+        return pcb
+
+    if mode == "cuckoo":
+        _mode, spec, offset = descriptor
+        template = make_algorithm(spec)
+        if not isinstance(template, FastCuckooDemux):
+            raise ShmWorkerError(-1, f"spec {spec!r} is not a cuckoo table")
+        shard, _ = FastCuckooDemux.attach_shared(state_buf, offset, pcb_for)
+        shard.spec = spec
+        return shard
+
+    _mode, spec, offset, counts = descriptor
+    shard = make_algorithm(spec)
+    from ..fastpath.tables import SlotTable
+
+    tables = []
+    for count in counts:
+        def interning_pcb_for(key: int, _shard=shard) -> PCB:
+            _shard._keycache.entry(FourTuple.from_key_bits(key))
+            _shard._present.add(key)
+            return pcb_for(key)
+
+        table, offset = SlotTable.attach_shared(
+            state_buf, offset, count, interning_pcb_for
+        )
+        tables.append(table)
+    if len(tables) != len(shard._tables):
+        raise ShmWorkerError(
+            -1,
+            f"spec {spec!r} builds {len(shard._tables)} chains,"
+            f" export carries {len(tables)}",
+        )
+    shard._tables = tables
+    return shard
+
+
+# -- the worker process ------------------------------------------------
+
+def _worker_main(
+    worker_index: int,
+    request_name: str,
+    response_name: str,
+    ring_slots: int,
+    conn,
+) -> None:
+    """Entry point of one shard worker process."""
+    from multiprocessing import shared_memory
+
+    request_shm = shared_memory.SharedMemory(name=request_name)
+    response_shm = shared_memory.SharedMemory(name=response_name)
+    requests = SpscRing(request_shm.buf, REQUEST_SLOT, ring_slots)
+    responses = SpscRing(response_shm.buf, RESPONSE_SLOT, ring_slots)
+
+    # Bootstrap: shard descriptors (and the shared state segment's
+    # name, when any shard exported flat arrays).
+    message = conn.recv()
+    if message[0] != "bootstrap":
+        conn.send(("error", f"expected bootstrap, got {message[0]!r}"))
+        return
+    _tag, descriptors, state_name = message
+    state_shm = None
+    state_buf = None
+    if state_name is not None:
+        state_shm = shared_memory.SharedMemory(name=state_name)
+        state_buf = state_shm.buf
+    shards: List[DemuxAlgorithm] = []
+    pcbs: List[Dict[int, PCB]] = []
+    try:
+        for descriptor in descriptors:
+            local: Dict[int, PCB] = {}
+            shards.append(_attach_shard(descriptor, state_buf, local))
+            pcbs.append(local)
+    except Exception as exc:  # surface bootstrap failures, don't hang
+        conn.send(("error", f"bootstrap failed: {exc!r}"))
+        return
+    conn.send(("ready", None))
+
+    pending: List[List[Tuple[FourTuple, PacketKind]]] = [
+        [] for _ in shards
+    ]
+    out: List[Tuple[int, int]] = []
+    tuple_cache: Dict[int, FourTuple] = {}
+    spins = 0
+    running = True
+    while running:
+        records = requests.pop(512)
+        if not records:
+            if out:
+                pushed = responses.push(out)
+                if pushed:
+                    del out[:pushed]
+                    spins = 0
+                    continue
+            if conn.poll(0):
+                running = _handle_control(conn, shards, pcbs, pending)
+                spins = 0
+                continue
+            spins += 1
+            _sleep_briefly(spins)
+            continue
+        spins = 0
+        for meta, lo, hi in records:
+            op = meta & 0xF
+            slot = meta >> 16
+            key = (hi << _HALF_BITS) | lo
+            tup = tuple_cache.get(key)
+            if tup is None:
+                tup = FourTuple.from_key_bits(key)
+                tuple_cache[key] = tup
+            if op == OP_LOOKUP:
+                kind = (
+                    PacketKind.ACK if (meta >> 4) & 0xF else PacketKind.DATA
+                )
+                flags = (meta >> 8) & 0xFF
+                if flags & FLAG_BATCHED:
+                    pending[slot].append((tup, kind))
+                    if flags & FLAG_FLUSH:
+                        results = shards[slot].lookup_batch(pending[slot])
+                        pending[slot].clear()
+                        for result in results:
+                            out.append(_encode_response(result))
+                else:
+                    out.append(
+                        _encode_response(shards[slot].lookup(tup, kind))
+                    )
+            elif op == OP_INSERT:
+                pcb = PCB(tup)
+                shards[slot].insert(pcb)
+                pcbs[slot][key] = pcb
+            elif op == OP_REMOVE:
+                shards[slot].remove(tup)
+                pcbs[slot].pop(key, None)
+            elif op == OP_NOTE_SEND:
+                pcb = pcbs[slot].get(key)
+                if pcb is not None:
+                    shards[slot].note_send(pcb)
+        while out:
+            pushed = responses.push(out)
+            del out[:pushed]
+            if out:
+                _sleep_briefly(65)
+    conn.close()
+    # Skip interpreter-shutdown GC: attached tables hold numpy views
+    # straight over the shared segments, and releasing a SharedMemory
+    # under live exports raises BufferError noise on the way out.  The
+    # dispatcher owns the segments (and unlinks them); just leave.
+    os._exit(0)
+
+
+def _encode_response(result) -> Tuple[int, int]:
+    flags = (RESP_FOUND if result.found else 0) | (
+        RESP_CACHE_HIT if result.cache_hit else 0
+    )
+    return (result.examined, flags)
+
+
+def _handle_control(conn, shards, pcbs, pending) -> bool:
+    """Service one control-pipe message; False means shut down."""
+    message = conn.recv()
+    tag = message[0]
+    try:
+        if tag == "stop":
+            conn.send(("ok", None))
+            return False
+        if tag == "snapshot":
+            from ..recovery.snapshot import capture_state
+
+            _tag, slot, spec = message
+            conn.send(("ok", capture_state(shards[slot], spec=spec)))
+        elif tag == "restore":
+            from ..recovery.snapshot import restore_state
+
+            _tag, slot, payload = message
+            shard = restore_state(payload)
+            shards[slot] = shard
+            pcbs[slot] = {
+                pcb.four_tuple.key_bits(): pcb for pcb in shard
+            }
+            pending[slot].clear()
+            conn.send(("ok", None))
+        elif tag == "stats":
+            _tag, slot = message
+            conn.send(("ok", shards[slot].stats.as_dict()))
+        elif tag == "reset":
+            for shard in shards:
+                shard.stats.reset()
+            conn.send(("ok", None))
+        else:
+            conn.send(("error", f"unknown control message {tag!r}"))
+    except Exception as exc:
+        conn.send(("error", f"{tag} failed: {exc!r}"))
+    return True
+
+
+# -- dispatcher side ---------------------------------------------------
+
+class _Worker:
+    """Dispatcher-side handle of one worker process."""
+
+    def __init__(self, index: int, process, request_ring, response_ring,
+                 conn, segments):
+        self.index = index
+        self.process = process
+        self.requests = request_ring
+        self.responses = response_ring
+        self.conn = conn
+        self.segments = segments  # SharedMemory objects to keep alive
+        #: Responses popped while waiting for ring space, not yet
+        #: consumed by a collect().
+        self.stash: List[Tuple[int, int]] = []
+
+
+class ShmWorkerPool:
+    """N shard-worker processes behind SPSC rings, plus control pipes.
+
+    The pool maps ``nshards`` shard structures onto ``nworkers``
+    processes round-robin (shard ``i`` lives on worker ``i %
+    nworkers``); the facade addresses shards by global index and the
+    pool translates to (worker, local slot).
+    """
+
+    def __init__(
+        self,
+        nworkers: int,
+        *,
+        ring_slots: int = DEFAULT_RING_SLOTS,
+        timeout: float = 60.0,
+    ):
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+        self.nworkers = nworkers
+        self.ring_slots = ring_slots
+        self.timeout = timeout
+        self._workers: List[_Worker] = []
+        self._placement: List[Tuple[int, int]] = []  # shard -> (worker, slot)
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(
+        self, shards: Sequence[DemuxAlgorithm], specs: Sequence[str]
+    ) -> None:
+        """Export every shard's state and launch the worker processes."""
+        from multiprocessing import shared_memory
+
+        if self._workers:
+            raise RuntimeError("pool already started")
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        owned: List[List[int]] = [[] for _ in range(self.nworkers)]
+        self._placement = []
+        for shard_index in range(len(shards)):
+            worker_index = shard_index % self.nworkers
+            self._placement.append(
+                (worker_index, len(owned[worker_index]))
+            )
+            owned[worker_index].append(shard_index)
+        for worker_index in range(self.nworkers):
+            indices = owned[worker_index]
+            descriptors, state = _export_shards(
+                [shards[i] for i in indices],
+                [specs[i] for i in indices],
+            )
+            segments = []
+            request_shm = shared_memory.SharedMemory(
+                create=True,
+                size=SpscRing.bytes_needed(REQUEST_SLOT, self.ring_slots),
+            )
+            response_shm = shared_memory.SharedMemory(
+                create=True,
+                size=SpscRing.bytes_needed(RESPONSE_SLOT, self.ring_slots),
+            )
+            segments.extend([request_shm, response_shm])
+            # Zero the cursors (shm is zero-filled on Linux, but be
+            # explicit -- a stale cursor would desynchronize the ring).
+            request_shm.buf[:SpscRing.HEADER] = bytes(SpscRing.HEADER)
+            response_shm.buf[:SpscRing.HEADER] = bytes(SpscRing.HEADER)
+            state_name = None
+            if state is not None:
+                state_shm = shared_memory.SharedMemory(
+                    create=True, size=max(len(state), 1)
+                )
+                state_shm.buf[:len(state)] = state
+                segments.append(state_shm)
+                state_name = state_shm.name
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    worker_index,
+                    request_shm.name,
+                    response_shm.name,
+                    self.ring_slots,
+                    child_conn,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            worker = _Worker(
+                worker_index,
+                process,
+                SpscRing(request_shm.buf, REQUEST_SLOT, self.ring_slots),
+                SpscRing(response_shm.buf, RESPONSE_SLOT, self.ring_slots),
+                parent_conn,
+                segments,
+            )
+            worker.conn.send(("bootstrap", descriptors, state_name))
+            self._workers.append(worker)
+        for worker in self._workers:
+            reply = self._recv(worker)
+            if reply[0] != "ready":
+                raise ShmWorkerError(worker.index, str(reply[1]))
+
+    def close(self) -> None:
+        """Stop every worker and release the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                if worker.process.is_alive():
+                    worker.conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+            # Drop the ring views before releasing the segments: a
+            # SharedMemory cannot close while exports are live.
+            worker.requests = None
+            worker.responses = None
+            for segment in worker.segments:
+                try:
+                    segment.close()
+                except BufferError:
+                    pass  # a stray view keeps the mmap; still unlink
+                try:
+                    segment.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+        self._workers = []
+
+    def __del__(self):  # best-effort safety net; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- hot-path ops --------------------------------------------------
+
+    def locate(self, shard: int) -> Tuple[int, int]:
+        return self._placement[shard]
+
+    def insert(self, shard: int, key: int) -> None:
+        worker_index, slot = self._placement[shard]
+        self._push(
+            self._workers[worker_index],
+            [(_meta(OP_INSERT, slot=slot), key & _HALF_MASK,
+              key >> _HALF_BITS)],
+        )
+
+    def remove(self, shard: int, key: int) -> None:
+        worker_index, slot = self._placement[shard]
+        self._push(
+            self._workers[worker_index],
+            [(_meta(OP_REMOVE, slot=slot), key & _HALF_MASK,
+              key >> _HALF_BITS)],
+        )
+
+    def note_send(self, shard: int, key: int) -> None:
+        worker_index, slot = self._placement[shard]
+        self._push(
+            self._workers[worker_index],
+            [(_meta(OP_NOTE_SEND, slot=slot), key & _HALF_MASK,
+              key >> _HALF_BITS)],
+        )
+
+    def lookup(self, shard: int, key: int, ack: bool) -> Tuple[int, int]:
+        """One per-call lookup; returns ``(examined, flags)``."""
+        worker_index, slot = self._placement[shard]
+        worker = self._workers[worker_index]
+        self._push(
+            worker,
+            [(_meta(OP_LOOKUP, kind=int(ack), slot=slot),
+              key & _HALF_MASK, key >> _HALF_BITS)],
+        )
+        return self.collect(worker_index, 1)[0]
+
+    def send_batch(
+        self, shard: int, items: Sequence[Tuple[int, bool]]
+    ) -> None:
+        """Queue one shard sub-batch (worker serves via lookup_batch)."""
+        if not items:
+            return
+        worker_index, slot = self._placement[shard]
+        records = []
+        last = len(items) - 1
+        for position, (key, ack) in enumerate(items):
+            flags = FLAG_BATCHED | (FLAG_FLUSH if position == last else 0)
+            records.append(
+                (_meta(OP_LOOKUP, kind=int(ack), flags=flags, slot=slot),
+                 key & _HALF_MASK, key >> _HALF_BITS)
+            )
+        self._push(self._workers[worker_index], records)
+
+    def collect(self, worker_index: int, count: int) -> List[Tuple[int, int]]:
+        """Pop exactly ``count`` responses from one worker, FIFO."""
+        worker = self._workers[worker_index]
+        results: List[Tuple[int, int]] = []
+        if worker.stash:
+            take = min(count, len(worker.stash))
+            results.extend(worker.stash[:take])
+            del worker.stash[:take]
+        deadline = time.monotonic() + self.timeout
+        spins = 0
+        while len(results) < count:
+            popped = worker.responses.pop(count - len(results))
+            if popped:
+                results.extend(popped)
+                spins = 0
+                continue
+            self._check_worker(worker, deadline)
+            spins += 1
+            _sleep_briefly(spins)
+        return results
+
+    def _push(self, worker: _Worker, records) -> None:
+        deadline = time.monotonic() + self.timeout
+        position = 0
+        spins = 0
+        while position < len(records):
+            pushed = worker.requests.push(records[position:])
+            position += pushed
+            if position < len(records):
+                # Ring full: the worker may itself be stalled on a full
+                # response ring -- drain it into the stash so both sides
+                # keep moving (no deadlock by construction).
+                drained = worker.responses.pop(512)
+                if drained:
+                    worker.stash.extend(drained)
+                    spins = 0
+                    continue
+                self._check_worker(worker, deadline)
+                spins += 1
+                _sleep_briefly(spins)
+
+    def _check_worker(self, worker: _Worker, deadline: float) -> None:
+        if not worker.process.is_alive():
+            raise ShmWorkerError(
+                worker.index,
+                f"process died (exit code {worker.process.exitcode})",
+            )
+        if time.monotonic() > deadline:
+            raise ShmWorkerError(
+                worker.index, f"timed out after {self.timeout:.0f}s"
+            )
+
+    # -- control-plane ops ---------------------------------------------
+
+    def snapshot_shard(self, shard: int, spec: str) -> Dict[str, Any]:
+        """Capture one shard's snapshot payload from its worker."""
+        worker_index, slot = self._placement[shard]
+        return self._control(worker_index, ("snapshot", slot, spec))
+
+    def restore_shard(self, shard: int, payload: Dict[str, Any]) -> None:
+        """Replace one worker-side shard from a snapshot payload."""
+        worker_index, slot = self._placement[shard]
+        self._control(worker_index, ("restore", slot, payload))
+
+    def shard_stats(self, shard: int) -> Dict[str, Any]:
+        worker_index, slot = self._placement[shard]
+        return self._control(worker_index, ("stats", slot))
+
+    def reset_stats(self) -> None:
+        for worker in self._workers:
+            worker.conn.send(("reset", None))
+        for worker in self._workers:
+            reply = self._recv(worker)
+            if reply[0] != "ok":
+                raise ShmWorkerError(worker.index, str(reply[1]))
+
+    def _control(self, worker_index: int, message) -> Any:
+        worker = self._workers[worker_index]
+        worker.conn.send(message)
+        reply = self._recv(worker)
+        if reply[0] != "ok":
+            raise ShmWorkerError(worker.index, str(reply[1]))
+        return reply[1]
+
+    def _recv(self, worker: _Worker) -> Tuple[str, Any]:
+        deadline = time.monotonic() + self.timeout
+        while not worker.conn.poll(0.05):
+            self._check_worker(worker, deadline)
+        return worker.conn.recv()
+
+
+class ShardMirror:
+    """Dispatcher-side stand-in for one worker-resident shard.
+
+    Exposes the slice of the :class:`DemuxAlgorithm` surface the
+    sharded facade (and its observers -- occupancy, per-shard p99,
+    aggregated stats, the supervisor's orphan census) actually touches,
+    proxying the structural operations through the worker pool.  The
+    mirror owns the dispatcher's PCB objects for its shard (PCBs never
+    cross the process boundary; the worker keeps twins) and records a
+    shard-level :class:`DemuxStats` from the responses -- decision
+    identity makes it equal, record for record, to the stats the
+    worker-side structure keeps.
+    """
+
+    def __init__(
+        self,
+        pool: ShmWorkerPool,
+        index: int,
+        spec: str,
+        name: str,
+        pcbs: Dict[FourTuple, PCB],
+        stats: DemuxStats,
+    ):
+        self.pool = pool
+        self.index = index
+        self.spec = spec
+        self.name = name
+        self.pcbs = pcbs
+        self.stats = stats
+
+    # -- DemuxAlgorithm surface the facade drives ----------------------
+
+    def lookup(
+        self, tup: FourTuple, kind: PacketKind = PacketKind.DATA
+    ) -> LookupResult:
+        examined, flags = self.pool.lookup(
+            self.index, tup.key_bits(), kind is PacketKind.ACK
+        )
+        return self._result(tup, kind, examined, flags)
+
+    def lookup_batch(
+        self, packets: Sequence[Tuple[FourTuple, PacketKind]]
+    ) -> List[LookupResult]:
+        self.send_batch(packets)
+        return self.collect_batch(packets)
+
+    def send_batch(
+        self, packets: Sequence[Tuple[FourTuple, PacketKind]]
+    ) -> None:
+        """Phase one of a batched lookup: enqueue, don't wait.
+
+        The facade sends every shard's sub-batch before collecting any
+        results, so the workers genuinely overlap; pair with
+        :meth:`collect_batch` over the same packets, in send order
+        per worker.
+        """
+        self.pool.send_batch(
+            self.index,
+            [
+                (tup.key_bits(), kind is PacketKind.ACK)
+                for tup, kind in packets
+            ],
+        )
+
+    def collect_batch(
+        self, packets: Sequence[Tuple[FourTuple, PacketKind]]
+    ) -> List[LookupResult]:
+        """Phase two: collect one result per packet, in order."""
+        worker_index, _slot = self.pool.locate(self.index)
+        responses = self.pool.collect(worker_index, len(packets))
+        return [
+            self._result(tup, kind, examined, flags)
+            for (tup, kind), (examined, flags) in zip(packets, responses)
+        ]
+
+    def insert(self, pcb: PCB) -> None:
+        self.pool.insert(self.index, pcb.four_tuple.key_bits())
+        self.pcbs[pcb.four_tuple] = pcb
+
+    def remove(self, tup: FourTuple) -> PCB:
+        pcb = self.pcbs.pop(tup)  # KeyError when absent, per contract
+        self.pool.remove(self.index, tup.key_bits())
+        return pcb
+
+    def note_send(self, pcb: PCB) -> None:
+        self.pool.note_send(self.index, pcb.four_tuple.key_bits())
+
+    def __len__(self) -> int:
+        return len(self.pcbs)
+
+    def __iter__(self):
+        return iter(self.pcbs.values())
+
+    def __contains__(self, tup: FourTuple) -> bool:
+        return tup in self.pcbs
+
+    def describe(self) -> str:
+        return f"{self.name} ({len(self)} PCBs, worker-resident)"
+
+    def __repr__(self) -> str:
+        return f"<ShardMirror shard={self.index} {self.describe()}>"
+
+    def _result(
+        self, tup: FourTuple, kind: PacketKind, examined: int, flags: int
+    ) -> LookupResult:
+        found = bool(flags & RESP_FOUND)
+        pcb = self.pcbs.get(tup) if found else None
+        if found and pcb is None:
+            raise ShmWorkerError(
+                self.pool.locate(self.index)[0],
+                f"found {tup} on shard {self.index} but the dispatcher"
+                " directory has no such PCB (state desync)",
+            )
+        result = LookupResult(
+            pcb=pcb,
+            examined=examined,
+            cache_hit=bool(flags & RESP_CACHE_HIT),
+            kind=kind,
+        )
+        self.stats.record(
+            LookupRecord(
+                examined=examined,
+                cache_hit=result.cache_hit,
+                found=found,
+                kind=kind,
+            )
+        )
+        return result

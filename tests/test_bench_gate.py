@@ -193,3 +193,102 @@ def test_compounding_subthreshold_drops_cannot_ratchet_the_gate(tmp_path):
     report = run_gate(TINY, str(path))
     assert not report.ok
     assert all("drop" in regression for regression in report.regressions)
+
+
+class TestTimedWindow:
+    """The perf_counter window must measure replay only.
+
+    Recorded pps entries feed BENCH_trajectory.json baselines; if
+    structure population, reaper attach, or conformance checks leak
+    into the timed region, every subsequent run is gated against a
+    polluted number.
+    """
+
+    @staticmethod
+    def _instrument(monkeypatch, events):
+        import time as real_time
+
+        from repro.fastpath import gate
+        import repro.lifecycle.reaper as reaper_module
+
+        real_perf = real_time.perf_counter
+
+        class _Clock:
+            @staticmethod
+            def perf_counter():
+                events.append("clock")
+                return real_perf()
+
+        monkeypatch.setattr(gate, "time", _Clock)
+
+        real_reaper = reaper_module.ConnectionReaper
+
+        class RecordingReaper(real_reaper):
+            def __init__(self, *args, **kwargs):
+                events.append("reaper")
+                super().__init__(*args, **kwargs)
+
+            def advance(self, *args, **kwargs):
+                events.append("advance")
+                return super().advance(*args, **kwargs)
+
+        monkeypatch.setattr(
+            reaper_module, "ConnectionReaper", RecordingReaper
+        )
+        return gate
+
+    def test_window_excludes_reaper_attach(self, monkeypatch):
+        events = []
+        gate = self._instrument(monkeypatch, events)
+        stream = record_tpca_stream(30, 5.0, 7)
+        gate.measure_replay(
+            "fast-sequent:h=7", stream, repeats=2, chunk=16, reap_idle=4.0
+        )
+        # Exactly two perf_counter reads per repeat: the window opens
+        # after the reaper attaches and closes right after the replay.
+        assert events.count("clock") == 4
+        assert events.count("reaper") == 2
+        repeats = []
+        for event in events:
+            if event == "reaper":
+                repeats.append([])
+            else:
+                repeats[-1].append(event)
+        for repeat in repeats:
+            assert repeat[0] == "clock", (
+                "reaper attach leaked into the timed window"
+            )
+            assert repeat[-1] == "clock"
+            assert all(e == "advance" for e in repeat[1:-1]), (
+                f"unexpected work inside the window: {repeat}"
+            )
+
+    def test_canary_conformance_outside_window(self, monkeypatch):
+        from repro.fastpath.gate import CanaryConfig, run_canary
+
+        events = []
+        gate = self._instrument(monkeypatch, events)
+        real_trace = gate._found_trace
+
+        def recording_trace(spec, stream):
+            events.append("trace")
+            return real_trace(spec, stream)
+
+        monkeypatch.setattr(gate, "_found_trace", recording_trace)
+        stream = record_tpca_stream(30, 5.0, 7)
+        report = run_canary(
+            stream,
+            CanaryConfig(
+                candidate="fast-sequent:h=7",
+                incumbent="sequent:h=7",
+                repeats=1,
+                chunk=16,
+            ),
+        )
+        assert report.decisions_match
+        assert events.count("trace") == 2
+        last_clock = max(i for i, e in enumerate(events) if e == "clock")
+        first_trace = min(i for i, e in enumerate(events) if e == "trace")
+        assert last_clock < first_trace, (
+            "conformance check ran inside a timed window"
+        )

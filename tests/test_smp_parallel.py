@@ -1,6 +1,7 @@
 """Tests for the deterministic process-parallel task runner."""
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -225,3 +226,85 @@ class TestTaskSeeds:
     def test_derive_seed_rejects_non_int(self):
         with pytest.raises(TypeError):
             derive_seed("7", "x")
+
+
+def _raise_broken(message):
+    """A task that itself raises BrokenProcessPool (the pool is fine)."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    raise BrokenProcessPool(message)
+
+
+def _raise_broken_once(sentinel, message):
+    """Raise BrokenProcessPool on the first attempt only."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("raised")
+        raise BrokenProcessPool(message)
+    return "recovered"
+
+
+class TestPoisonedPoolShutdown:
+    """The retry rebuild must never join a poisoned pool (wait=True)."""
+
+    def test_rebuild_never_waits_on_poisoned_pool(self, tmp_path, monkeypatch):
+        from repro.smp import parallel as parallel_module
+
+        calls = []
+
+        class RecordingPool(ProcessPoolExecutor):
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                calls.append((wait, cancel_futures))
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", RecordingPool
+        )
+        tasks = tasks_for([1, 2, 3]) + [
+            Task(name="die-once", fn=_die_once, args=(str(tmp_path / "s"),))
+        ]
+        assert run_tasks(tasks, jobs=2, retries=1) == [1, 4, 9, "survived"]
+        assert calls, "runner never shut its pools down"
+        assert all(wait is False for wait, _ in calls), (
+            f"poisoned pool joined with wait=True: {calls}"
+        )
+        assert all(cancel for _, cancel in calls)
+
+
+class TestBrokenPoolAttribution:
+    """A task raising BrokenProcessPool is not a worker death."""
+
+    def test_task_raised_broken_pool_keeps_task_message(self):
+        tasks = tasks_for([1, 2]) + [
+            Task(name="impostor", fn=_raise_broken, args=("synthetic",))
+        ]
+        with pytest.raises(ParallelTaskError, match="synthetic") as err:
+            run_tasks(tasks, jobs=2)
+        assert err.value.task_name == "impostor"
+        assert "worker process died" not in str(err.value)
+
+    def test_task_raised_broken_pool_retries_like_any_failure(self, tmp_path):
+        log = RetryLog()
+        tasks = tasks_for([1, 2]) + [
+            Task(
+                name="impostor",
+                fn=_raise_broken_once,
+                args=(str(tmp_path / "s"), "synthetic"),
+            )
+        ]
+        assert run_tasks(tasks, jobs=2, retries=1, retry_log=log) == [
+            1,
+            4,
+            "recovered",
+        ]
+        assert log.by_task == {"impostor": 1}
+
+    def test_real_worker_death_still_attributed(self):
+        tasks = tasks_for([1]) + [Task(name="crash", fn=_die)]
+        with pytest.raises(
+            ParallelTaskError, match="worker process died"
+        ) as err:
+            run_tasks(tasks, jobs=2)
+        assert err.value.task_name == "crash"

@@ -288,3 +288,81 @@ class TestShardMetrics:
         text = registry.to_prometheus()
         assert "smp_shard_p99_examined" in text
         assert 'shard="1"' in text
+
+
+class TestMigrationAttribution:
+    """Migration second hops must not inflate the imbalance factor."""
+
+    def _churn_under_rr(self, rounds=5, flows=8, nshards=4):
+        demux = sharded(nshards, RoundRobinSteering())
+        for i in range(flows):
+            demux.insert(PCB(tuple_for(i)))
+        for _ in range(rounds):
+            for i in reversed(range(flows)):
+                demux.lookup(tuple_for(i), PacketKind.DATA)
+        return demux
+
+    def test_loads_split_sums_to_total(self):
+        demux = self._churn_under_rr()
+        assert demux.flow_migrations > 0
+        served = sum(shard.stats.lookups for shard in demux.shards)
+        assert served == demux.stats.lookups
+        assert (
+            sum(demux.shard_loads()) + sum(demux.migration_loads())
+            == demux.stats.lookups
+        )
+        assert sum(demux.migration_loads()) == demux.flow_migrations
+
+    def test_migration_heavy_imbalance_pinned(self):
+        """Imbalance reflects steered loads, not migration hops.
+
+        A mixed stream: half the flows are looked up in insert order
+        (mostly landing home under round-robin), half in reverse
+        (mostly migrating).  The factor must be computable from
+        shard_loads() alone -- the migration hops stay out of it.
+        """
+        demux = self._churn_under_rr(rounds=6, flows=8, nshards=4)
+        loads = demux.shard_loads()
+        total = sum(loads)
+        assert total > 0  # some lookups landed home under rr rotation
+        expected = max(loads) / (total / len(loads))
+        assert demux.imbalance_factor() == pytest.approx(expected)
+        # The old accounting folded migration hops into the loads; the
+        # two load vectors must now genuinely differ on this stream.
+        served = [shard.stats.lookups for shard in demux.shards]
+        assert sum(served) > total
+        report = demux.cost_report()
+        assert report.imbalance_factor == pytest.approx(expected)
+        assert report.lookups == demux.stats.lookups
+
+    def test_sticky_churn_has_no_migration_loads(self):
+        demux = sharded(4, StickyFlowSteering())
+        for i in range(12):
+            demux.insert(PCB(tuple_for(i)))
+        # Churn: remove and re-insert while traffic flows.
+        for round_number in range(4):
+            for i in range(12):
+                demux.lookup(tuple_for(i), PacketKind.DATA)
+            victim = tuple_for(round_number)
+            demux.remove(victim)
+            demux.insert(PCB(victim))
+        assert demux.flow_migrations == 0
+        assert demux.migration_loads() == (0, 0, 0, 0)
+        assert tuple(demux.shard_loads()) == tuple(
+            shard.stats.lookups for shard in demux.shards
+        )
+
+    def test_reset_clears_migration_loads(self):
+        demux = self._churn_under_rr(rounds=2)
+        assert sum(demux.migration_loads()) > 0
+        demux.reset_stats()
+        assert demux.migration_loads() == (0, 0, 0, 0)
+        assert demux.imbalance_factor() == 1.0
+
+    def test_published_metric(self):
+        demux = self._churn_under_rr(rounds=2)
+        registry = MetricsRegistry()
+        publish_sharded(registry, demux)
+        snapshot = registry.snapshot()
+        samples = snapshot["smp_shard_migration_relookups"]["samples"]
+        assert sum(s["value"] for s in samples) == demux.flow_migrations

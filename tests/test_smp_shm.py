@@ -1,0 +1,298 @@
+"""Shared-memory shard workers: ring protocol, decision identity, recovery.
+
+The load-bearing property of :mod:`repro.smp.shm` is that
+``ShardedDemux(workers=N)`` is *decision-identical* to the in-process
+facade for any worker count, per-call and batched -- the worker pool is
+an execution engine, never an experiment parameter.  The ring tests
+additionally pin the corruption-tolerance contract: slot sequence
+stamps are the source of truth, the shared head/tail header words are
+only hints, and a corrupt (observed in the wild: transiently zeroed)
+header read degrades to a brief stall -- never to duplicate or lost
+records.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.pcb import PCB
+from repro.core.registry import make_algorithm
+from repro.core.stats import PacketKind
+from repro.fastpath.conformance import (
+    churn_ops,
+    churn_tuple,
+    decision_trace,
+    golden_stream,
+    mutation_trace,
+    resumed_mutation_trace,
+)
+from repro.smp import ShardedDemux, ShmWorkerError, SpscRing
+from repro.smp.shm import REQUEST_SLOT, RESPONSE_SLOT
+
+
+def make_ring_pair(slot=REQUEST_SLOT, capacity=8):
+    """Producer and consumer views over one buffer (two processes'
+    worth of local cursors, exactly as the pool wires it up)."""
+    buffer = bytearray(SpscRing.bytes_needed(slot, capacity))
+    return (
+        SpscRing(buffer, slot, capacity),
+        SpscRing(buffer, slot, capacity),
+        buffer,
+    )
+
+
+def req(value):
+    """A distinguishable 3-word request payload."""
+    return (value, value * 7 + 1, value * 13 + 2)
+
+
+class TestSpscRing:
+    def test_roundtrip(self):
+        producer, consumer, _ = make_ring_pair()
+        records = [req(i) for i in range(5)]
+        assert producer.push(records) == 5
+        assert consumer.available() == 5
+        assert consumer.pop(16) == records
+        assert consumer.available() == 0
+
+    def test_wraparound(self):
+        producer, consumer, _ = make_ring_pair(capacity=4)
+        for lap in range(10):
+            batch = [req(lap * 3 + i) for i in range(3)]
+            assert producer.push(batch) == 3
+            assert consumer.pop(3) == batch
+
+    def test_push_partial_when_full(self):
+        producer, consumer, _ = make_ring_pair(capacity=4)
+        assert producer.push([req(i) for i in range(6)]) == 4
+        assert producer.free() == 0
+        assert producer.push([req(9)]) == 0
+        assert consumer.pop(2) == [req(0), req(1)]
+        # The producer learns of the freed slots through the head word.
+        assert producer.push([req(4), req(5), req(6)]) == 2
+
+    def test_pop_respects_limit(self):
+        producer, consumer, _ = make_ring_pair()
+        producer.push([req(i) for i in range(6)])
+        assert consumer.pop(2) == [req(0), req(1)]
+        assert consumer.pop(0) == []
+        assert consumer.pop(10) == [req(i) for i in range(2, 6)]
+
+    def test_rejects_wrong_payload_width(self):
+        producer, _, _ = make_ring_pair()
+        with pytest.raises(ValueError):
+            producer.push([(1, 2)])
+
+    def test_bytes_needed(self):
+        assert SpscRing.bytes_needed(REQUEST_SLOT, 8) == (
+            SpscRing.HEADER + 8 * REQUEST_SLOT.size
+        )
+        assert SpscRing.bytes_needed(RESPONSE_SLOT, 8) == (
+            SpscRing.HEADER + 8 * RESPONSE_SLOT.size
+        )
+
+    def test_zeroed_tail_header_never_duplicates(self):
+        """A transiently zeroed tail word (the observed corruption)
+        must degrade to stamp polling: everything pushed is delivered
+        exactly once, nothing is re-delivered."""
+        producer, consumer, buffer = make_ring_pair(capacity=8)
+        producer.push([req(i) for i in range(5)])
+        assert consumer.pop(2) == [req(0), req(1)]
+        struct.pack_into("<Q", buffer, 8, 0)  # tail word lost
+        # The hint says "nothing available", but the stamps prove
+        # otherwise; pop degrades to one-slot probing.
+        delivered = []
+        for _ in range(10):
+            delivered.extend(consumer.pop(4))
+        assert delivered == [req(2), req(3), req(4)]
+        # Producer republishes the word; normal batching resumes.
+        producer.push([req(5), req(6)])
+        assert consumer.pop(4) == [req(5), req(6)]
+
+    def test_zeroed_head_header_never_overwrites(self):
+        """A transiently zeroed head word must not rewind the producer:
+        its local cursor is authoritative, the hint only ever moves
+        forward, and unconsumed slots are never overwritten."""
+        producer, consumer, buffer = make_ring_pair(capacity=4)
+        producer.push([req(i) for i in range(4)])
+        assert consumer.pop(3) == [req(0), req(1), req(2)]
+        struct.pack_into("<Q", buffer, 0, 0)  # head word lost
+        # Worst case the producer is briefly conservative, but it must
+        # never trust a rewound head into overwriting the unconsumed
+        # slot 3.
+        pushed = producer.push([req(4), req(5), req(6), req(7)])
+        assert pushed <= 3
+        got = consumer.pop(8)
+        assert got == [req(3)] + [req(4 + i) for i in range(pushed)]
+        assert consumer.pop(8) == []
+        # The consumer's pop republished the head word; the producer
+        # recovers its full window.
+        assert producer.push([req(8), req(9), req(10), req(11)]) == 4
+
+    def test_stale_stamp_from_previous_lap_never_validates(self):
+        """After a full lap every slot holds a stale stamp; losing the
+        tail word then must yield an empty pop, not a ghost record."""
+        producer, consumer, buffer = make_ring_pair(capacity=4)
+        for lap in range(2):
+            batch = [req(lap * 4 + i) for i in range(4)]
+            producer.push(batch)
+            assert consumer.pop(4) == batch
+        struct.pack_into("<Q", buffer, 8, 0)
+        assert consumer.pop(4) == []  # slot 0's stamp is one lap old
+        producer.push([req(99)])
+        assert consumer.pop(4) == [req(99)]
+
+
+STREAM = golden_stream(2, n_users=32, duration=6.0)
+
+
+def sharded_spec(inner, **options):
+    """``sharded-<inner>`` with extra spec options, colon-correct."""
+    joined = ",".join(f"{key}={value}" for key, value in options.items())
+    separator = "," if ":" in inner else ":"
+    return f"sharded-{inner}{separator}{joined}"
+
+
+class TestDecisionIdentity:
+    @pytest.mark.parametrize("inner", ["fast-sequent:h=19", "fast-cuckoo", "mtf"])
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_batched_trace_matches_in_process(self, inner, workers):
+        expected = decision_trace(
+            sharded_spec(inner, shards=8), STREAM, use_batch=True
+        )
+        got = decision_trace(
+            sharded_spec(inner, shards=8, workers=workers),
+            STREAM,
+            use_batch=True,
+        )
+        assert got == expected
+
+    def test_per_call_trace_matches_in_process(self):
+        spec = "sharded-fast-sequent:h=19,shards=8"
+        expected = decision_trace(spec, STREAM)
+        assert decision_trace(f"{spec},workers=2", STREAM) == expected
+
+    @pytest.mark.parametrize("steer", ["rr", "sticky"])
+    def test_migrating_steering_matches_in_process(self, steer):
+        """Non-flow-stable steering exercises the migration path
+        (remove + re-insert) through the rings."""
+        spec = sharded_spec("fast-sequent:h=19", shards=4, steer=steer)
+        expected = decision_trace(spec, STREAM, use_batch=True)
+        got = decision_trace(f"{spec},workers=2", STREAM, use_batch=True)
+        assert got == expected
+
+    @pytest.mark.parametrize("use_batch", [False, True])
+    def test_churn_trace_matches_in_process(self, use_batch):
+        ops = churn_ops(3, steps=1500)
+        spec = "sharded-fast-sequent:h=19,shards=8"
+        expected, _ = mutation_trace(spec, ops, use_batch=use_batch)
+        got, algorithm = mutation_trace(
+            f"{spec},workers=2", ops, use_batch=use_batch
+        )
+        try:
+            assert got == expected
+        finally:
+            algorithm.close()
+
+
+class TestFacadeLifecycle:
+    def test_pool_spins_up_lazily_on_first_lookup(self):
+        facade = make_algorithm("sharded-fast-mtf:shards=4,workers=2")
+        tup = churn_tuple(0)
+        facade.insert(PCB(tup))
+        assert facade.workers == 0  # the whole insert phase is local
+        facade.lookup(tup, PacketKind.DATA)
+        try:
+            assert facade.workers == 2
+        finally:
+            facade.close()
+        assert facade.workers == 0  # close tears the pool down
+
+    def test_workers_capped_at_shard_count(self):
+        facade = make_algorithm("sharded-fast-mtf:shards=2,workers=8")
+        tup = churn_tuple(1)
+        facade.insert(PCB(tup))
+        facade.lookup(tup, PacketKind.DATA)
+        try:
+            assert facade.workers == 2
+        finally:
+            facade.close()
+
+    def test_activation_without_spec_is_an_error(self):
+        def bare_shard():
+            shard = make_algorithm("mtf")
+            shard.spec = None  # simulate a hand-built, registry-less shard
+            return shard
+
+        facade = ShardedDemux(bare_shard, 2, workers=2)
+        tup = churn_tuple(2)
+        facade.insert(PCB(tup))
+        with pytest.raises(ValueError, match="registry spec"):
+            facade.lookup(tup, PacketKind.DATA)
+
+    def test_dead_worker_surfaces_as_shm_worker_error(self):
+        facade = make_algorithm("sharded-fast-mtf:shards=4,workers=2")
+        tuples = [churn_tuple(i) for i in range(16)]
+        for tup in tuples:
+            facade.insert(PCB(tup))
+        facade.lookup(tuples[0], PacketKind.DATA)
+        try:
+            for worker in facade._pool._workers:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            with pytest.raises(ShmWorkerError):
+                for tup in tuples:
+                    facade.lookup(tup, PacketKind.DATA)
+        finally:
+            facade.close()
+
+
+class TestRecoveryOverShm:
+    def test_snapshot_restore_round_trip_with_active_pool(self):
+        """Snapshotting a live pool-backed facade mid-churn and
+        resuming on the restored twin must not change a decision."""
+        ops = churn_ops(5, steps=1200)
+        spec = "sharded-fast-sequent:h=19,shards=4"
+        expected, _ = mutation_trace(spec, ops, use_batch=True)
+        got, algorithm = resumed_mutation_trace(
+            f"{spec},workers=2", ops, use_batch=True
+        )
+        try:
+            assert got == expected
+        finally:
+            algorithm.close()
+
+    def test_supervised_warm_recovery_over_shm(self):
+        """A supervised shm-backed facade recovers a crashed shard from
+        its checkpoint and stays decision-identical to an in-process
+        twin that never crashed."""
+        import random
+
+        from repro.recovery import ShardSupervisor
+
+        supervised = ShardSupervisor(
+            make_algorithm("sharded-fast-mtf:shards=4,workers=2"),
+            checkpoint_every=50,
+        )
+        twin = make_algorithm("sharded-fast-mtf:shards=4")
+        tuples = [churn_tuple(i) for i in range(48)]
+        for tup in tuples:
+            supervised.sharded.insert(PCB(tup))
+            twin.insert(PCB(tup))
+        rng = random.Random(11)
+        try:
+            for position in range(400):
+                if position == 200:
+                    supervised.crash_shard(1)
+                tup = tuples[rng.randrange(len(tuples))]
+                kind = (
+                    PacketKind.DATA if rng.random() < 0.7 else PacketKind.ACK
+                )
+                a = supervised.lookup(tup, kind)
+                b = twin.lookup(tup, kind)
+                assert (a.found, a.examined, a.cache_hit) == (
+                    b.found, b.examined, b.cache_hit
+                ), f"diverged at {position}"
+            assert [event.mode for event in supervised.events] == ["warm"]
+        finally:
+            supervised.sharded.close()
